@@ -1,0 +1,1 @@
+bench/e_ablations.ml: Array Ccs List Printf Util

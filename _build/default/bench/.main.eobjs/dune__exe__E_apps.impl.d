@@ -1,0 +1,1 @@
+bench/e_apps.ml: Ccs Ccs_apps List Printf String Util

@@ -1,0 +1,1 @@
+bench/e_dag.ml: Ccs Ccs_apps List Printf Util

@@ -1,0 +1,1 @@
+bench/e_latency.ml: Ccs List Util

@@ -1,0 +1,1 @@
+bench/e_multi.ml: Ccs Ccs_apps List Util

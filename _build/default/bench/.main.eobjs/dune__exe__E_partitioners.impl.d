@@ -1,0 +1,1 @@
+bench/e_partitioners.ml: Ccs List Option Printf Util

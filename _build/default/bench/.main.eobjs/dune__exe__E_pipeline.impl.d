@@ -1,0 +1,1 @@
+bench/e_pipeline.ml: Ccs List Util

@@ -1,0 +1,1 @@
+bench/e_policy.ml: Array Ccs Ccs_apps List Util

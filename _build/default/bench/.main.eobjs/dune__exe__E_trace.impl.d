@@ -1,0 +1,1 @@
+bench/e_trace.ml: Array Ccs List Printf Util

@@ -1,0 +1,1 @@
+bench/main.ml: Array E_ablations E_apps E_dag E_latency E_multi E_partitioners E_pipeline E_policy E_trace List Micro Printf Sys

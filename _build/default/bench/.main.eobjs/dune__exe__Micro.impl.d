@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Ccs Float Hashtbl Instance List Measure Staged Test Time Toolkit Util

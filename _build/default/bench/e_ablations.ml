@@ -1,0 +1,138 @@
+(* Ablation experiments: E9 (cross-edge buffer size), E10 (cache
+   augmentation for c-bounded partitions), E11 (the degree-limited
+   hypothesis of Lemma 8). *)
+
+module G = Ccs.Graph
+module R = Ccs.Rates
+module Sp = Ccs.Spec
+open Util
+
+(* E9: the paper gives cross edges Theta(M)-token buffers so a loaded
+   component can do M-worth of work.  Shrink them: the batch size T shrinks
+   with them, so the state-reload term state/T grows.  Expected: misses/
+   input falls as buffer size approaches M and flattens beyond. *)
+let e9 () =
+  section "E9-buffer-ablation" "cross-edge buffer size vs misses/input";
+  let g = Ccs.Generators.uniform_pipeline ~n:32 ~state:64 () in
+  let a = R.analyze_exn g in
+  let m = 512 and b = 16 in
+  let cache = Ccs.Cache.config ~size_words:m ~block_words:b () in
+  let spec = fitting_partition g ~m in
+  let rows =
+    List.map
+      (fun t ->
+        (* Batch scheduler with batch T = buffer tokens per cross edge. *)
+        let plan = Ccs.Partitioned.batch g a spec ~t in
+        let measured = run_mpi g cache plan 8192 in
+        let predicted = Ccs.Analysis.partition_cost_prediction spec a ~b ~t in
+        [
+          Printf.sprintf "%s (%.2f M)" (string_of_int t)
+            (float_of_int t /. float_of_int m);
+          f predicted;
+          f measured;
+        ])
+      [ 32; 64; 128; 256; 512; 1024; 2048 ]
+  in
+  Ccs.Table.print ~header:[ "buffer tokens (T)"; "predicted"; "measured" ] ~rows;
+  note "expect: falling until T ~ M, flat beyond (bandwidth term dominates)"
+
+(* E10: c-bounded partitions need a c'M cache.  Fix the partition bound at
+   c * (M/2) and vary c with the machine cache fixed at M.  Expected: c <=
+   1 behaves; beyond c = 1 components stop fitting alongside their buffers
+   and LRU loop-thrashes — the cliff that motivates the paper's explicit
+   cache-augmentation statement. *)
+let e10 () =
+  section "E10-augmentation" "partition bound vs fixed machine cache";
+  let g = Ccs.Generators.uniform_pipeline ~n:64 ~state:64 () in
+  let a = R.analyze_exn g in
+  let m = 512 and b = 16 in
+  let cache = Ccs.Cache.config ~size_words:m ~block_words:b () in
+  let rows =
+    List.map
+      (fun (label, bound) ->
+        let spec = Ccs.Pipeline_partition.optimal_dp g a ~bound in
+        let plan = Ccs.Partitioned.batch g a spec ~t:m in
+        let measured = run_mpi g cache plan 4096 in
+        [
+          label;
+          string_of_int bound;
+          string_of_int (Sp.num_components spec);
+          string_of_int (Sp.max_component_state spec);
+          f measured;
+        ])
+      [
+        ("c=1/4", m / 4);
+        ("c=1/2", m / 2);
+        ("c=1", m);
+        ("c=2", 2 * m);
+        ("c=3", 3 * m);
+      ]
+  in
+  Ccs.Table.print
+    ~header:[ "bound"; "words"; "comps"; "max comp"; "miss/in" ]
+    ~rows;
+  note
+    "expect: cheap until components ~fill the cache (c=1/2..1), then a \
+     thrashing cliff"
+
+(* E11: Lemma 8 requires degree-limited partitions (component degree
+   O(M/B)).  Sweep the fanout of a splitter isolated in its own component:
+   past M/B cross edges the component cannot keep one block per cross
+   buffer resident and the cost per token grows toward one miss per token
+   (a factor-B degradation), exactly as the paper's "Notes on the upper
+   bound" warns. *)
+let e11 () =
+  section "E11-degree-limit" "component degree vs per-token cost";
+  let m = 512 and b = 16 in
+  let cache = Ccs.Cache.config ~size_words:m ~block_words:b () in
+  note "M/B = %d cross edges is the degree limit" (m / b);
+  let rows =
+    List.map
+      (fun branches ->
+        let g = Ccs.Generators.split_join ~branches ~depth:1 ~state:4 () in
+        let a = R.analyze_exn g in
+        (* Isolate {source, split} as one component; branches+join+sink as
+           the other.  The first component's degree = branches. *)
+        let assignment =
+          Array.init (G.num_nodes g) (fun v ->
+              if v = G.source g || v = G.node_of_name g "split" then 0 else 1)
+        in
+        let spec = Sp.of_assignment g assignment in
+        let plan = Ccs.Partitioned.homogeneous g a spec ~m_tokens:m in
+        let measured = run_mpi g cache plan 2048 in
+        (* Per cross-edge-token cost: misses/input divided by tokens
+           crossing per input (= branches + 1). *)
+        let per_token = measured /. float_of_int (branches + 1) in
+        (* Degree-limited in the operative sense: every component's
+           block-rounded state plus one block per cross edge fits. *)
+        let fits =
+          let ok = ref true in
+          for c = 0 to Sp.num_components spec - 1 do
+            let rounded =
+              List.fold_left
+                (fun acc v -> acc + ((G.state g v + b - 1) / b * b))
+                0 (Sp.members spec c)
+            in
+            if rounded + (b * Sp.component_degree spec c) > m then ok := false
+          done;
+          !ok
+        in
+        [
+          string_of_int branches;
+          (if fits then "yes" else "NO");
+          f measured;
+          f per_token;
+          f (per_token *. float_of_int b);
+        ])
+      [ 4; 8; 16; 32; 64; 128 ]
+  in
+  Ccs.Table.print
+    ~header:
+      [ "fanout"; "degree-limited"; "miss/in"; "miss/token"; "xB of 1/B" ]
+    ~rows;
+  note "expect: miss/token ~ 1/B while degree-limited, rising toward 1 beyond"
+
+let all () =
+  e9 ();
+  e10 ();
+  e11 ()

@@ -1,0 +1,154 @@
+(* DAG experiments: E4 (Lemma 8 upper bound on homogeneous DAGs), E5
+   (Theorem 7 lower bound via exact minBW3), E8 (inhomogeneous
+   granularity-T scheduling). *)
+
+module G = Ccs.Graph
+module R = Ccs.Rates
+open Util
+
+(* E4: homogeneous DAGs — split-joins and random layered graphs — scheduled
+   by the T=M batch scheduler.  Expected: measured within a small constant
+   of (2*bandwidth + state/T)/B, far below naive. *)
+let e4 () =
+  section "E4-dag-upper" "Lemma 8: partitioned homogeneous-DAG schedule cost";
+  let b = 16 and m = 512 in
+  let cache = Ccs.Cache.config ~size_words:m ~block_words:b () in
+  let graphs =
+    [
+      ("split-join 8x8", Ccs.Generators.split_join ~branches:8 ~depth:8 ~state:32 ());
+      ( "layered 6x4",
+        Ccs.Generators.layered ~seed:9 ~layers:6 ~width:4
+          ~state:(fun _ -> 48)
+          ~edge_prob:0.3 () );
+      ("butterfly 2^4", Ccs.Generators.butterfly ~stages:4 ~state:24 ());
+      ("reduce tree d6", Ccs.Generators.binary_tree ~depth:6 ~state:24 ~reduce:true ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, g) ->
+        let a = R.analyze_exn g in
+        let spec = fitting_partition ~b g ~m in
+        let plan = Ccs.Partitioned.homogeneous g a spec ~m_tokens:m in
+        let measured = run_mpi g cache plan 4000 in
+        let predicted = Ccs.Analysis.partition_cost_prediction spec a ~b ~t:m in
+        let naive = run_mpi g cache (Ccs.Baseline.round_robin g a) 4000 in
+        (* The working criterion behind "degree-limited": every component's
+           state plus one resident block per cross edge fits in cache. *)
+        let deg_limited =
+          let ok = ref true in
+          for c = 0 to Ccs.Spec.num_components spec - 1 do
+            if
+              Ccs.Spec.component_state spec c
+              + (b * Ccs.Spec.component_degree spec c)
+              > m
+            then ok := false
+          done;
+          !ok
+        in
+        [
+          name;
+          string_of_int (G.total_state g);
+          string_of_int (Ccs.Spec.num_components spec);
+          (if deg_limited then "yes" else "NO");
+          f predicted;
+          f measured;
+          f naive;
+          f (ratio naive measured);
+        ])
+      graphs
+  in
+  Ccs.Table.print
+    ~header:
+      [
+        "graph"; "state"; "comps"; "deg-lim"; "predicted"; "measured"; "naive";
+        "naive/part";
+      ]
+    ~rows;
+  note
+    "expect: measured ~ predicted and naive/part large where deg-lim holds; \
+     graphs with an unsplittable wide node (deg-lim NO, e.g. a 64-way \
+     source) pay the paper's B-factor penalty on that node's edges — see \
+     'Notes on the upper bound' and E11"
+
+(* E5: Theorem 7's lower bound, with minBW3 computed exactly by the
+   order-ideal search on small DAGs.  Expected: every scheduler >= bound. *)
+let e5 () =
+  section "E5-dag-lower" "Theorem 7: (1/B) * minBW3 bounds every schedule";
+  let m = 96 and b = 8 in
+  let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
+  let cache = Ccs.Config.cache_config cfg in
+  let graphs =
+    List.map
+      (fun seed ->
+        ( Printf.sprintf "layered seed %d" seed,
+          Ccs.Generators.layered ~seed ~layers:3 ~width:3
+            ~state:(fun _ -> 32)
+            ~edge_prob:0.4 () ))
+      [ 1; 2; 3 ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let a = R.analyze_exn g in
+      match Ccs.Analysis.dag_lower_bound g a ~m ~b () with
+      | None -> note "%s: graph too large for exact search (skipped)" name
+      | Some lb ->
+          note "%s: minBW3/B = %s (total state %d)" name (f lb)
+            (G.total_state g);
+          let rows =
+            List.map
+              (fun plan ->
+                let mpi = run_mpi g cache plan 1500 in
+                [ "  " ^ plan.Ccs.Plan.name; f mpi; f (ratio mpi lb) ])
+              (Ccs.Compare.standard_plans g a cfg)
+          in
+          Ccs.Table.print ~header:[ "scheduler"; "miss/in"; "x bound" ] ~rows)
+    graphs;
+  note "expect: every ratio >= 1"
+
+(* E8: inhomogeneous graphs under the granularity-T scheduler.  Expected:
+   the batch scheduler handles non-unit rates and beats the baselines on
+   state-heavy multirate graphs. *)
+let e8 () =
+  section "E8-inhomogeneous" "granularity-T scheduling of multirate graphs";
+  let b = 16 and m = 1024 in
+  let cache = Ccs.Cache.config ~size_words:m ~block_words:b () in
+  let graphs =
+    [
+      ("up-down x8", Ccs.Generators.up_down_sampler ~stages:12 ~factor:8 ~state:96 ());
+      ("mp3 32-band", Ccs_apps.Mp3.graph ());
+      ("vocoder", Ccs_apps.Vocoder.graph ());
+      ("random sdf", Ccs.Generators.random_sdf_dag ~seed:23 ~n:18 ~max_state:256 ~max_rate:4 ~extra_edges:6 ());
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, g) ->
+        let a = R.analyze_exn g in
+        let t = R.granularity g a ~at_least:m in
+        let spec = fitting_partition g ~m in
+        let part = Ccs.Partitioned.batch g a spec ~t in
+        let mpart = run_mpi g cache part 2000 in
+        let msa = run_mpi g cache (Ccs.Baseline.single_appearance g a) 2000 in
+        let mmm = run_mpi g cache (Ccs.Baseline.minimal_memory g a) 2000 in
+        [
+          [
+            name;
+            string_of_int (G.total_state g);
+            string_of_int t;
+            f mpart;
+            f msa;
+            f mmm;
+          ];
+        ])
+      graphs
+  in
+  Ccs.Table.print
+    ~header:[ "graph"; "state"; "T"; "partitioned"; "single-app"; "min-mem" ]
+    ~rows;
+  note "expect: partitioned lowest wherever state >> M"
+
+let all () =
+  e4 ();
+  e5 ();
+  e8 ()

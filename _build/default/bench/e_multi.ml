@@ -1,0 +1,50 @@
+(* E16: the paper's future-work question, made quantitative — on a
+   multiprocessor, load balancing and cache misses must be traded off
+   together.  Sweep the processor count for a fixed partition: more
+   processors improve the balance denominator but cannot reduce (and with
+   boundary-crossing traffic slightly increase) total misses; speedup
+   saturates when the heaviest component dominates or when miss time
+   dominates work time. *)
+
+module G = Ccs.Graph
+module R = Ccs.Rates
+open Util
+
+let e16 () =
+  section "E16-multiprocessor"
+    "placement: load balance vs cache misses (paper's future work)";
+  let g = Ccs_apps.Des.graph () in
+  let a = R.analyze_exn g in
+  let m = 1024 and b = 16 in
+  let spec = fitting_partition ~b g ~m in
+  let t = R.granularity g a ~at_least:m in
+  note "workload: des, %d components, batch T=%d, miss penalty 32 words"
+    (Ccs.Spec.num_components spec) t;
+  let rows =
+    List.map
+      (fun processors ->
+        let assign = Ccs.Assign.lpt g a spec ~processors in
+        let cfg =
+          {
+            Ccs.Multi_machine.processors;
+            cache = Ccs.Cache.config ~size_words:m ~block_words:b ();
+            miss_penalty = 32.;
+          }
+        in
+        let r = Ccs.Multi_machine.run g a spec assign ~t ~batches:6 cfg in
+        [
+          string_of_int processors;
+          f (Ccs.Assign.imbalance assign);
+          string_of_int r.Ccs.Multi_machine.total_misses;
+          f r.Ccs.Multi_machine.makespan;
+          f r.Ccs.Multi_machine.speedup;
+        ])
+      [ 1; 2; 4; 8; 16 ]
+  in
+  Ccs.Table.print
+    ~header:[ "P"; "imbalance"; "total misses"; "makespan/input"; "speedup" ]
+    ~rows;
+  note
+    "expect: speedup grows while components spread evenly, saturating at \
+     the component-count / heaviest-component limit; total misses roughly \
+     flat (partitioned traffic already crosses component boundaries)"

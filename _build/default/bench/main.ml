@@ -1,0 +1,56 @@
+(* Experiment harness: regenerates every quantitative claim of the paper
+   (see DESIGN.md section 4 and EXPERIMENTS.md for the index and expected
+   shapes).  The paper is a theory paper with no tables or figures, so each
+   section validates a theorem's predicted shape on the simulated DAM
+   machine.
+
+   Run everything:        dune exec bench/main.exe
+   Run one experiment:    dune exec bench/main.exe -- E7
+   Skip micro-benches:    dune exec bench/main.exe -- --no-micro *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ("E1", "pipeline upper bound (Lemma 4)", E_pipeline.e1);
+    ("E2", "pipeline lower bound (Theorem 3)", E_pipeline.e2);
+    ("E3", "greedy competitiveness (Theorem 5)", E_pipeline.e3);
+    ("E4", "homogeneous DAG upper bound (Lemma 8)", E_dag.e4);
+    ("E5", "DAG lower bound (Theorem 7)", E_dag.e5);
+    ("E6", "application suite comparison", E_apps.e6);
+    ("E7", "crossover study", E_apps.e7);
+    ("E8", "inhomogeneous granularity-T", E_dag.e8);
+    ("E9", "buffer-size ablation", E_ablations.e9);
+    ("E10", "augmentation ablation", E_ablations.e10);
+    ("E11", "degree-limit ablation", E_ablations.e11);
+    ("E12", "algorithm micro-benchmarks", Micro.run);
+    ("E13", "replacement-policy sensitivity", E_policy.e13);
+    ("E14", "LRU vs clairvoyant OPT", E_policy.e14);
+    ("E15", "partitioner quality", E_partitioners.e15);
+    ("E16", "multiprocessor placement", E_multi.e16);
+    ("E17", "latency cost of cache efficiency", E_latency.e17);
+    ("E18", "reuse-distance profiles", E_trace.e18);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let no_micro = List.mem "--no-micro" args in
+  let wanted = List.filter (fun a -> a <> "--no-micro") args in
+  let to_run =
+    match wanted with
+    | [] ->
+        List.filter (fun (id, _, _) -> not (no_micro && id = "E12")) experiments
+    | ids ->
+        List.filter (fun (id, _, _) -> List.mem id ids) experiments
+  in
+  if to_run = [] then begin
+    Printf.eprintf "unknown experiment id; available:\n";
+    List.iter
+      (fun (id, desc, _) -> Printf.eprintf "  %-4s %s\n" id desc)
+      experiments;
+    exit 1
+  end;
+  Printf.printf
+    "Cache-Conscious Scheduling of Streaming Applications (SPAA'12) — \
+     experiment harness\n";
+  let t0 = Sys.time () in
+  List.iter (fun (_, _, run) -> run ()) to_run;
+  Printf.printf "\n(total CPU time: %.1fs)\n" (Sys.time () -. t0)

@@ -1,0 +1,33 @@
+(* Shared helpers for the experiment harness. *)
+
+module G = Ccs.Graph
+module R = Ccs.Rates
+
+let section id title =
+  Printf.printf "\n=== %s: %s ===\n" id title
+
+let note fmt = Printf.kfprintf (fun _ -> print_newline ()) stdout fmt
+
+let run_mpi g cache plan outputs =
+  let r, _ = Ccs.Runner.run ~graph:g ~cache ~plan ~outputs () in
+  r.Ccs.Runner.misses_per_input
+
+let run_result g cache plan outputs =
+  let r, _ = Ccs.Runner.run ~graph:g ~cache ~plan ~outputs () in
+  r
+
+let f = Ccs.Table.fmt_float
+
+let max_state g =
+  List.fold_left (fun acc v -> max acc (G.state g v)) 1 (G.nodes g)
+
+(* A partition whose components fit comfortably in a cache of [m] words:
+   half for state, half for buffers and streaming blocks, with the
+   degree-limited condition of Lemma 8 enforced for DAGs. *)
+let fitting_partition ?(b = 16) g ~m =
+  let bound = max (m / 2) (max_state g) in
+  let a = R.analyze_exn g in
+  if G.is_pipeline g then Ccs.Pipeline_partition.optimal_dp g a ~bound
+  else Ccs.Dag_partition.best g a ~bound ~max_degree:(max 2 (m / (4 * b))) ()
+
+let ratio a b = if b = 0. then Float.nan else a /. b

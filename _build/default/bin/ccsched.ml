@@ -1,0 +1,315 @@
+(* ccsched: command-line driver for cache-conscious scheduling.
+
+   Subcommands:
+     info      - parse a graph and print rates, gains and buffer analysis
+     partition - compute and print a partition
+     run       - schedule and simulate, printing cache statistics
+     compare   - run the full scheduler roster head-to-head
+     apps      - list the built-in application suite
+     multi     - processor-placement sweep (the paper's future work)
+     trace     - reuse-distance histogram and LRU miss curve of a schedule
+     codegen   - emit standalone OCaml implementing the schedule
+     fuse      - print the contracted (component-fused) graph
+     normalize - add a super source/sink to a multi-source/sink graph
+     dot       - emit Graphviz for a graph
+
+   Graphs come either from a file in the Serial text format (--file) or
+   from the built-in suite (--app NAME). *)
+
+open Cmdliner
+
+let read_graph file app =
+  match (file, app) with
+  | Some path, None ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      (match Ccs.Serial.parse text with
+      | Ok g -> Ok g
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | None, Some name -> (
+      match Ccs_apps.Suite.find name with
+      | Some entry -> Ok (entry.Ccs_apps.Suite.graph ())
+      | None ->
+          Error
+            (Printf.sprintf "unknown app %S (try: %s)" name
+               (String.concat ", " Ccs_apps.Suite.names)))
+  | Some _, Some _ -> Error "pass either --file or --app, not both"
+  | None, None -> Error "a graph is required: pass --file or --app"
+
+let graph_args =
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Graph in ccs text format.")
+  in
+  let app_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "a"; "app" ] ~docv:"NAME" ~doc:"Built-in application name.")
+  in
+  Term.(const read_graph $ file_arg $ app_arg)
+
+let cache_words_arg =
+  Arg.(
+    value & opt int 2048
+    & info [ "m"; "cache" ] ~docv:"WORDS" ~doc:"Cache size M in words.")
+
+let block_words_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "b"; "block" ] ~docv:"WORDS" ~doc:"Block size B in words.")
+
+let outputs_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "o"; "outputs" ] ~docv:"N" ~doc:"Sink firings to produce.")
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("ccsched: " ^ msg);
+      exit 1
+
+let with_graph graph f = f (or_die graph)
+
+(* --- info ---------------------------------------------------------------- *)
+
+let info_cmd =
+  let run graph =
+    with_graph graph @@ fun g ->
+    Format.printf "%a@." Ccs.Graph.pp g;
+    match Ccs.Rates.analyze g with
+    | Error msg -> Printf.printf "rate analysis: FAILED (%s)\n" msg
+    | Ok a ->
+        Printf.printf "rate matched: yes; period = %d source firings\n"
+          a.Ccs.Rates.period_inputs;
+        List.iter
+          (fun v ->
+            Printf.printf "  %-24s gain=%-8s q=%d\n" (Ccs.Graph.node_name g v)
+              (Ccs.Rational.to_string (Ccs.Rates.gain a v))
+              a.Ccs.Rates.repetition.(v))
+          (Ccs.Graph.nodes g);
+        let mb = Ccs.Minbuf.compute g a in
+        let total = Array.fold_left ( + ) 0 mb.Ccs.Minbuf.capacity in
+        Printf.printf "total state: %d words; total minBuf: %d tokens\n"
+          (Ccs.Graph.total_state g) total
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print rate and buffer analysis of a graph.")
+    Term.(const run $ graph_args)
+
+(* --- partition ------------------------------------------------------------ *)
+
+let partition_cmd =
+  let run graph m b =
+    with_graph graph @@ fun g ->
+    let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
+    let a = Ccs.Rates.analyze_exn g in
+    let spec = Ccs.Auto.partition g a cfg in
+    Format.printf "%a@." Ccs.Spec.pp spec;
+    Printf.printf "bandwidth: %s tokens/input; max degree: %d\n"
+      (Ccs.Rational.to_string (Ccs.Spec.bandwidth spec a))
+      (Ccs.Spec.max_component_degree spec)
+  in
+  Cmd.v
+    (Cmd.info "partition" ~doc:"Partition a graph for a given cache size.")
+    Term.(const run $ graph_args $ cache_words_arg $ block_words_arg)
+
+(* --- run ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let run graph m b outputs =
+    with_graph graph @@ fun g ->
+    let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
+    let choice = Ccs.Auto.plan g cfg in
+    Printf.printf "partition: %d components; batch T=%d\n"
+      (Ccs.Spec.num_components choice.Ccs.Auto.partition)
+      choice.Ccs.Auto.batch;
+    let result, machine =
+      Ccs.Runner.run ~graph:g ~cache:(Ccs.Config.cache_config cfg)
+        ~plan:choice.Ccs.Auto.plan ~outputs ()
+    in
+    Format.printf "%a@." Ccs.Runner.pp_result result;
+    Format.printf "cache: %a@." Ccs.Cache.pp_stats (Ccs.Machine.cache machine)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Schedule with the partitioned scheduler and simulate.")
+    Term.(const run $ graph_args $ cache_words_arg $ block_words_arg $ outputs_arg)
+
+(* --- compare --------------------------------------------------------------- *)
+
+let compare_cmd =
+  let run graph m b outputs =
+    with_graph graph @@ fun g ->
+    let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
+    Ccs.Compare.print (Ccs.Compare.run ~outputs g cfg)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run every scheduler head-to-head on a graph.")
+    Term.(const run $ graph_args $ cache_words_arg $ block_words_arg $ outputs_arg)
+
+(* --- apps ------------------------------------------------------------------ *)
+
+let apps_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        let g = e.Ccs_apps.Suite.graph () in
+        Printf.printf "%-12s %3d modules %4d channels %6d words  %s\n"
+          e.Ccs_apps.Suite.name (Ccs.Graph.num_nodes g)
+          (Ccs.Graph.num_edges g) (Ccs.Graph.total_state g)
+          e.Ccs_apps.Suite.description)
+      Ccs_apps.Suite.all
+  in
+  Cmd.v (Cmd.info "apps" ~doc:"List the built-in application suite.")
+    Term.(const run $ const ())
+
+(* --- codegen --------------------------------------------------------------- *)
+
+let codegen_cmd =
+  let run graph m b =
+    with_graph graph @@ fun g ->
+    let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
+    let choice = Ccs.Auto.plan ~dynamic:false g cfg in
+    print_string (Ccs.Codegen.emit g ~plan:choice.Ccs.Auto.plan)
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:
+         "Emit a standalone OCaml program implementing the partitioned \
+          schedule (run it with: ocaml prog.ml <periods>).")
+    Term.(const run $ graph_args $ cache_words_arg $ block_words_arg)
+
+(* --- trace ----------------------------------------------------------------- *)
+
+let trace_cmd =
+  let run graph m b outputs =
+    with_graph graph @@ fun g ->
+    let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
+    let choice = Ccs.Auto.plan ~dynamic:false g cfg in
+    let plan = choice.Ccs.Auto.plan in
+    let machine =
+      Ccs.Machine.create ~record_trace:true ~graph:g
+        ~cache:(Ccs.Config.cache_config cfg)
+        ~capacities:plan.Ccs.Plan.capacities ()
+    in
+    plan.Ccs.Plan.drive machine ~target_outputs:outputs;
+    let blocks =
+      Ccs.Cache.Opt.block_trace ~block_words:b (Ccs.Machine.trace machine)
+    in
+    let d = Ccs.Trace_analysis.reuse_distances blocks in
+    Printf.printf "%d block accesses\n" (Array.length blocks);
+    Ccs.Table.print ~header:[ "reuse distance"; "accesses" ]
+      ~rows:
+        (List.map
+           (fun (label, c) -> [ label; string_of_int c ])
+           (Ccs.Trace_analysis.histogram d));
+    let caps = [ 2; 4; 8; 16; 32; 64; 128; 256 ] in
+    Ccs.Table.print ~header:[ "LRU capacity (blocks)"; "misses" ]
+      ~rows:
+        (List.map
+           (fun (c, miss) -> [ string_of_int c; string_of_int miss ])
+           (Ccs.Trace_analysis.miss_curve ~distances:d ~capacities:caps))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record the partitioned schedule's block trace and print its \
+          reuse-distance histogram and LRU miss curve.")
+    Term.(const run $ graph_args $ cache_words_arg $ block_words_arg $ outputs_arg)
+
+(* --- multi ----------------------------------------------------------------- *)
+
+let multi_cmd =
+  let run graph m b processors =
+    with_graph graph @@ fun g ->
+    let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
+    let a = Ccs.Rates.analyze_exn g in
+    let spec = Ccs.Auto.partition g a cfg in
+    let t = Ccs.Rates.granularity g a ~at_least:m in
+    let rows =
+      List.init processors (fun i -> i + 1)
+      |> List.map (fun p ->
+             let assign = Ccs.Assign.lpt g a spec ~processors:p in
+             let mcfg =
+               {
+                 Ccs.Multi_machine.processors = p;
+                 cache = Ccs.Config.cache_config cfg;
+                 miss_penalty = 32.;
+               }
+             in
+             let r = Ccs.Multi_machine.run g a spec assign ~t ~batches:4 mcfg in
+             [
+               string_of_int p;
+               Ccs.Table.fmt_float (Ccs.Assign.imbalance assign);
+               string_of_int r.Ccs.Multi_machine.total_misses;
+               Ccs.Table.fmt_float r.Ccs.Multi_machine.makespan;
+               Ccs.Table.fmt_float r.Ccs.Multi_machine.speedup;
+             ])
+    in
+    Ccs.Table.print
+      ~header:[ "P"; "imbalance"; "misses"; "makespan/input"; "speedup" ]
+      ~rows
+  in
+  let processors =
+    Arg.(
+      value & opt int 8
+      & info [ "P"; "processors" ] ~docv:"N"
+          ~doc:"Sweep processor counts 1..N.")
+  in
+  Cmd.v
+    (Cmd.info "multi"
+       ~doc:"Place components on processors and report speedup (future work).")
+    Term.(const run $ graph_args $ cache_words_arg $ block_words_arg $ processors)
+
+(* --- fuse ------------------------------------------------------------------ *)
+
+let fuse_cmd =
+  let run graph m b =
+    with_graph graph @@ fun g ->
+    let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
+    let a = Ccs.Rates.analyze_exn g in
+    let spec = Ccs.Auto.partition g a cfg in
+    let mapping = Ccs.Cluster.contract g a spec in
+    print_string (Ccs.Serial.to_text mapping.Ccs.Cluster.graph)
+  in
+  Cmd.v
+    (Cmd.info "fuse"
+       ~doc:
+         "Partition for a cache size and print the contracted (fused) graph.")
+    Term.(const run $ graph_args $ cache_words_arg $ block_words_arg)
+
+(* --- normalize --------------------------------------------------------------- *)
+
+let normalize_cmd =
+  let run graph =
+    with_graph graph @@ fun g ->
+    let info = Ccs.Transform.normalize g in
+    print_string (Ccs.Serial.to_text info.Ccs.Transform.graph)
+  in
+  Cmd.v
+    (Cmd.info "normalize"
+       ~doc:"Add a super source/sink to a multi-source or multi-sink graph.")
+    Term.(const run $ graph_args)
+
+(* --- dot ------------------------------------------------------------------- *)
+
+let dot_cmd =
+  let run graph =
+    with_graph graph @@ fun g -> print_string (Ccs.Serial.to_dot g)
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Emit Graphviz DOT for a graph.")
+    Term.(const run $ graph_args)
+
+let () =
+  let doc = "cache-conscious scheduling of streaming applications (SPAA'12)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "ccsched" ~version:"1.0.0" ~doc)
+          [
+            info_cmd; partition_cmd; run_cmd; compare_cmd; apps_cmd; multi_cmd; trace_cmd; codegen_cmd; fuse_cmd;
+            normalize_cmd; dot_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/apps_tour.ml: Ccs Ccs_apps List Printf

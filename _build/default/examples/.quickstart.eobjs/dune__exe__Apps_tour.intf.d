@@ -1,0 +1,1 @@
+examples/apps_tour.mli:

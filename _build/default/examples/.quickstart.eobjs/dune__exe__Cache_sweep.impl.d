@@ -1,0 +1,1 @@
+examples/cache_sweep.ml: Ccs Ccs_apps List Printf

@@ -1,0 +1,1 @@
+examples/custom_graph.ml: Array Ccs List Printf

@@ -1,0 +1,1 @@
+examples/fm_receiver_demo.mli:

@@ -1,0 +1,1 @@
+lib/apps/ccs_apps.ml: Beamformer Bitonic Dct_codec Des Fft Filterbank Fir Fm_radio Matmul Mp3 Ofdm Radar Suite Vocoder

@@ -1,0 +1,1 @@
+lib/apps/beamformer.ml: Ccs_sdf Fir Printf

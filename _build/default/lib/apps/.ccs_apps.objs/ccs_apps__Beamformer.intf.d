@@ -1,0 +1,1 @@
+lib/apps/beamformer.mli: Ccs_sdf

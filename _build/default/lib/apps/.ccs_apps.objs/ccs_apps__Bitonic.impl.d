@@ -1,0 +1,1 @@
+lib/apps/bitonic.ml: Array Ccs_sdf Fir Printf

@@ -1,0 +1,1 @@
+lib/apps/bitonic.mli: Ccs_sdf

@@ -1,0 +1,1 @@
+lib/apps/dct_codec.ml: Ccs_sdf Fir Printf

@@ -1,0 +1,1 @@
+lib/apps/des.ml: Ccs_sdf Fir Printf

@@ -1,0 +1,1 @@
+lib/apps/des.mli: Ccs_sdf

@@ -1,0 +1,1 @@
+lib/apps/fft.ml: Ccs_sdf

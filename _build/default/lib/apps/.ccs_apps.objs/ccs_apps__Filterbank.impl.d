@@ -1,0 +1,1 @@
+lib/apps/filterbank.ml: Ccs_sdf Fir Printf

@@ -1,0 +1,1 @@
+lib/apps/filterbank.mli: Ccs_sdf

@@ -1,0 +1,1 @@
+lib/apps/fm_radio.ml: Ccs_sdf Fir Printf

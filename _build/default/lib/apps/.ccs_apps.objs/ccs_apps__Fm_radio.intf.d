@@ -1,0 +1,1 @@
+lib/apps/fm_radio.mli: Ccs_sdf

@@ -1,0 +1,1 @@
+lib/apps/matmul.ml: Ccs_sdf Fir Printf

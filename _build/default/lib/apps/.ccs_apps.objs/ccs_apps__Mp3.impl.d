@@ -1,0 +1,1 @@
+lib/apps/mp3.ml: Ccs_sdf Fir Printf

@@ -1,0 +1,1 @@
+lib/apps/mp3.mli: Ccs_sdf

@@ -1,0 +1,1 @@
+lib/apps/ofdm.ml: Array Ccs_sdf Fir Printf

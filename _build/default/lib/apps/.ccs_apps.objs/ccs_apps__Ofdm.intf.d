@@ -1,0 +1,1 @@
+lib/apps/ofdm.mli: Ccs_sdf

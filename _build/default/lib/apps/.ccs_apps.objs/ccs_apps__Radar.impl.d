@@ -1,0 +1,1 @@
+lib/apps/radar.ml: Ccs_sdf Fir Printf

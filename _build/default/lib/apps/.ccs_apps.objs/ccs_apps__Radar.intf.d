@@ -1,0 +1,1 @@
+lib/apps/radar.mli: Ccs_sdf

@@ -1,0 +1,1 @@
+lib/apps/suite.ml: Beamformer Bitonic Ccs_sdf Dct_codec Des Fft Filterbank Fm_radio List Matmul Mp3 Ofdm Radar String Vocoder

@@ -1,0 +1,1 @@
+lib/apps/vocoder.ml: Ccs_sdf Fir Printf

@@ -1,0 +1,1 @@
+lib/apps/vocoder.mli: Ccs_sdf

@@ -1,0 +1,32 @@
+module B = Ccs_sdf.Graph.Builder
+
+let graph ?(channels = 8) ?(beams = 4) ?(taps = 32) () =
+  let b = B.create ~name:"beamformer" () in
+  let source = B.add_module b ~state:4 "antenna-source" in
+  let join = B.add_module b ~state:(4 + channels) "channel-gather" in
+  for ch = 0 to channels - 1 do
+    let coarse =
+      Fir.add_fir b ~name:(Printf.sprintf "ch%d-coarse" ch) ~taps
+    in
+    (* Coarse filter decimates by 2. *)
+    Fir.edge b ~src:source ~dst:coarse ~push:1 ~pop:2;
+    let fine = Fir.add_fir b ~name:(Printf.sprintf "ch%d-fine" ch) ~taps in
+    Fir.unit_edge b coarse fine;
+    Fir.unit_edge b fine join
+  done;
+  let collect = B.add_module b ~state:(4 + beams) "beam-collect" in
+  for beam = 0 to beams - 1 do
+    let steer =
+      B.add_module b ~state:(2 * channels) (Printf.sprintf "beam%d-steer" beam)
+    in
+    Fir.unit_edge b join steer;
+    let filt = Fir.add_fir b ~name:(Printf.sprintf "beam%d-filter" beam) ~taps in
+    Fir.unit_edge b steer filt;
+    let detect = B.add_module b ~state:8 (Printf.sprintf "beam%d-detect" beam) in
+    (* Detection integrates 4 samples per decision. *)
+    Fir.edge b ~src:filt ~dst:detect ~push:1 ~pop:4;
+    Fir.unit_edge b detect collect
+  done;
+  let sink = B.add_module b ~state:4 "display" in
+  Fir.unit_edge b collect sink;
+  B.build b

@@ -1,0 +1,10 @@
+(** The StreamIt beamformer topology.
+
+    Per-antenna channels (decimating FIR chains) are gathered, then fanned
+    out to per-beam steering/detection pipelines whose detections are
+    collected.  Two nested split-joins with decimation — the classic
+    inhomogeneous DAG workload. *)
+
+val graph :
+  ?channels:int -> ?beams:int -> ?taps:int -> unit -> Ccs_sdf.Graph.t
+(** Defaults: 8 antenna channels, 4 beams, 32-tap filters. *)

@@ -1,0 +1,37 @@
+module B = Ccs_sdf.Graph.Builder
+
+let graph ?(log_lanes = 3) ?(comparator_state = 8) () =
+  let k = log_lanes in
+  let lanes = 1 lsl k in
+  let b = B.create ~name:"bitonic-sort" () in
+  let source = B.add_module b ~state:4 "source" in
+  (* producer.(lane) = the module currently driving that lane. *)
+  let producer = Array.make lanes source in
+  let column stage substage =
+    let stride = 1 lsl substage in
+    let next = Array.copy producer in
+    for low = 0 to lanes - 1 do
+      let high = low lxor stride in
+      if low < high then begin
+        let cmp =
+          B.add_module b ~state:comparator_state
+            (Printf.sprintf "cmp-s%d.%d-l%d" stage substage low)
+        in
+        Fir.unit_edge b producer.(low) cmp;
+        Fir.unit_edge b producer.(high) cmp;
+        next.(low) <- cmp;
+        next.(high) <- cmp
+      end
+    done;
+    Array.blit next 0 producer 0 lanes
+  in
+  for stage = 1 to k do
+    for substage = stage - 1 downto 0 do
+      column stage substage
+    done
+  done;
+  let sink = B.add_module b ~state:4 "sink" in
+  (* A comparator drives two lanes with two distinct channels; collapse
+     duplicates so the sink pops one token per lane. *)
+  Array.iter (fun p -> Fir.unit_edge b p sink) producer;
+  B.build b

@@ -1,0 +1,11 @@
+(** Bitonic sorting network as a streaming application (StreamIt
+    BitonicSort).
+
+    [2^k] lanes flow through [k(k+1)/2] columns of compare-exchange
+    modules; each comparator consumes one token from each of its two input
+    lanes and produces the min/max pair.  Entirely homogeneous with a wide,
+    deep DAG — stresses the well-ordered constraint of DAG partitioning. *)
+
+val graph : ?log_lanes:int -> ?comparator_state:int -> unit -> Ccs_sdf.Graph.t
+(** Defaults: 3 (8 lanes, 6 columns, 24 comparators), 8 words of state per
+    comparator. *)

@@ -1,0 +1,17 @@
+(** StreamIt-style application suite: realistic streaming topologies for
+    the evaluation. *)
+
+module Fir = Fir
+module Fm_radio = Fm_radio
+module Fft = Fft
+module Beamformer = Beamformer
+module Filterbank = Filterbank
+module Bitonic = Bitonic
+module Des = Des
+module Vocoder = Vocoder
+module Matmul = Matmul
+module Radar = Radar
+module Mp3 = Mp3
+module Ofdm = Ofdm
+module Dct_codec = Dct_codec
+module Suite = Suite

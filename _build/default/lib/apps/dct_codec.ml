@@ -1,0 +1,41 @@
+module B = Ccs_sdf.Graph.Builder
+
+let graph ?(block = 8) ?(table_words = 128) ?(passes = 1) () =
+  let bb = block * block in
+  let b = B.create ~name:"dct-codec" () in
+  let source = B.add_module b ~state:4 "pixel-stream" in
+  let shift = B.add_module b ~state:8 "level-shift" in
+  Fir.edge b ~src:source ~dst:shift ~push:1 ~pop:bb;
+  (* [passes] transform/quantize passes (progressive refinement); each pass
+     holds its own cosine and quantization tables. *)
+  let quant =
+    let rec pass prev i =
+      if i > passes then prev
+      else begin
+        let row_dct =
+          B.add_module b ~state:table_words (Printf.sprintf "p%d-row-dct" i)
+        in
+        Fir.edge b ~src:prev ~dst:row_dct ~push:bb ~pop:bb;
+        let col_dct =
+          B.add_module b ~state:table_words (Printf.sprintf "p%d-col-dct" i)
+        in
+        Fir.edge b ~src:row_dct ~dst:col_dct ~push:bb ~pop:bb;
+        let quant =
+          B.add_module b ~state:table_words (Printf.sprintf "p%d-quantize" i)
+        in
+        Fir.edge b ~src:col_dct ~dst:quant ~push:bb ~pop:bb;
+        pass quant (i + 1)
+      end
+    in
+    pass shift 1
+  in
+  let zigzag = B.add_module b ~state:bb "zigzag" in
+  Fir.edge b ~src:quant ~dst:zigzag ~push:bb ~pop:bb;
+  (* Run-length packing: 4:1 compaction of each block. *)
+  let rle = B.add_module b ~state:32 "rle-pack" in
+  Fir.edge b ~src:zigzag ~dst:rle ~push:bb ~pop:bb;
+  let entropy = B.add_module b ~state:256 "entropy-code" in
+  Fir.edge b ~src:rle ~dst:entropy ~push:(bb / 4) ~pop:(bb / 4);
+  let sink = B.add_module b ~state:4 "bitstream-out" in
+  Fir.edge b ~src:entropy ~dst:sink ~push:1 ~pop:1;
+  B.build b

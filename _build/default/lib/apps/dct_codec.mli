@@ -1,0 +1,13 @@
+(** JPEG-style DCT block codec.
+
+    8×8-pixel blocks flow through level shift, a row-DCT / column-DCT pair
+    (each holding cosine tables), quantization (with a quality-scaled
+    table), zigzag reordering, and run-length packing that shrinks the
+    stream (modelled as a fixed 4:1 compaction).  Coarse 64-token block
+    rates with a data-reducing tail — the "compression pipeline" shape. *)
+
+val graph :
+  ?block:int -> ?table_words:int -> ?passes:int -> unit -> Ccs_sdf.Graph.t
+(** Defaults: 8×8 blocks (64-token granularity), 128-word DCT/quant
+    tables, one transform pass.  [passes] chains progressive-refinement
+    transform/quantize passes, each with its own tables. *)

@@ -1,0 +1,29 @@
+module B = Ccs_sdf.Graph.Builder
+
+let graph ?(rounds = 16) ?(sbox_words = 512) () =
+  let b = B.create ~name:"des" () in
+  let source = B.add_module b ~state:4 "plaintext" in
+  let ip = B.add_module b ~state:64 "initial-permutation" in
+  Fir.unit_edge b source ip;
+  let last =
+    let rec round prev i =
+      if i > rounds then prev
+      else begin
+        let expand = B.add_module b ~state:48 (Printf.sprintf "r%d-expand" i) in
+        Fir.unit_edge b prev expand;
+        let sbox =
+          B.add_module b ~state:sbox_words (Printf.sprintf "r%d-sbox" i)
+        in
+        Fir.unit_edge b expand sbox;
+        let perm = B.add_module b ~state:32 (Printf.sprintf "r%d-perm" i) in
+        Fir.unit_edge b sbox perm;
+        round perm (i + 1)
+      end
+    in
+    round ip 1
+  in
+  let fp = B.add_module b ~state:64 "final-permutation" in
+  Fir.unit_edge b last fp;
+  let sink = B.add_module b ~state:4 "ciphertext" in
+  Fir.unit_edge b fp sink;
+  B.build b

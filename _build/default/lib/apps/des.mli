@@ -1,0 +1,10 @@
+(** DES-style block-cipher pipeline (StreamIt DES benchmark shape).
+
+    A pure pipeline: initial permutation, [rounds] Feistel rounds — each an
+    expansion, a heavyweight S-box substitution (the S-box tables dominate
+    state), and a permutation — then the final permutation.  A
+    state-heavy homogeneous pipeline: the ideal subject for Theorem 5's
+    segmentation. *)
+
+val graph : ?rounds:int -> ?sbox_words:int -> unit -> Ccs_sdf.Graph.t
+(** Defaults: 16 rounds, 512-word S-box tables. *)

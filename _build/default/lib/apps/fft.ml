@@ -1,0 +1,2 @@
+let graph ?(stages = 4) ?(twiddle_words = 16) () =
+  Ccs_sdf.Generators.butterfly ~name:"fft" ~stages ~state:twiddle_words ()

@@ -1,0 +1,10 @@
+(** Streaming FFT: butterfly dataflow with per-stage twiddle tables.
+
+    [2^stages] lanes of samples flow through [stages] columns of butterfly
+    modules; each butterfly holds its twiddle factors as state, so the
+    total state grows as [stages · 2^stages] and quickly exceeds any fixed
+    cache — the canonical "state-heavy homogeneous DAG" workload. *)
+
+val graph : ?stages:int -> ?twiddle_words:int -> unit -> Ccs_sdf.Graph.t
+(** Defaults: 4 stages (16 lanes), 16 words of twiddle state per
+    butterfly. *)

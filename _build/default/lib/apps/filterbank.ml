@@ -1,0 +1,28 @@
+module B = Ccs_sdf.Graph.Builder
+
+let graph ?(bands = 8) ?(taps = 32) () =
+  let b = B.create ~name:"filterbank" () in
+  let source = B.add_module b ~state:4 "input" in
+  let split = B.add_module b ~state:4 "analysis-split" in
+  Fir.unit_edge b source split;
+  let join = B.add_module b ~state:(4 + bands) "synthesis-sum" in
+  for band = 0 to bands - 1 do
+    let analysis =
+      Fir.add_fir b ~name:(Printf.sprintf "band%d-analysis" band) ~taps
+    in
+    (* Analysis filter decimates by [bands]. *)
+    Fir.edge b ~src:split ~dst:analysis ~push:1 ~pop:bands;
+    let process =
+      B.add_module b ~state:16 (Printf.sprintf "band%d-process" band)
+    in
+    Fir.unit_edge b analysis process;
+    let synthesis =
+      Fir.add_fir b ~name:(Printf.sprintf "band%d-synthesis" band) ~taps
+    in
+    (* Synthesis filter interpolates back by [bands]. *)
+    Fir.edge b ~src:process ~dst:synthesis ~push:1 ~pop:1;
+    Fir.edge b ~src:synthesis ~dst:join ~push:bands ~pop:bands
+  done;
+  let sink = B.add_module b ~state:4 "output" in
+  Fir.unit_edge b join sink;
+  B.build b

@@ -1,0 +1,9 @@
+(** The StreamIt FilterBank benchmark: analysis/synthesis bank.
+
+    The input fans out to [bands] branches; each branch band-pass filters,
+    decimates by [bands], processes, interpolates back by [bands], and the
+    branches are summed.  Per-branch decimation makes the gains non-unit
+    while keeping the graph rate-matched. *)
+
+val graph : ?bands:int -> ?taps:int -> unit -> Ccs_sdf.Graph.t
+(** Defaults: 8 bands, 32-tap filters. *)

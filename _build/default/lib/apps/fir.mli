@@ -1,0 +1,35 @@
+(** Shared helpers for building signal-processing application graphs. *)
+
+val fir_state : taps:int -> int
+(** Memory footprint of an FIR filter: coefficient table plus delay line. *)
+
+val add_fir :
+  Ccs_sdf.Graph.Builder.t ->
+  name:string ->
+  taps:int ->
+  Ccs_sdf.Graph.node
+(** A unit-rate FIR module. *)
+
+val add_decimating_fir :
+  Ccs_sdf.Graph.Builder.t ->
+  name:string ->
+  taps:int ->
+  factor:int ->
+  Ccs_sdf.Graph.node
+(** An FIR that consumes [factor] samples per output sample (when wired
+    with {!val:consume} below). *)
+
+val unit_edge :
+  Ccs_sdf.Graph.Builder.t ->
+  Ccs_sdf.Graph.node ->
+  Ccs_sdf.Graph.node ->
+  unit
+(** Convenience 1/1 channel. *)
+
+val edge :
+  Ccs_sdf.Graph.Builder.t ->
+  src:Ccs_sdf.Graph.node ->
+  dst:Ccs_sdf.Graph.node ->
+  push:int ->
+  pop:int ->
+  unit

@@ -1,0 +1,23 @@
+module B = Ccs_sdf.Graph.Builder
+
+let graph ?(bands = 10) ?(taps = 64) ?(decimation = 4) () =
+  let b = B.create ~name:"fm-radio" () in
+  let source = B.add_module b ~state:4 "rf-source" in
+  let lpf = Fir.add_fir b ~name:"low-pass" ~taps in
+  (* Decimating low-pass: consumes [decimation] samples per sample out. *)
+  Fir.edge b ~src:source ~dst:lpf ~push:1 ~pop:decimation;
+  let demod = B.add_module b ~state:8 "fm-demod" in
+  Fir.unit_edge b lpf demod;
+  let split = B.add_module b ~state:4 "eq-split" in
+  Fir.unit_edge b demod split;
+  let join = B.add_module b ~state:(4 + bands) "eq-sum" in
+  for band = 0 to bands - 1 do
+    let bpf =
+      Fir.add_fir b ~name:(Printf.sprintf "band-pass-%d" band) ~taps
+    in
+    Fir.unit_edge b split bpf;
+    Fir.unit_edge b bpf join
+  done;
+  let sink = B.add_module b ~state:4 "speaker" in
+  Fir.unit_edge b join sink;
+  B.build b

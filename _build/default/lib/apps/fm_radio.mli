@@ -1,0 +1,9 @@
+(** The StreamIt FMRadio benchmark topology.
+
+    RF front end, decimating low-pass filter, FM demodulator, and a
+    multi-band equalizer realized as a split-join of band-pass filters
+    whose outputs are summed.  The canonical small streaming application
+    the paper's introduction motivates (StreamIt [27], GNU Radio [9]). *)
+
+val graph : ?bands:int -> ?taps:int -> ?decimation:int -> unit -> Ccs_sdf.Graph.t
+(** Defaults: 10 equalizer bands, 64-tap filters, decimation 4. *)

@@ -1,0 +1,30 @@
+module B = Ccs_sdf.Graph.Builder
+
+let graph ?(n = 8) ?(stages = 1) () =
+  let nn = n * n in
+  let b = B.create ~name:"matmul" () in
+  let source = B.add_module b ~state:4 "element-stream" in
+  let gather = B.add_module b ~state:nn "block-gather" in
+  Fir.edge b ~src:source ~dst:gather ~push:1 ~pop:nn;
+  let transpose = B.add_module b ~state:nn "transpose" in
+  Fir.edge b ~src:gather ~dst:transpose ~push:nn ~pop:nn;
+  (* A chain of multiply stages (each holding its stationary operand)
+     models repeated block products A*B1*B2*...; one stage by default. *)
+  let multiply =
+    let rec chain prev i =
+      if i > stages then prev
+      else begin
+        let m =
+          B.add_module b ~state:(2 * nn) (Printf.sprintf "multiply-%d" i)
+        in
+        Fir.edge b ~src:prev ~dst:m ~push:nn ~pop:nn;
+        chain m (i + 1)
+      end
+    in
+    chain transpose 1
+  in
+  let scatter = B.add_module b ~state:16 "result-scatter" in
+  Fir.edge b ~src:multiply ~dst:scatter ~push:nn ~pop:nn;
+  let sink = B.add_module b ~state:4 "element-sink" in
+  Fir.edge b ~src:scatter ~dst:sink ~push:nn ~pop:1;
+  B.build b

@@ -1,0 +1,10 @@
+(** Streaming blocked matrix multiply (StreamIt MatrixMult shape).
+
+    Matrices arrive as streams of [n²] elements; a gather module
+    accumulates a whole block, the multiplier holds the stationary operand
+    as state, and results stream out.  Coarse rates ([n²] tokens per
+    firing) and large states exercise the inhomogeneous granularity-[T]
+    scheduler. *)
+
+val graph : ?n:int -> ?stages:int -> unit -> Ccs_sdf.Graph.t
+(** Defaults: 8×8 blocks, one multiply stage. *)

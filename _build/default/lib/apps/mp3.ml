@@ -1,0 +1,24 @@
+module B = Ccs_sdf.Graph.Builder
+
+let graph ?(bands = 32) ?(window_words = 512) ?(imdct_words = 72) () =
+  let b = B.create ~name:"mp3-decoder" () in
+  let source = B.add_module b ~state:4 "bitstream" in
+  let huffman = B.add_module b ~state:256 "huffman-decode" in
+  (* One granule of [bands] samples per firing. *)
+  Fir.edge b ~src:source ~dst:huffman ~push:1 ~pop:bands;
+  let dequant = B.add_module b ~state:64 "dequantize" in
+  Fir.edge b ~src:huffman ~dst:dequant ~push:bands ~pop:bands;
+  let split = B.add_module b ~state:4 "subband-split" in
+  Fir.edge b ~src:dequant ~dst:split ~push:bands ~pop:bands;
+  let join = B.add_module b ~state:(4 + bands) "subband-join" in
+  for band = 0 to bands - 1 do
+    let imdct = B.add_module b ~state:imdct_words (Printf.sprintf "imdct-%d" band) in
+    (* The splitter deals one sample per band per firing. *)
+    Fir.edge b ~src:split ~dst:imdct ~push:1 ~pop:1;
+    Fir.unit_edge b imdct join
+  done;
+  let window = B.add_module b ~state:window_words "polyphase-window" in
+  Fir.edge b ~src:join ~dst:window ~push:1 ~pop:bands;
+  let sink = B.add_module b ~state:4 "pcm-out" in
+  Fir.edge b ~src:window ~dst:sink ~push:bands ~pop:1;
+  B.build b

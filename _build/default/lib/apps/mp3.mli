@@ -1,0 +1,9 @@
+(** MP3-style subband decoder (StreamIt MP3Decoder shape).
+
+    Huffman-ish unpacking, dequantization, a 32-band synthesis split-join
+    (IMDCT per band), and a polyphase synthesis window.  Coarse 32-token
+    granule rates. *)
+
+val graph :
+  ?bands:int -> ?window_words:int -> ?imdct_words:int -> unit -> Ccs_sdf.Graph.t
+(** Defaults: 32 bands, 512-word synthesis window, 72-word IMDCTs. *)

@@ -1,0 +1,46 @@
+module B = Ccs_sdf.Graph.Builder
+
+let graph ?(subcarriers = 16) ?(fft_stages = 4) ?(eq_words = 24) () =
+  if subcarriers <> 1 lsl fft_stages then
+    invalid_arg "Ofdm.graph: subcarriers must equal 2^fft_stages";
+  let b = B.create ~name:"ofdm-rx" () in
+  let source = B.add_module b ~state:4 "adc" in
+  (* Cyclic-prefix removal: consume symbol + prefix (1/4 overhead),
+     emit the symbol's samples, one per subcarrier lane. *)
+  let cp = B.add_module b ~state:32 "cp-remove" in
+  Fir.edge b ~src:source ~dst:cp ~push:1 ~pop:(subcarriers + (subcarriers / 4));
+  (* FFT butterfly bank: stages of pairwise exchanges across lanes. *)
+  let lanes = Array.make subcarriers cp in
+  (* cp deals one sample to each lane per firing (push 1 on each edge). *)
+  let stage_nodes st =
+    Array.init subcarriers (fun l ->
+        B.add_module b ~state:16 (Printf.sprintf "fft%d-%d" st l))
+  in
+  let first = stage_nodes 0 in
+  Array.iter (fun v -> Fir.unit_edge b cp v) first;
+  Array.blit first 0 lanes 0 subcarriers;
+  for st = 1 to fft_stages do
+    let cur = stage_nodes st in
+    let stride = 1 lsl (st - 1) in
+    for l = 0 to subcarriers - 1 do
+      Fir.unit_edge b lanes.(l) cur.(l);
+      Fir.unit_edge b lanes.(l) cur.(l lxor stride)
+    done;
+    Array.blit cur 0 lanes 0 subcarriers
+  done;
+  (* Per-subcarrier equalizer, then demap. *)
+  let demap = B.add_module b ~state:(16 + subcarriers) "demap" in
+  Array.iteri
+    (fun l v ->
+      let eq = B.add_module b ~state:eq_words (Printf.sprintf "eq-%d" l) in
+      Fir.unit_edge b v eq;
+      Fir.unit_edge b eq demap)
+    lanes;
+  (* Deinterleave and decode at symbol granularity. *)
+  let deint = B.add_module b ~state:64 "deinterleave" in
+  Fir.edge b ~src:demap ~dst:deint ~push:1 ~pop:1;
+  let viterbi = B.add_module b ~state:256 "viterbi" in
+  Fir.edge b ~src:deint ~dst:viterbi ~push:1 ~pop:2;
+  let sink = B.add_module b ~state:4 "mac-out" in
+  Fir.unit_edge b viterbi sink;
+  B.build b

@@ -1,0 +1,13 @@
+(** OFDM (802.11a-style) receiver front end.
+
+    Cyclic-prefix removal at symbol granularity, an FFT butterfly bank,
+    per-subcarrier equalizers in a wide split-join, then demapping and
+    deinterleaving.  Combines coarse symbol rates with a wide homogeneous
+    middle section — the mixed shape neither the pipeline nor the pure
+    split-join workloads cover. *)
+
+val graph :
+  ?subcarriers:int -> ?fft_stages:int -> ?eq_words:int -> unit ->
+  Ccs_sdf.Graph.t
+(** Defaults: 16 subcarriers, 4 FFT stages, 24-word equalizers.
+    [subcarriers] must equal [2^fft_stages]. *)

@@ -1,0 +1,36 @@
+module B = Ccs_sdf.Graph.Builder
+
+let graph ?(antennas = 4) ?(taps = 64) ?(fft_stages = 5) () =
+  let b = B.create ~name:"radar" () in
+  let source = B.add_module b ~state:4 "pulse-source" in
+  let gather = B.add_module b ~state:(8 + antennas) "corner-turn" in
+  for ant = 0 to antennas - 1 do
+    let compress =
+      Fir.add_fir b ~name:(Printf.sprintf "ant%d-compress" ant) ~taps
+    in
+    Fir.unit_edge b source compress;
+    let window =
+      B.add_module b ~state:32 (Printf.sprintf "ant%d-window" ant)
+    in
+    Fir.unit_edge b compress window;
+    Fir.unit_edge b window gather
+  done;
+  let last =
+    let rec fft prev i =
+      if i > fft_stages then prev
+      else begin
+        let stage =
+          B.add_module b ~state:64 (Printf.sprintf "doppler-fft%d" i)
+        in
+        Fir.unit_edge b prev stage;
+        fft stage (i + 1)
+      end
+    in
+    fft gather 1
+  in
+  let cfar = B.add_module b ~state:128 "cfar-detect" in
+  (* CFAR integrates 8 range gates per detection decision. *)
+  Fir.edge b ~src:last ~dst:cfar ~push:1 ~pop:8;
+  let sink = B.add_module b ~state:4 "track-sink" in
+  Fir.unit_edge b cfar sink;
+  B.build b

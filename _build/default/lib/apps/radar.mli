@@ -1,0 +1,8 @@
+(** Pulse-Doppler radar front end (StreamIt Radar shape).
+
+    Per-antenna pulse-compression FIR chains feed a corner-turn gather; a
+    Doppler FFT chain and a constant-false-alarm-rate detector follow.  A
+    split-join into a deep pipeline with heavy per-stage state. *)
+
+val graph : ?antennas:int -> ?taps:int -> ?fft_stages:int -> unit -> Ccs_sdf.Graph.t
+(** Defaults: 4 antennas, 64-tap pulse compression, 5 FFT stages. *)

@@ -1,0 +1,85 @@
+type entry = {
+  name : string;
+  description : string;
+  graph : unit -> Ccs_sdf.Graph.t;
+  scaled : int -> Ccs_sdf.Graph.t;
+}
+
+let all =
+  [
+    {
+      name = "fm-radio";
+      description = "FM receiver with multiband equalizer (pipeline + split-join)";
+      graph = (fun () -> Fm_radio.graph ());
+      scaled = (fun k -> Fm_radio.graph ~taps:(64 * k) ());
+    };
+    {
+      name = "fft";
+      description = "streaming FFT butterfly network (homogeneous DAG)";
+      graph = (fun () -> Fft.graph ());
+      scaled = (fun k -> Fft.graph ~twiddle_words:(16 * k) ());
+    };
+    {
+      name = "beamformer";
+      description = "phased-array beamformer (nested split-joins, decimation)";
+      graph = (fun () -> Beamformer.graph ());
+      scaled = (fun k -> Beamformer.graph ~taps:(32 * k) ());
+    };
+    {
+      name = "filterbank";
+      description = "analysis/synthesis filter bank (non-unit gains)";
+      graph = (fun () -> Filterbank.graph ());
+      scaled = (fun k -> Filterbank.graph ~taps:(32 * k) ());
+    };
+    {
+      name = "bitonic";
+      description = "bitonic sorting network (wide homogeneous DAG)";
+      graph = (fun () -> Bitonic.graph ());
+      scaled = (fun k -> Bitonic.graph ~comparator_state:(8 * k) ());
+    };
+    {
+      name = "des";
+      description = "DES block-cipher rounds (state-heavy pipeline)";
+      graph = (fun () -> Des.graph ());
+      scaled = (fun k -> Des.graph ~rounds:(16 * k) ());
+    };
+    {
+      name = "vocoder";
+      description = "channel vocoder (asymmetric split-join, mixed rates)";
+      graph = (fun () -> Vocoder.graph ());
+      scaled = (fun k -> Vocoder.graph ~taps:(64 * k) ());
+    };
+    {
+      name = "matmul";
+      description = "blocked matrix multiply (coarse-grained rates)";
+      graph = (fun () -> Matmul.graph ());
+      scaled = (fun k -> Matmul.graph ~n:16 ~stages:k ());
+    };
+    {
+      name = "radar";
+      description = "pulse-Doppler radar front end (split-join + deep pipeline)";
+      graph = (fun () -> Radar.graph ());
+      scaled = (fun k -> Radar.graph ~taps:(64 * k) ());
+    };
+    {
+      name = "ofdm";
+      description = "OFDM (802.11a-style) receiver: CP removal, FFT bank, per-subcarrier EQ";
+      graph = (fun () -> Ofdm.graph ());
+      scaled = (fun k -> Ofdm.graph ~eq_words:(24 * k) ());
+    };
+    {
+      name = "dct-codec";
+      description = "JPEG-style DCT block codec (compressing pipeline)";
+      graph = (fun () -> Dct_codec.graph ());
+      scaled = (fun k -> Dct_codec.graph ~table_words:256 ~passes:k ());
+    };
+    {
+      name = "mp3";
+      description = "MP3-style subband decoder (granule rates)";
+      graph = (fun () -> Mp3.graph ());
+      scaled = (fun k -> Mp3.graph ~imdct_words:(72 * k) ());
+    };
+  ]
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all
+let names = List.map (fun e -> e.name) all

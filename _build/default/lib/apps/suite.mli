@@ -1,0 +1,19 @@
+(** Registry of the full application suite, for experiments and the CLI. *)
+
+type entry = {
+  name : string;
+  description : string;
+  graph : unit -> Ccs_sdf.Graph.t;  (** Default-parameter instance. *)
+  scaled : int -> Ccs_sdf.Graph.t;
+      (** [scaled k]: the same topology with per-module state roughly [k]
+          times larger (filter taps, table sizes, ... scaled), for
+          experiments that need every app to exceed a given cache. *)
+}
+
+val all : entry list
+(** Every application, default parameters. *)
+
+val find : string -> entry option
+(** Look up by name ("fm-radio", "des", ...). *)
+
+val names : string list

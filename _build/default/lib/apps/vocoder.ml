@@ -1,0 +1,26 @@
+module B = Ccs_sdf.Graph.Builder
+
+let graph ?(channels = 16) ?(taps = 64) () =
+  let b = B.create ~name:"channel-vocoder" () in
+  let source = B.add_module b ~state:4 "mic" in
+  let split = B.add_module b ~state:4 "split" in
+  Fir.unit_edge b source split;
+  let synth = B.add_module b ~state:(16 + (2 * channels)) "synthesis" in
+  (* Pitch branch: decimate by 4 to the frame rate. *)
+  let pitch = Fir.add_fir b ~name:"pitch-detector" ~taps in
+  Fir.edge b ~src:split ~dst:pitch ~push:1 ~pop:4;
+  Fir.unit_edge b pitch synth;
+  (* Envelope channels: band-pass, magnitude, decimating low-pass to the
+     same frame rate. *)
+  for ch = 0 to channels - 1 do
+    let bpf = Fir.add_fir b ~name:(Printf.sprintf "ch%d-bpf" ch) ~taps in
+    Fir.unit_edge b split bpf;
+    let mag = B.add_module b ~state:8 (Printf.sprintf "ch%d-magnitude" ch) in
+    Fir.unit_edge b bpf mag;
+    let lpf = Fir.add_fir b ~name:(Printf.sprintf "ch%d-lpf" ch) ~taps in
+    Fir.edge b ~src:mag ~dst:lpf ~push:1 ~pop:4;
+    Fir.unit_edge b lpf synth
+  done;
+  let sink = B.add_module b ~state:4 "speaker" in
+  Fir.unit_edge b synth sink;
+  B.build b

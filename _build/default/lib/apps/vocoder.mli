@@ -1,0 +1,9 @@
+(** Channel vocoder (StreamIt Vocoder/ChannelVocoder shape).
+
+    A pitch-detector branch runs in parallel with a bank of envelope
+    channels (band-pass + magnitude + low-pass, decimating); a synthesis
+    module recombines pitch and envelopes.  Mixed rates and an asymmetric
+    split-join. *)
+
+val graph : ?channels:int -> ?taps:int -> unit -> Ccs_sdf.Graph.t
+(** Defaults: 16 envelope channels, 64-tap filters. *)

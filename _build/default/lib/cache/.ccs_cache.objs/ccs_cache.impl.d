@@ -1,0 +1,1 @@
+lib/cache/ccs_cache.ml: Cache Layout Lru Trace_analysis

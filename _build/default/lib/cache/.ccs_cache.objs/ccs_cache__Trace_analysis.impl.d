@@ -1,0 +1,1 @@
+lib/cache/trace_analysis.ml: Array Float Hashtbl List Printf

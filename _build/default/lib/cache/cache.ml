@@ -1,0 +1,218 @@
+type policy = Lru | Set_associative of int | Direct_mapped
+
+type config = { size_words : int; block_words : int; policy : policy }
+
+let config ?(policy = Lru) ~size_words ~block_words () =
+  if block_words <= 0 then invalid_arg "Cache.config: block_words must be > 0";
+  if size_words < block_words then
+    invalid_arg "Cache.config: size_words must be >= block_words";
+  { size_words; block_words; policy }
+
+type engine =
+  | Full of Lru.t
+  | Sets of { sets : Lru.t array; nsets : int }
+
+type t = {
+  cfg : config;
+  nblocks : int;
+  engine : engine;
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushes : int;
+}
+
+let make_engine cfg nblocks =
+  match cfg.policy with
+  | Lru -> Full (Lru.create ~capacity:nblocks)
+  | Direct_mapped ->
+      let nsets = nblocks in
+      Sets { sets = Array.init nsets (fun _ -> Lru.create ~capacity:1); nsets }
+  | Set_associative ways ->
+      if ways < 1 then invalid_arg "Cache.create: ways must be >= 1";
+      let ways = min ways nblocks in
+      let nsets = max 1 (nblocks / ways) in
+      Sets
+        { sets = Array.init nsets (fun _ -> Lru.create ~capacity:ways); nsets }
+
+let create cfg =
+  let nblocks = max 1 (cfg.size_words / cfg.block_words) in
+  {
+    cfg;
+    nblocks;
+    engine = make_engine cfg nblocks;
+    accesses = 0;
+    hits = 0;
+    misses = 0;
+    flushes = 0;
+  }
+
+let size_words t = t.cfg.size_words
+let block_words t = t.cfg.block_words
+let num_blocks t = t.nblocks
+
+let block_of t addr = addr / t.cfg.block_words
+
+let touch_block t blk =
+  t.accesses <- t.accesses + 1;
+  let result =
+    match t.engine with
+    | Full lru -> Lru.touch lru blk
+    | Sets { sets; nsets } -> Lru.touch sets.(blk mod nsets) blk
+  in
+  match result with
+  | `Hit ->
+      t.hits <- t.hits + 1;
+      true
+  | `Miss _ ->
+      t.misses <- t.misses + 1;
+      false
+
+let touch t addr = touch_block t (block_of t addr)
+
+let touch_range t ~addr ~len =
+  if len > 0 then begin
+    let first = block_of t addr and last = block_of t (addr + len - 1) in
+    for blk = first to last do
+      ignore (touch_block t blk)
+    done
+  end
+
+let cached t addr =
+  let blk = block_of t addr in
+  match t.engine with
+  | Full lru -> Lru.mem lru blk
+  | Sets { sets; nsets } -> Lru.mem sets.(blk mod nsets) blk
+
+let flush t =
+  (match t.engine with
+  | Full lru -> Lru.clear lru
+  | Sets { sets; _ } -> Array.iter Lru.clear sets);
+  t.flushes <- t.flushes + 1
+
+let accesses t = t.accesses
+let hits t = t.hits
+let misses t = t.misses
+let flushes t = t.flushes
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.flushes <- 0
+
+let pp_stats fmt t =
+  Format.fprintf fmt
+    "accesses=%d hits=%d misses=%d flushes=%d (miss rate %.2f%%)" t.accesses
+    t.hits t.misses t.flushes
+    (if t.accesses = 0 then 0.0
+     else 100.0 *. float_of_int t.misses /. float_of_int t.accesses)
+
+module Opt = struct
+  (* Belady's algorithm with next-use indices: keep resident blocks in a
+     max-heap ordered by next use; on a miss with a full cache, evict the
+     block whose next use is farthest in the future.  Lazy deletion keeps
+     the heap simple: entries are (next_use, block) and stale entries are
+     skipped when popped. *)
+
+  module Heap = struct
+    type t = { mutable data : (int * int) array; mutable len : int }
+
+    let create () = { data = Array.make 64 (0, 0); len = 0 }
+
+    let push h x =
+      if h.len = Array.length h.data then begin
+        let bigger = Array.make (2 * h.len) (0, 0) in
+        Array.blit h.data 0 bigger 0 h.len;
+        h.data <- bigger
+      end;
+      h.data.(h.len) <- x;
+      h.len <- h.len + 1;
+      let rec up i =
+        if i > 0 then begin
+          let p = (i - 1) / 2 in
+          if fst h.data.(p) < fst h.data.(i) then begin
+            let tmp = h.data.(p) in
+            h.data.(p) <- h.data.(i);
+            h.data.(i) <- tmp;
+            up p
+          end
+        end
+      in
+      up (h.len - 1)
+
+    let pop h =
+      if h.len = 0 then None
+      else begin
+        let top = h.data.(0) in
+        h.len <- h.len - 1;
+        h.data.(0) <- h.data.(h.len);
+        let rec down i =
+          let l = (2 * i) + 1 and r = (2 * i) + 2 in
+          let m = ref i in
+          if l < h.len && fst h.data.(l) > fst h.data.(!m) then m := l;
+          if r < h.len && fst h.data.(r) > fst h.data.(!m) then m := r;
+          if !m <> i then begin
+            let tmp = h.data.(!m) in
+            h.data.(!m) <- h.data.(i);
+            h.data.(i) <- tmp;
+            down !m
+          end
+        in
+        down 0;
+        Some top
+      end
+  end
+
+  let misses ~block_capacity trace =
+    if block_capacity < 1 then
+      invalid_arg "Cache.Opt.misses: capacity must be >= 1";
+    let n = Array.length trace in
+    (* next.(i) = index of next occurrence of trace.(i) after i, or n. *)
+    let next = Array.make n n in
+    let last_seen = Hashtbl.create 64 in
+    for i = n - 1 downto 0 do
+      (match Hashtbl.find_opt last_seen trace.(i) with
+      | Some j -> next.(i) <- j
+      | None -> next.(i) <- n);
+      Hashtbl.replace last_seen trace.(i) i
+    done;
+    let resident = Hashtbl.create 64 in
+    (* resident: block -> current next-use index (for stale detection) *)
+    let heap = Heap.create () in
+    let miss_count = ref 0 in
+    for i = 0 to n - 1 do
+      let blk = trace.(i) in
+      (match Hashtbl.find_opt resident blk with
+      | Some _ -> () (* hit *)
+      | None ->
+          incr miss_count;
+          if Hashtbl.length resident >= block_capacity then begin
+            (* Evict the resident block with the farthest next use,
+               skipping stale heap entries. *)
+            let rec evict () =
+              match Heap.pop heap with
+              | None -> ()
+              | Some (nu, b) -> (
+                  match Hashtbl.find_opt resident b with
+                  | Some cur when cur = nu ->
+                      Hashtbl.remove resident b
+                  | _ -> evict ())
+            in
+            evict ()
+          end;
+          Hashtbl.replace resident blk next.(i);
+          Heap.push heap (next.(i), blk));
+      (* Whether hit or miss, the block's next use advances. *)
+      if Hashtbl.mem resident blk then begin
+        Hashtbl.replace resident blk next.(i);
+        Heap.push heap (next.(i), blk)
+      end
+    done;
+    !miss_count
+
+  let block_trace ~block_words trace =
+    if block_words <= 0 then
+      invalid_arg "Cache.Opt.block_trace: block_words must be > 0";
+    Array.map (fun addr -> addr / block_words) trace
+end

@@ -1,0 +1,74 @@
+(** Cache simulator for the external-memory (I/O / DAM) model.
+
+    The paper's cost model (Section 2): a fast memory of [m] words organized
+    in blocks of [b] words in front of an arbitrarily large slow memory.
+    Touching a word whose block is cached is free; otherwise the block is
+    brought in (a {e cache miss}, the unit of cost), possibly evicting
+    another block.
+
+    The theorems assume an ideal (offline) replacement; we default to LRU,
+    which by Sleator–Tarjan is 2-competitive with OPT at half the capacity —
+    within the constant-factor cache augmentation the paper's results
+    already tolerate, so every claimed asymptotic shape is preserved.
+    Set-associative and direct-mapped variants are provided for
+    sensitivity studies, and {!Opt} computes Belady's clairvoyant optimum
+    offline for comparison. *)
+
+type policy =
+  | Lru  (** Fully associative, least-recently-used (default). *)
+  | Set_associative of int
+      (** [Set_associative ways]: block address modulo the number of sets
+          selects a set; LRU within the set. *)
+  | Direct_mapped  (** Equivalent to [Set_associative 1]. *)
+
+type config = {
+  size_words : int;  (** Capacity [m] in words. *)
+  block_words : int;  (** Block size [b] in words. *)
+  policy : policy;
+}
+
+val config :
+  ?policy:policy -> size_words:int -> block_words:int -> unit -> config
+(** @raise Invalid_argument unless [0 < block_words <= size_words]. *)
+
+type t
+
+val create : config -> t
+val size_words : t -> int
+val block_words : t -> int
+val num_blocks : t -> int
+(** Capacity in blocks: [size_words / block_words]. *)
+
+val touch : t -> int -> bool
+(** [touch t addr] simulates an access to word address [addr]; returns
+    [true] on hit.  Statistics are updated. *)
+
+val touch_range : t -> addr:int -> len:int -> unit
+(** Touch [len] consecutive words starting at [addr] (a streaming read or
+    write of a whole region). *)
+
+val cached : t -> int -> bool
+(** Whether [addr]'s block is currently resident (no side effect). *)
+
+val flush : t -> unit
+(** Empty the cache.  Counts towards {!flushes} but not misses. *)
+
+val accesses : t -> int
+val hits : t -> int
+val misses : t -> int
+val flushes : t -> int
+val reset_stats : t -> unit
+
+val pp_stats : Format.formatter -> t -> unit
+
+(** Offline clairvoyant replacement (Belady's OPT), for calibrating how far
+    LRU is from the ideal cache the theorems assume. *)
+module Opt : sig
+  val misses : block_capacity:int -> int array -> int
+  (** [misses ~block_capacity trace] is the number of misses OPT incurs on
+      the given sequence of {e block} ids with a cache of [block_capacity]
+      blocks, starting empty.  Runs in O(n log n). *)
+
+  val block_trace : block_words:int -> int array -> int array
+  (** Map a word-address trace to its block-id trace. *)
+end

@@ -1,0 +1,6 @@
+(** I/O-model (DAM) cache simulation substrate. *)
+
+module Lru = Lru
+module Cache = Cache
+module Layout = Layout
+module Trace_analysis = Trace_analysis

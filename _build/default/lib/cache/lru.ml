@@ -1,0 +1,80 @@
+type node = { key : int; mutable prev : node option; mutable next : node option }
+
+type t = {
+  capacity : int;
+  table : (int, node) Hashtbl.t;
+  mutable head : node option; (* most recently used *)
+  mutable tail : node option; (* least recently used *)
+  mutable size : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  { capacity; table = Hashtbl.create 64; head = None; tail = None; size = 0 }
+
+let capacity t = t.capacity
+let size t = t.size
+let mem t k = Hashtbl.mem t.table k
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t k =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      unlink t n;
+      push_front t n;
+      `Hit
+  | None ->
+      let evicted =
+        if t.size >= t.capacity then begin
+          match t.tail with
+          | None -> assert false
+          | Some lru ->
+              unlink t lru;
+              Hashtbl.remove t.table lru.key;
+              t.size <- t.size - 1;
+              Some lru.key
+        end
+        else None
+      in
+      let n = { key = k; prev = None; next = None } in
+      push_front t n;
+      Hashtbl.add t.table k n;
+      t.size <- t.size + 1;
+      `Miss evicted
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> false
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table k;
+      t.size <- t.size - 1;
+      true
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.size <- 0
+
+let to_list_mru_first t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.head

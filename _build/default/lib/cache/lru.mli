@@ -1,0 +1,32 @@
+(** O(1) LRU set over integer keys.
+
+    An intrusive doubly-linked recency list plus a hash table.  Used as the
+    replacement engine of the fully-associative cache; exposed separately so
+    its invariants can be property-tested on their own. *)
+
+type t
+
+val create : capacity:int -> t
+(** An empty LRU set holding at most [capacity] keys.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : t -> int
+val size : t -> int
+
+val mem : t -> int -> bool
+(** Membership test; does {e not} update recency. *)
+
+val touch : t -> int -> [ `Hit | `Miss of int option ]
+(** [touch t k] records a use of [k].  If [k] was present it moves to
+    most-recently-used position and the result is [`Hit].  Otherwise [k] is
+    inserted and the result is [`Miss evicted], where [evicted] is the
+    least-recently-used key removed to make room (or [None] if the set was
+    not yet full). *)
+
+val remove : t -> int -> bool
+(** [remove t k] deletes [k]; returns whether it was present. *)
+
+val clear : t -> unit
+
+val to_list_mru_first : t -> int list
+(** Keys in recency order, most recent first (for tests). *)

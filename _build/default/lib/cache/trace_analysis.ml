@@ -1,0 +1,120 @@
+(* Reuse distance via the classic stack algorithm with a Fenwick tree:
+   maintain a 0/1 array over trace positions marking each block's most
+   recent access; the reuse distance of an access is the number of marked
+   positions after the block's previous access. *)
+
+module Fenwick = struct
+  type t = { data : int array }
+
+  let create n = { data = Array.make (n + 1) 0 }
+
+  let add t i delta =
+    let i = ref (i + 1) in
+    while !i < Array.length t.data do
+      t.data.(!i) <- t.data.(!i) + delta;
+      i := !i + (!i land - !i)
+    done
+
+  (* Sum of entries 0..i inclusive. *)
+  let prefix t i =
+    let acc = ref 0 in
+    let i = ref (i + 1) in
+    while !i > 0 do
+      acc := !acc + t.data.(!i);
+      i := !i - (!i land - !i)
+    done;
+    !acc
+end
+
+let reuse_distances trace =
+  let n = Array.length trace in
+  let fen = Fenwick.create n in
+  let last = Hashtbl.create 1024 in
+  Array.mapi
+    (fun i blk ->
+      let d =
+        match Hashtbl.find_opt last blk with
+        | None -> max_int
+        | Some p ->
+            (* Distinct blocks touched strictly between p and i = marked
+               positions in (p, i). *)
+            let upto_i = Fenwick.prefix fen (i - 1) in
+            let upto_p = Fenwick.prefix fen p in
+            upto_i - upto_p
+      in
+      (match Hashtbl.find_opt last blk with
+      | Some p -> Fenwick.add fen p (-1)
+      | None -> ());
+      Fenwick.add fen i 1;
+      Hashtbl.replace last blk i;
+      d)
+    trace
+
+let histogram ?buckets distances =
+  let finite =
+    Array.fold_left
+      (fun acc d -> if d <> max_int then max acc d else acc)
+      0 distances
+  in
+  let bounds =
+    match buckets with
+    | Some b -> Array.to_list b
+    | None ->
+        let rec go acc b = if b > finite then List.rev (b :: acc) else go (b :: acc) (2 * b) in
+        go [] 1
+  in
+  let counts = Array.make (List.length bounds + 1) 0 in
+  Array.iter
+    (fun d ->
+      if d = max_int then counts.(List.length bounds) <- counts.(List.length bounds) + 1
+      else begin
+        let rec place i = function
+          | [] -> () (* unreachable: last bound >= finite max *)
+          | b :: rest -> if d < b then counts.(i) <- counts.(i) + 1 else place (i + 1) rest
+        in
+        place 0 bounds
+      end)
+    distances;
+  let labels =
+    List.mapi
+      (fun i b ->
+        if i = 0 then Printf.sprintf "<%d" b else Printf.sprintf "<%d" b)
+      bounds
+    @ [ "cold" ]
+  in
+  List.map2 (fun l c -> (l, c)) labels (Array.to_list counts)
+
+let misses_at ~distances ~capacity_blocks =
+  Array.fold_left
+    (fun acc d -> if d >= capacity_blocks then acc + 1 else acc)
+    0 distances
+
+let miss_curve ~distances ~capacities =
+  List.map (fun c -> (c, misses_at ~distances ~capacity_blocks:c)) capacities
+
+let working_set_curve ~trace ~windows =
+  let n = Array.length trace in
+  List.map
+    (fun w ->
+      if w <= 0 || w > n then (w, Float.nan)
+      else begin
+        let step = max 1 (w / 4) in
+        let samples = ref 0 and total = ref 0 in
+        let pos = ref 0 in
+        let tbl = Hashtbl.create 64 in
+        while !pos + w <= n do
+          Hashtbl.reset tbl;
+          for i = !pos to !pos + w - 1 do
+            Hashtbl.replace tbl trace.(i) ()
+          done;
+          total := !total + Hashtbl.length tbl;
+          incr samples;
+          pos := !pos + step
+        done;
+        let avg =
+          if !samples = 0 then Float.nan
+          else float_of_int !total /. float_of_int !samples
+        in
+        (w, avg)
+      end)
+    windows

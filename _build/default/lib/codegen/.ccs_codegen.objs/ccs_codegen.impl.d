@@ -1,0 +1,1 @@
+lib/codegen/ccs_codegen.ml: Codegen

@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Array Buffer Ccs_runtime Ccs_sched Ccs_sdf List Printf String

@@ -1,0 +1,1 @@
+lib/codegen/codegen.mli: Ccs_runtime Ccs_sched Ccs_sdf

@@ -1,0 +1,4 @@
+(** Compiler backend: emit standalone OCaml implementing a scheduled
+    streaming program. *)
+
+module Codegen = Codegen

@@ -1,0 +1,31 @@
+(** Code generation: compile a scheduled streaming program to standalone
+    OCaml source.
+
+    This is the compiler-backend step a production streaming system (e.g.
+    StreamIt, whose cache optimizations the paper discusses) performs after
+    scheduling: the static looped schedule becomes straight-line code with
+    nested loops, channels become preallocated ring buffers sized by the
+    plan's capacities, and module state becomes plain arrays.  The emitted
+    program is dependency-free OCaml, runnable with [ocaml prog.ml
+    <periods>] (or compilable with ocamlopt), and prints the sink's firing
+    count and a data checksum so generated code can be differentially
+    tested against the in-process {!Ccs_runtime.Engine}.
+
+    Module bodies are generated from the same conventions as
+    {!Ccs_runtime.Kernels.autobind}'s [generic]/[counter]/[sink] trio —
+    sources emit a counter stream, sinks accumulate a checksum, everything
+    else applies the fixed mixing function [0.5·x + 0.25] — so for any
+    graph the generated program and [Engine] with
+    [Kernels.codegen_semantics] compute identical streams.  Users wanting
+    real kernels replace the marked [fire_NAME] function bodies. *)
+
+val emit : Ccs_sdf.Graph.t -> plan:Ccs_sched.Plan.t -> string
+(** Emit the program text.
+    @raise Invalid_argument if the plan is dynamic (no static period) or
+    fails {!Ccs_sched.Plan.validate}. *)
+
+val codegen_semantics :
+  Ccs_sdf.Graph.t -> Ccs_sdf.Graph.node -> Ccs_runtime.Kernel.t
+(** Kernels that compute exactly what the generated code computes, for
+    differential testing.  The sink kernel keeps its checksum in
+    [state.(0)] when it has room (state size ≥ 1). *)

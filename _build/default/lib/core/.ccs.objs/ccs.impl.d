@@ -1,0 +1,1 @@
+lib/core/ccs.ml: Auto Ccs_cache Ccs_codegen Ccs_exec Ccs_multi Ccs_partition Ccs_runtime Ccs_sched Ccs_sdf Compare Config Table

@@ -1,0 +1,1 @@
+lib/core/auto.ml: Array Ccs_partition Ccs_sched Ccs_sdf Config List

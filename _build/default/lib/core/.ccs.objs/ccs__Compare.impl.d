@@ -1,0 +1,1 @@
+lib/core/compare.ml: Auto Ccs_partition Ccs_sched Ccs_sdf Config Float Format List Option Printexc Printf Table

@@ -1,0 +1,1 @@
+lib/core/compare.mli: Ccs_sched Ccs_sdf Config

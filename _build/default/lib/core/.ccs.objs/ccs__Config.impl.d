@@ -1,0 +1,1 @@
+lib/core/config.ml: Ccs_cache Format

@@ -1,0 +1,1 @@
+lib/core/config.mli: Ccs_cache Format

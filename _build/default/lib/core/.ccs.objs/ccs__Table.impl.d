@@ -1,0 +1,1 @@
+lib/core/table.ml: Array Buffer Float List Printf String

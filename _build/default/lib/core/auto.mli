@@ -1,0 +1,27 @@
+(** One-call cache-conscious scheduling: the paper's end-to-end pipeline
+    from graph to plan.
+
+    [plan g cfg] analyses rates, picks the partitioning algorithm suited to
+    the topology (optimal DP for pipelines; DFS-interval greedy plus local
+    refinement for general DAGs, upgraded to the exact search when the
+    graph is small enough), and instantiates the matching partitioned
+    scheduler.  This is the function a downstream user calls. *)
+
+type choice = {
+  analysis : Ccs_sdf.Rates.analysis;
+  partition : Ccs_partition.Spec.t;
+  batch : int;  (** Granularity [T] used by the schedule. *)
+  plan : Ccs_sched.Plan.t;
+}
+
+val partition :
+  Ccs_sdf.Graph.t -> Ccs_sdf.Rates.analysis -> Config.t -> Ccs_partition.Spec.t
+(** Just the partitioning step: pipelines get the minimum-bandwidth
+    DP segmentation with bound [c·M]; small DAGs (≤ 16 modules) get the
+    exact search; larger DAGs get greedy + refine. *)
+
+val plan : ?dynamic:bool -> Ccs_sdf.Graph.t -> Config.t -> choice
+(** The full pipeline.  For pipelines with [dynamic] (default [true]) the
+    online half-full scheduler is used; otherwise the static batch
+    scheduler at granularity [T = granularity ≥ M].
+    @raise Ccs_sdf.Graph.Invalid_graph if the graph is not rate-matched. *)

@@ -1,0 +1,35 @@
+(** Machine and scheduling configuration.
+
+    Bundles the I/O-model parameters — cache size [M] and block size [B],
+    in words — with the augmentation factor [c] used when asking for
+    c-bounded partitions, and the replacement policy of the simulated
+    cache. *)
+
+type t = {
+  cache_words : int;  (** The paper's [M]. *)
+  block_words : int;  (** The paper's [B]. *)
+  augmentation : int;
+      (** The [c] of c-bounded partitions; the paper's constructions use
+          values up to 8 (Theorem 5). *)
+  policy : Ccs_cache.Cache.policy;
+}
+
+val make :
+  ?augmentation:int ->
+  ?policy:Ccs_cache.Cache.policy ->
+  cache_words:int ->
+  block_words:int ->
+  unit ->
+  t
+(** Default [augmentation] is 3 (the bound in [minBW₃]); default policy is
+    fully-associative LRU.
+    @raise Invalid_argument on non-positive sizes or [block_words >
+    cache_words]. *)
+
+val cache_config : t -> Ccs_cache.Cache.config
+(** The underlying simulator configuration. *)
+
+val partition_bound : t -> int
+(** [augmentation * cache_words]: the state bound handed to partitioners. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/exec/ccs_exec.ml: Intvec Machine

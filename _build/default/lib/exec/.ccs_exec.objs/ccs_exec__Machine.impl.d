@@ -1,0 +1,1 @@
+lib/exec/machine.ml: Array Ccs_cache Ccs_sdf Float Intvec List Printf

@@ -1,0 +1,4 @@
+(** Execution engine: drive streaming graphs over the simulated cache. *)
+
+module Intvec = Intvec
+module Machine = Machine

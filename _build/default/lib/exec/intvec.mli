@@ -1,0 +1,14 @@
+(** Growable array of unboxed integers (OCaml 5.1 has no [Dynarray]).
+
+    Used to record memory traces, which can run to millions of entries, so
+    it must not box. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+val length : t -> int
+val push : t -> int -> unit
+val get : t -> int -> int
+val to_array : t -> int array
+val clear : t -> unit
+val iter : t -> f:(int -> unit) -> unit

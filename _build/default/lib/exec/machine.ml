@@ -1,0 +1,200 @@
+module Graph = Ccs_sdf.Graph
+module Cache = Ccs_cache.Cache
+module Layout = Ccs_cache.Layout
+
+exception Not_fireable of { node : Graph.node; reason : string }
+
+type chan = {
+  region : Layout.region;
+  capacity : int;
+  mutable head : int; (* absolute index of next token to read *)
+  mutable tail : int; (* absolute index of next slot to write *)
+  mutable consumed_total : int;
+  mutable produced_total : int;
+}
+
+type t = {
+  graph : Graph.t;
+  cache : Cache.t;
+  states : Layout.region array;
+  chans : chan array;
+  fire_count : int array;
+  mutable total_fires : int;
+  source : Graph.node option;
+  sink : Graph.node option;
+  space_words : int;
+  recorder : Intvec.t option;
+  mutable fire_hook : (Graph.node -> unit) option;
+}
+
+let create ?(align_to_block = true) ?(record_trace = false) ~graph ~cache
+    ~capacities () =
+  let m = Graph.num_edges graph in
+  if Array.length capacities <> m then
+    invalid_arg "Machine.create: capacities length mismatch";
+  let align = if align_to_block then cache.Cache.block_words else 1 in
+  let layout = Layout.create ~align () in
+  let states =
+    Array.init (Graph.num_nodes graph) (fun v ->
+        Layout.alloc layout ~len:(Graph.state graph v))
+  in
+  (* Buffers are packed (align 1) regardless of [align_to_block]: the
+     paper's buffer-versus-state amortization argument counts buffer words,
+     and padding every tiny internal buffer to a whole block would inflate
+     a component's working set by a factor of B. *)
+  let chans =
+    Array.init m (fun e ->
+        let cap = capacities.(e) in
+        let need = max (Graph.push graph e) (Graph.pop graph e) in
+        if cap < need then
+          invalid_arg
+            (Printf.sprintf
+               "Machine.create: channel %d capacity %d < max rate %d" e cap
+               need);
+        {
+          region = Layout.alloc ~align:1 layout ~len:cap;
+          capacity = cap;
+          head = 0;
+          tail = Graph.delay graph e;
+          consumed_total = 0;
+          produced_total = 0;
+        })
+  in
+  let single = function [ v ] -> Some v | _ -> None in
+  {
+    graph;
+    cache = Cache.create cache;
+    states;
+    chans;
+    fire_count = Array.make (Graph.num_nodes graph) 0;
+    total_fires = 0;
+    source = single (Graph.sources graph);
+    sink = single (Graph.sinks graph);
+    space_words = Layout.size layout;
+    recorder = (if record_trace then Some (Intvec.create ()) else None);
+    fire_hook = None;
+  }
+
+let graph t = t.graph
+let cache t = t.cache
+let capacity t e = t.chans.(e).capacity
+let tokens t e = t.chans.(e).tail - t.chans.(e).head
+let space t e = t.chans.(e).capacity - tokens t e
+
+let fireable_reason t v =
+  let g = t.graph in
+  let lacking =
+    List.find_opt (fun e -> tokens t e < Graph.pop g e) (Graph.in_edges g v)
+  in
+  match lacking with
+  | Some e ->
+      Some
+        (Printf.sprintf "input channel %d has %d < %d tokens" e (tokens t e)
+           (Graph.pop g e))
+  | None -> (
+      let full =
+        List.find_opt
+          (fun e -> space t e < Graph.push g e)
+          (Graph.out_edges g v)
+      in
+      match full with
+      | Some e ->
+          Some
+            (Printf.sprintf "output channel %d has %d < %d free slots" e
+               (space t e) (Graph.push g e))
+      | None -> None)
+
+let can_fire t v = fireable_reason t v = None
+
+(* All touches are block-granular: within one firing, touching each block of
+   a contiguous span once produces exactly the same sequence of distinct
+   blocks (hence the same misses under any demand replacement policy) as
+   touching every word, at a fraction of the simulation cost. *)
+let touch_span t addr len =
+  if len > 0 then begin
+    let b = Cache.block_words t.cache in
+    let first = addr / b and last = (addr + len - 1) / b in
+    for blk = first to last do
+      let a = blk * b in
+      (match t.recorder with Some r -> Intvec.push r a | None -> ());
+      ignore (Cache.touch t.cache a)
+    done
+  end
+
+(* Touch [k] logical ring-buffer slots starting at absolute index [pos]:
+   at most two contiguous spans (wrap-around). *)
+let touch_ring t (region : Layout.region) pos k =
+  if k > 0 then begin
+    let len = region.Layout.length in
+    let start = pos mod len in
+    if start + k <= len then touch_span t (region.Layout.base + start) k
+    else begin
+      touch_span t (region.Layout.base + start) (len - start);
+      touch_span t region.Layout.base (k - (len - start))
+    end
+  end
+
+let fire t v =
+  (match fireable_reason t v with
+  | Some reason -> raise (Not_fireable { node = v; reason })
+  | None -> ());
+  let g = t.graph in
+  (* Load the module's entire state. *)
+  let st = t.states.(v) in
+  touch_span t st.Layout.base st.Layout.length;
+  (* Consume inputs. *)
+  List.iter
+    (fun e ->
+      let c = t.chans.(e) in
+      let k = Graph.pop g e in
+      touch_ring t c.region c.head k;
+      c.head <- c.head + k;
+      c.consumed_total <- c.consumed_total + k)
+    (Graph.in_edges g v);
+  (* Produce outputs. *)
+  List.iter
+    (fun e ->
+      let c = t.chans.(e) in
+      let k = Graph.push g e in
+      touch_ring t c.region c.tail k;
+      c.tail <- c.tail + k;
+      c.produced_total <- c.produced_total + k)
+    (Graph.out_edges g v);
+  t.fire_count.(v) <- t.fire_count.(v) + 1;
+  t.total_fires <- t.total_fires + 1;
+  match t.fire_hook with Some hook -> hook v | None -> ()
+
+let set_fire_hook t hook = t.fire_hook <- hook
+
+let fire_many t v k =
+  for _ = 1 to k do
+    fire t v
+  done
+
+let run t seq = List.iter (fire t) seq
+let fires t v = t.fire_count.(v)
+let total_fires t = t.total_fires
+let consumed t e = t.chans.(e).consumed_total
+let produced t e = t.chans.(e).produced_total
+
+let source_inputs t =
+  match t.source with Some s -> t.fire_count.(s) | None -> 0
+
+let sink_outputs t =
+  match t.sink with Some s -> t.fire_count.(s) | None -> 0
+
+let misses t = Cache.misses t.cache
+
+let misses_per_input t =
+  let inputs = source_inputs t in
+  if inputs = 0 then Float.nan
+  else float_of_int (misses t) /. float_of_int inputs
+
+let trace t =
+  match t.recorder with
+  | Some r -> Intvec.to_array r
+  | None -> invalid_arg "Machine.trace: machine created without record_trace"
+
+let address_space_words t = t.space_words
+let state_region t v = t.states.(v)
+let buffer_region t e = t.chans.(e).region

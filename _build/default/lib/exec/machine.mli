@@ -1,0 +1,100 @@
+(** Execution engine: runs module firings against the cache simulator.
+
+    A machine instantiates a streaming graph on the simulated DAM memory:
+    every module's state and every channel's ring buffer receive disjoint
+    word-address ranges, and firing a module touches exactly the words the
+    paper's model charges for — the module's whole state, the [pop] words it
+    consumes from each input channel and the [push] words it produces on
+    each output channel (Section 2: "In order to execute, or fire a module
+    v, the entire state of that module must be loaded into the cache").
+
+    The machine enforces SDF firing rules: a firing raises {!Not_fireable}
+    unless every input buffer holds enough tokens and every output buffer
+    has enough space, so any schedule that runs to completion is a
+    certified-legal schedule.  Token counts are tracked per channel for
+    conservation checks in tests. *)
+
+type t
+
+exception Not_fireable of { node : Ccs_sdf.Graph.node; reason : string }
+
+val create :
+  ?align_to_block:bool ->
+  ?record_trace:bool ->
+  graph:Ccs_sdf.Graph.t ->
+  cache:Ccs_cache.Cache.config ->
+  capacities:int array ->
+  unit ->
+  t
+(** [create ~graph ~cache ~capacities ()] lays out the graph and attaches a
+    fresh cache.  [capacities.(e)] is channel [e]'s buffer capacity in
+    tokens and must be at least [max (push e) (pop e)] (checked).  With
+    [align_to_block] (default [true]) every region starts on a block
+    boundary.  With [record_trace] every touched word address is recorded
+    (see {!trace}). *)
+
+val graph : t -> Ccs_sdf.Graph.t
+val cache : t -> Ccs_cache.Cache.t
+
+val capacity : t -> Ccs_sdf.Graph.edge -> int
+val tokens : t -> Ccs_sdf.Graph.edge -> int
+(** Tokens currently buffered on a channel. *)
+
+val space : t -> Ccs_sdf.Graph.edge -> int
+(** Remaining capacity: [capacity e - tokens e]. *)
+
+val can_fire : t -> Ccs_sdf.Graph.node -> bool
+
+val fireable_reason : t -> Ccs_sdf.Graph.node -> string option
+(** [None] if fireable, otherwise a human-readable obstruction. *)
+
+val fire : t -> Ccs_sdf.Graph.node -> unit
+(** @raise Not_fireable if the module's firing rule is not satisfied. *)
+
+val set_fire_hook : t -> (Ccs_sdf.Graph.node -> unit) option -> unit
+(** Install a callback invoked after every successful {!fire} with the
+    fired module.  This is how the data-carrying runtime
+    ({!Ccs_runtime.Engine}) piggybacks real token movement onto any
+    schedule driver, static or dynamic, without changing the driver. *)
+
+val fire_many : t -> Ccs_sdf.Graph.node -> int -> unit
+(** [fire_many t v k] fires [v] exactly [k] times. *)
+
+val run : t -> Ccs_sdf.Graph.node list -> unit
+(** Fire a sequence in order. *)
+
+val fires : t -> Ccs_sdf.Graph.node -> int
+(** How many times a module has fired so far. *)
+
+val total_fires : t -> int
+
+val consumed : t -> Ccs_sdf.Graph.edge -> int
+(** Total tokens ever consumed from a channel. *)
+
+val produced : t -> Ccs_sdf.Graph.edge -> int
+(** Total tokens ever produced onto a channel. *)
+
+val source_inputs : t -> int
+(** Firings of the graph's unique source — the paper's count of inputs
+    consumed by the application. *)
+
+val sink_outputs : t -> int
+(** Firings of the graph's unique sink. *)
+
+val misses : t -> int
+(** Shorthand for [Ccs_cache.Cache.misses (cache t)]. *)
+
+val misses_per_input : t -> float
+(** [misses / source_inputs]; [nan] before any input. *)
+
+val trace : t -> int array
+(** The recorded address trace ([record_trace] must have been set).  One
+    entry per {e block} touched within each contiguous span (touching every
+    word of a span would produce the same block sequence, hence the same
+    misses, at much higher simulation cost). *)
+
+val address_space_words : t -> int
+(** Total simulated memory footprint. *)
+
+val state_region : t -> Ccs_sdf.Graph.node -> Ccs_cache.Layout.region
+val buffer_region : t -> Ccs_sdf.Graph.edge -> Ccs_cache.Layout.region

@@ -1,0 +1,1 @@
+lib/multi/ccs_multi.ml: Assign Multi_machine

@@ -1,0 +1,1 @@
+lib/multi/assign.ml: Array Ccs_partition Ccs_sdf Float Format List

@@ -1,0 +1,1 @@
+lib/multi/assign.mli: Ccs_partition Ccs_sdf Format

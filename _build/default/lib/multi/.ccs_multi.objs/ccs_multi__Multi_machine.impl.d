@@ -1,0 +1,1 @@
+lib/multi/multi_machine.ml: Array Assign Ccs_cache Ccs_partition Ccs_sched Ccs_sdf Float List

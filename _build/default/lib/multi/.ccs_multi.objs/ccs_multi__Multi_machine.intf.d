@@ -1,0 +1,1 @@
+lib/multi/multi_machine.mli: Assign Ccs_cache Ccs_partition Ccs_sdf

@@ -1,0 +1,5 @@
+(** Multiprocessor extension (the paper's future-work direction): component
+    placement with load balancing plus private-cache miss accounting. *)
+
+module Assign = Assign
+module Multi_machine = Multi_machine

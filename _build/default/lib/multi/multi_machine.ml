@@ -1,0 +1,136 @@
+module Graph = Ccs_sdf.Graph
+module Rates = Ccs_sdf.Rates
+module Spec = Ccs_partition.Spec
+module Cache = Ccs_cache.Cache
+module Layout = Ccs_cache.Layout
+
+type config = {
+  processors : int;
+  cache : Cache.config;
+  miss_penalty : float;
+}
+
+type result = {
+  per_processor_misses : int array;
+  per_processor_work : float array;
+  per_processor_time : float array;
+  makespan : float;
+  uniprocessor_time : float;
+  speedup : float;
+  total_misses : int;
+  inputs : int;
+}
+
+type chan = {
+  region : Layout.region;
+  mutable head : int;
+  mutable tail : int;
+}
+
+let run g a spec assign ~t ~batches cfg =
+  if cfg.processors <> assign.Assign.processors then
+    invalid_arg "Multi_machine.run: assignment processor count mismatch";
+  let plan = Ccs_sched.Partitioned.batch g a spec ~t in
+  let period =
+    match plan.Ccs_sched.Plan.period with
+    | Some p -> p
+    | None -> assert false
+  in
+  let capacities = plan.Ccs_sched.Plan.capacities in
+  (* Shared address space, same layout discipline as Machine. *)
+  let block = cfg.cache.Cache.block_words in
+  let layout = Layout.create ~align:block () in
+  let states =
+    Array.init (Graph.num_nodes g) (fun v ->
+        Layout.alloc layout ~len:(Graph.state g v))
+  in
+  let chans =
+    Array.init (Graph.num_edges g) (fun e ->
+        {
+          region = Layout.alloc ~align:1 layout ~len:capacities.(e);
+          head = 0;
+          tail = Graph.delay g e;
+        })
+  in
+  let caches = Array.init cfg.processors (fun _ -> Cache.create cfg.cache) in
+  let uni_cache = Cache.create cfg.cache in
+  let work = Array.make cfg.processors 0. in
+  let uni_work = ref 0. in
+  let proc_of_node v = assign.Assign.processor_of_component.(Spec.component_of spec v) in
+  let touch_span cache addr len =
+    if len > 0 then begin
+      let first = addr / block and last = (addr + len - 1) / block in
+      for blk = first to last do
+        ignore (Cache.touch cache (blk * block))
+      done
+    end
+  in
+  let touch_ring cache (region : Layout.region) pos k =
+    if k > 0 then begin
+      let len = region.Layout.length in
+      let start = pos mod len in
+      if start + k <= len then touch_span cache (region.Layout.base + start) k
+      else begin
+        touch_span cache (region.Layout.base + start) (len - start);
+        touch_span cache region.Layout.base (k - (len - start))
+      end
+    end
+  in
+  let inputs = ref 0 in
+  let source = Graph.source g in
+  let fire v =
+    let p = proc_of_node v in
+    let cache = caches.(p) in
+    let words = ref 0 in
+    let st = states.(v) in
+    touch_span cache st.Layout.base st.Layout.length;
+    touch_span uni_cache st.Layout.base st.Layout.length;
+    words := !words + st.Layout.length;
+    List.iter
+      (fun e ->
+        let c = chans.(e) in
+        let k = Graph.pop g e in
+        touch_ring cache c.region c.head k;
+        touch_ring uni_cache c.region c.head k;
+        c.head <- c.head + k;
+        words := !words + k)
+      (Graph.in_edges g v);
+    List.iter
+      (fun e ->
+        let c = chans.(e) in
+        let k = Graph.push g e in
+        touch_ring cache c.region c.tail k;
+        touch_ring uni_cache c.region c.tail k;
+        c.tail <- c.tail + k;
+        words := !words + k)
+      (Graph.out_edges g v);
+    work.(p) <- work.(p) +. float_of_int !words;
+    uni_work := !uni_work +. float_of_int !words;
+    if v = source then incr inputs
+  in
+  for _ = 1 to batches do
+    Ccs_sched.Schedule.iter period ~f:fire
+  done;
+  let per_processor_misses = Array.map Cache.misses caches in
+  let per_input x = x /. float_of_int (max 1 !inputs) in
+  let per_processor_time =
+    Array.mapi
+      (fun p w ->
+        per_input (w +. (cfg.miss_penalty *. float_of_int per_processor_misses.(p))))
+      work
+  in
+  let makespan = Array.fold_left Float.max 0. per_processor_time in
+  let uniprocessor_time =
+    per_input
+      (!uni_work +. (cfg.miss_penalty *. float_of_int (Cache.misses uni_cache)))
+  in
+  {
+    per_processor_misses;
+    per_processor_work = Array.map per_input work;
+    per_processor_time;
+    makespan;
+    uniprocessor_time;
+    speedup = (if makespan = 0. then 1. else uniprocessor_time /. makespan);
+    total_misses = Array.fold_left ( + ) 0 per_processor_misses;
+    inputs = !inputs;
+  }

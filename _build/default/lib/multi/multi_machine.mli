@@ -1,0 +1,54 @@
+(** Multiprocessor simulation: private caches, shared memory.
+
+    Models the paper's future-work setting concretely: [P] processors,
+    each with a private cache of the configured size, over one shared
+    address space.  Components are placed on processors; executing a
+    component's firing touches (state, channel tokens) go through its
+    processor's cache.  A token crossing a processor boundary therefore
+    misses in {e both} caches (written by one, read by the other), while
+    processor-internal cross-component traffic can stay cached — exactly
+    the coupling between partitioning, placement, and cache misses the
+    paper's conclusion points at.
+
+    Execution follows the batch partitioned schedule: per batch of [T]
+    inputs, components run in topological order (each on its own
+    processor's cache).  Time is modeled as [work + miss_penalty · misses]
+    per processor per batch; the batch {e makespan} is the maximum over
+    processors, and would-be speedup is the uniprocessor time over the
+    makespan.  This is a throughput model of software pipelining across
+    batches: different processors work on different batches concurrently,
+    so per-batch loads, not precedence within one batch, bound steady-state
+    throughput. *)
+
+type config = {
+  processors : int;
+  cache : Ccs_cache.Cache.config;  (** Per-processor private cache. *)
+  miss_penalty : float;
+      (** Cost of one cache miss, in units of one word of work. *)
+}
+
+type result = {
+  per_processor_misses : int array;
+  per_processor_work : float array;  (** Words touched (hit or miss). *)
+  per_processor_time : float array;  (** work + miss_penalty · misses. *)
+  makespan : float;  (** Max per-processor time, per input. *)
+  uniprocessor_time : float;
+      (** The same schedule on one processor of the same cache size, per
+          input. *)
+  speedup : float;  (** [uniprocessor_time / makespan]. *)
+  total_misses : int;
+  inputs : int;
+}
+
+val run :
+  Ccs_sdf.Graph.t ->
+  Ccs_sdf.Rates.analysis ->
+  Ccs_partition.Spec.t ->
+  Assign.t ->
+  t:int ->
+  batches:int ->
+  config ->
+  result
+(** Execute [batches] batches of [t] inputs under the placement.
+    @raise Invalid_argument if [t] is not a granularity multiple or the
+    partition is not well-ordered. *)

@@ -1,0 +1,1 @@
+lib/partition/ccs_partition.ml: Cluster Dag Pipeline Spec

@@ -1,0 +1,1 @@
+lib/partition/cluster.ml: Array Ccs_sdf Dag List Printf Spec

@@ -1,0 +1,1 @@
+lib/partition/cluster.mli: Ccs_sdf Spec

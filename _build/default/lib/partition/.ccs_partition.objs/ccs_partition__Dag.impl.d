@@ -1,0 +1,1 @@
+lib/partition/dag.ml: Array Ccs_sdf Hashtbl List Option Printf Spec Stack

@@ -1,0 +1,1 @@
+lib/partition/dag.mli: Ccs_sdf Spec

@@ -1,0 +1,1 @@
+lib/partition/pipeline.ml: Array Ccs_sdf List Option Printf Spec

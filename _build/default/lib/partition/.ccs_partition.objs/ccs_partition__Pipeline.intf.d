@@ -1,0 +1,1 @@
+lib/partition/pipeline.mli: Ccs_sdf Spec

@@ -1,0 +1,1 @@
+lib/partition/spec.ml: Array Buffer Ccs_sdf Format Fun Hashtbl List Printf Queue String

@@ -1,0 +1,1 @@
+lib/partition/spec.mli: Ccs_sdf Format

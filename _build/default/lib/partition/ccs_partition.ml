@@ -1,0 +1,7 @@
+(** Graph partitioning: the constrained-partition side of the paper's
+    scheduling-to-partitioning reduction. *)
+
+module Spec = Spec
+module Pipeline = Pipeline
+module Dag = Dag
+module Cluster = Cluster

@@ -1,0 +1,157 @@
+module Graph = Ccs_sdf.Graph
+module Rates = Ccs_sdf.Rates
+module Q = Ccs_sdf.Rational
+
+let chain_order g =
+  if not (Graph.is_pipeline g) then
+    invalid_arg "Pipeline: graph is not a pipeline";
+  Graph.topological_order g
+
+(* The unique edge out of [chain.(i)] (towards [chain.(i+1)]). *)
+let edge_after g chain i =
+  match Graph.out_edges g chain.(i) with
+  | [ e ] -> e
+  | _ -> invalid_arg "Pipeline: broken chain"
+
+let gain_minimizing_edge g analysis chain ~lo ~hi =
+  if lo >= hi then
+    invalid_arg "Pipeline.gain_minimizing_edge: segment has no internal edge";
+  let best = ref (edge_after g chain lo) in
+  for i = lo + 1 to hi - 1 do
+    let e = edge_after g chain i in
+    if Q.compare (Rates.edge_gain analysis e) (Rates.edge_gain analysis !best)
+       < 0
+    then best := e
+  done;
+  !best
+
+let bandwidth_of_cuts _g analysis cuts =
+  List.fold_left
+    (fun acc e -> Q.add acc (Rates.edge_gain analysis e))
+    Q.zero cuts
+
+(* Partition a chain given the set of cut edges: component id increments
+   after each cut. *)
+let of_cuts g chain cuts =
+  let cut_after = Array.make (Array.length chain) false in
+  List.iter
+    (fun e ->
+      (* Find the chain position of the edge's source. *)
+      let s = Graph.src g e in
+      Array.iteri (fun i v -> if v = s then cut_after.(i) <- true) chain)
+    cuts;
+  let a = Array.make (Graph.num_nodes g) 0 in
+  let comp = ref 0 in
+  Array.iteri
+    (fun i v ->
+      a.(v) <- !comp;
+      if cut_after.(i) then incr comp)
+    chain;
+  Spec.of_assignment g a
+
+let greedy g analysis ~m =
+  let chain = chain_order g in
+  let n = Array.length chain in
+  Array.iter
+    (fun v ->
+      if Graph.state g v > m then
+        invalid_arg
+          (Printf.sprintf "Pipeline.greedy: module %s has state %d > m=%d"
+             (Graph.node_name g v) (Graph.state g v) m))
+    chain;
+  (* Build segments W_i: accumulate until total state exceeds 2m; if less
+     than 2m state remains afterwards, fold the remainder into the current
+     segment (Theorem 5's construction). *)
+  let suffix_state = Array.make (n + 1) 0 in
+  for i = n - 1 downto 0 do
+    suffix_state.(i) <- suffix_state.(i + 1) + Graph.state g chain.(i)
+  done;
+  let cuts = ref [] in
+  let seg_lo = ref 0 in
+  let seg_state = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    seg_state := !seg_state + Graph.state g chain.(!i);
+    if !seg_state > 2 * m then begin
+      if suffix_state.(!i + 1) >= 2 * m then begin
+        (* Segment W = chain[seg_lo .. i] is complete; cut at its
+           gain-minimizing edge. *)
+        let e = gain_minimizing_edge g analysis chain ~lo:!seg_lo ~hi:!i in
+        cuts := e :: !cuts;
+        seg_lo := !i + 1;
+        seg_state := 0
+      end
+      else begin
+        (* Fewer than 2m remain: absorb the rest into this segment. *)
+        if suffix_state.(!i + 1) > 0 then begin
+          seg_state := !seg_state + suffix_state.(!i + 1);
+          i := n - 1
+        end;
+        let e = gain_minimizing_edge g analysis chain ~lo:!seg_lo ~hi:(n - 1) in
+        cuts := e :: !cuts;
+        seg_lo := n;
+        seg_state := 0;
+        i := n (* done *)
+      end
+    end;
+    incr i
+  done;
+  of_cuts g chain !cuts
+
+let optimal_dp g analysis ~bound =
+  let chain = chain_order g in
+  let n = Array.length chain in
+  Array.iter
+    (fun v ->
+      if Graph.state g v > bound then
+        invalid_arg
+          (Printf.sprintf
+             "Pipeline.optimal_dp: module %s has state %d > bound=%d"
+             (Graph.node_name g v) (Graph.state g v) bound))
+    chain;
+  (* dp.(i) = minimum total cut gain for partitioning chain[0..i-1] into
+     segments of state <= bound; cut cost before position j (j > 0) is the
+     gain of the edge chain[j-1] -> chain[j]. *)
+  let dp = Array.make (n + 1) None in
+  let choice = Array.make (n + 1) (-1) in
+  dp.(0) <- Some Q.zero;
+  for i = 1 to n do
+    (* Last segment is chain[j .. i-1]; iterate j from i-1 down while the
+       segment still fits. *)
+    let seg_state = ref 0 in
+    let j = ref (i - 1) in
+    let continue_scan = ref true in
+    while !continue_scan && !j >= 0 do
+      seg_state := !seg_state + Graph.state g chain.(!j);
+      if !seg_state > bound then continue_scan := false
+      else begin
+        let cost_before =
+          if !j = 0 then Some Q.zero
+          else
+            match dp.(!j) with
+            | None -> None
+            | Some c ->
+                Some (Q.add c (Rates.edge_gain analysis (edge_after g chain (!j - 1))))
+        in
+        (match cost_before with
+        | Some c
+          when dp.(i) = None || Q.compare c (Option.get dp.(i)) < 0 ->
+            dp.(i) <- Some c;
+            choice.(i) <- !j
+        | _ -> ());
+        decr j
+      end
+    done
+  done;
+  (match dp.(n) with
+  | None -> invalid_arg "Pipeline.optimal_dp: no feasible segmentation"
+  | Some _ -> ());
+  (* Reconstruct cuts. *)
+  let cuts = ref [] in
+  let pos = ref n in
+  while !pos > 0 do
+    let j = choice.(!pos) in
+    if j > 0 then cuts := edge_after g chain (j - 1) :: !cuts;
+    pos := j
+  done;
+  of_cuts g chain !cuts

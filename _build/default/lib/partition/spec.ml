@@ -1,0 +1,167 @@
+module Graph = Ccs_sdf.Graph
+module Rates = Ccs_sdf.Rates
+module Q = Ccs_sdf.Rational
+
+type t = {
+  graph : Graph.t;
+  component : int array; (* normalized: dense, first-appearance order along topo *)
+  num_components : int;
+}
+
+let of_assignment g a =
+  let n = Graph.num_nodes g in
+  if Array.length a <> n then
+    invalid_arg "Spec.of_assignment: assignment length mismatch";
+  (* Renumber densely in order of first appearance along topological order. *)
+  let remap = Hashtbl.create 16 in
+  let next = ref 0 in
+  let topo = Graph.topological_order g in
+  Array.iter
+    (fun v ->
+      let c = a.(v) in
+      if not (Hashtbl.mem remap c) then begin
+        Hashtbl.add remap c !next;
+        incr next
+      end)
+    topo;
+  let component = Array.map (fun c -> Hashtbl.find remap c) a in
+  { graph = g; component; num_components = !next }
+
+let singletons g = of_assignment g (Array.init (Graph.num_nodes g) Fun.id)
+let whole g = of_assignment g (Array.make (Graph.num_nodes g) 0)
+let graph t = t.graph
+let num_components t = t.num_components
+let component_of t v = t.component.(v)
+
+let members t c =
+  let topo = Graph.topological_order t.graph in
+  Array.to_list topo |> List.filter (fun v -> t.component.(v) = c)
+
+let assignment t = Array.copy t.component
+
+let is_cross t e =
+  t.component.(Graph.src t.graph e) <> t.component.(Graph.dst t.graph e)
+
+let cross_edges t = List.filter (is_cross t) (Graph.edges t.graph)
+let internal_edges t =
+  List.filter (fun e -> not (is_cross t e)) (Graph.edges t.graph)
+
+let component_state t c =
+  List.fold_left (fun acc v -> acc + Graph.state t.graph v) 0 (members t c)
+
+let max_component_state t =
+  let best = ref 0 in
+  for c = 0 to t.num_components - 1 do
+    best := max !best (component_state t c)
+  done;
+  !best
+
+let component_degree t c =
+  List.fold_left
+    (fun acc e ->
+      let s = t.component.(Graph.src t.graph e)
+      and d = t.component.(Graph.dst t.graph e) in
+      if s <> d && (s = c || d = c) then acc + 1 else acc)
+    0 (Graph.edges t.graph)
+
+let max_component_degree t =
+  let best = ref 0 in
+  for c = 0 to t.num_components - 1 do
+    best := max !best (component_degree t c)
+  done;
+  !best
+
+(* Kahn on the contracted multigraph. *)
+let contracted_topo t =
+  let k = t.num_components in
+  let indeg = Array.make k 0 in
+  let succs = Array.make k [] in
+  List.iter
+    (fun e ->
+      let s = t.component.(Graph.src t.graph e)
+      and d = t.component.(Graph.dst t.graph e) in
+      if s <> d then begin
+        indeg.(d) <- indeg.(d) + 1;
+        succs.(s) <- d :: succs.(s)
+      end)
+    (Graph.edges t.graph);
+  let queue = Queue.create () in
+  for c = 0 to k - 1 do
+    if indeg.(c) = 0 then Queue.add c queue
+  done;
+  let order = Array.make k (-1) in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    order.(!count) <- c;
+    incr count;
+    List.iter
+      (fun d ->
+        indeg.(d) <- indeg.(d) - 1;
+        if indeg.(d) = 0 then Queue.add d queue)
+      succs.(c)
+  done;
+  if !count = k then Some order else None
+
+let is_well_ordered t = contracted_topo t <> None
+
+let component_topo_order t =
+  match contracted_topo t with
+  | Some order -> order
+  | None -> invalid_arg "Spec.component_topo_order: partition not well-ordered"
+
+let is_c_bounded t ~bound =
+  let ok = ref true in
+  for c = 0 to t.num_components - 1 do
+    if component_state t c > bound then ok := false
+  done;
+  !ok
+
+let is_degree_limited t ~bound =
+  let ok = ref true in
+  for c = 0 to t.num_components - 1 do
+    if component_degree t c > bound then ok := false
+  done;
+  !ok
+
+let bandwidth t analysis =
+  List.fold_left
+    (fun acc e -> Q.add acc (Rates.edge_gain analysis e))
+    Q.zero (cross_edges t)
+
+let equal a b = a.graph == b.graph && a.component = b.component
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>partition with %d components@," t.num_components;
+  for c = 0 to t.num_components - 1 do
+    Format.fprintf fmt "  C%d (state %d): %s@," c (component_state t c)
+      (String.concat ", "
+         (List.map (Graph.node_name t.graph) (members t c)))
+  done;
+  Format.fprintf fmt "@]"
+
+let to_dot t =
+  let g = t.graph in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" (Graph.name g));
+  for c = 0 to t.num_components - 1 do
+    Buffer.add_string buf (Printf.sprintf "  subgraph cluster_%d {\n" c);
+    Buffer.add_string buf
+      (Printf.sprintf "    label=\"C%d (%d words)\";\n" c (component_state t c));
+    List.iter
+      (fun v ->
+        Buffer.add_string buf
+          (Printf.sprintf "    n%d [label=\"%s (%d)\"];\n" v
+             (Graph.node_name g v) (Graph.state g v)))
+      (members t c);
+    Buffer.add_string buf "  }\n"
+  done;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%d/%d\"%s];\n" (Graph.src g e)
+           (Graph.dst g e) (Graph.push g e) (Graph.pop g e)
+           (if is_cross t e then ", style=bold" else "")))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/runtime/ccs_runtime.ml: Engine Kernel Kernels Program

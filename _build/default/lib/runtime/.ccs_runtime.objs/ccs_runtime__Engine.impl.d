@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Ccs_cache Ccs_exec Ccs_sched Ccs_sdf Kernel List Printf Program Queue

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Ccs_cache Ccs_exec Ccs_sched Ccs_sdf Program

@@ -1,0 +1,1 @@
+lib/runtime/kernels.ml: Array Ccs_sdf Float Kernel List

@@ -1,0 +1,1 @@
+lib/runtime/program.ml: Array Ccs_sdf Kernel Printf

@@ -1,0 +1,1 @@
+lib/runtime/program.mli: Ccs_sdf Kernel

@@ -1,0 +1,7 @@
+(** Data-carrying runtime: attach real compute kernels to streaming graphs
+    and execute any schedule while tokens actually flow. *)
+
+module Kernel = Kernel
+module Program = Program
+module Engine = Engine
+module Kernels = Kernels

@@ -1,0 +1,85 @@
+module Graph = Ccs_sdf.Graph
+module Machine = Ccs_exec.Machine
+
+type t = {
+  program : Program.t;
+  machine : Machine.t;
+  states : float array array;
+  queues : float Queue.t array;
+  capacities : int array;
+}
+
+let move_data t v =
+  let g = Program.graph t.program in
+  let kernel = Program.kernel t.program v in
+  let inputs =
+    Graph.in_edges g v
+    |> List.map (fun e ->
+           let k = Graph.pop g e in
+           Array.init k (fun _ -> Queue.pop t.queues.(e)))
+    |> Array.of_list
+  in
+  let out_edges = Graph.out_edges g v in
+  let outputs =
+    out_edges |> List.map (fun e -> Array.make (Graph.push g e) 0.)
+    |> Array.of_list
+  in
+  kernel.Kernel.fire ~state:t.states.(v) ~inputs ~outputs;
+  List.iteri
+    (fun i e -> Array.iter (fun x -> Queue.push x t.queues.(e)) outputs.(i))
+    out_edges
+
+let create ?(record_trace = false) ~program ~cache ~capacities () =
+  let g = Program.graph program in
+  let machine = Machine.create ~record_trace ~graph:g ~cache ~capacities () in
+  let t =
+    {
+      program;
+      machine;
+      states =
+        Array.init (Graph.num_nodes g) (fun v ->
+            let st = (Program.kernel program v).Kernel.init () in
+            if Array.length st <> Graph.state g v then
+              invalid_arg
+                (Printf.sprintf
+                   "Engine.create: kernel init for %s returned %d words, \
+                    expected %d"
+                   (Graph.node_name g v) (Array.length st) (Graph.state g v));
+            st);
+      queues =
+        Array.init (Graph.num_edges g) (fun e ->
+            let q = Queue.create () in
+            for _ = 1 to Graph.delay g e do
+              Queue.push 0. q
+            done;
+            q);
+      capacities = Array.copy capacities;
+    }
+  in
+  Machine.set_fire_hook machine (Some (move_data t));
+  t
+
+let machine t = t.machine
+let fire t v = Machine.fire t.machine v
+
+let run_plan t plan ~outputs =
+  if plan.Ccs_sched.Plan.capacities <> t.capacities then
+    invalid_arg "Engine.run_plan: plan capacities differ from the engine's";
+  plan.Ccs_sched.Plan.drive t.machine ~target_outputs:outputs;
+  {
+    Ccs_sched.Runner.plan_name = plan.Ccs_sched.Plan.name;
+    inputs = Machine.source_inputs t.machine;
+    outputs = Machine.sink_outputs t.machine;
+    misses = Machine.misses t.machine;
+    accesses = Ccs_cache.Cache.accesses (Machine.cache t.machine);
+    misses_per_input = Machine.misses_per_input t.machine;
+    buffer_words = Ccs_sched.Plan.buffer_words plan;
+    address_space_words = Machine.address_space_words t.machine;
+  }
+
+let of_plan ?record_trace ~program ~cache ~plan () =
+  create ?record_trace ~program ~cache
+    ~capacities:plan.Ccs_sched.Plan.capacities ()
+
+let state t v = t.states.(v)
+let queue_length t e = Queue.length t.queues.(e)

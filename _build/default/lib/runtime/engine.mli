@@ -1,0 +1,53 @@
+(** The data-carrying execution engine.
+
+    Wraps a {!Ccs_exec.Machine} (which does legality checking and cache
+    accounting) and moves {e real tokens} through per-channel FIFO queues
+    by invoking each module's kernel whenever the machine fires it.  The
+    coupling uses the machine's fire hook, so {e any} plan — static batch
+    schedules or the dynamic half-full drivers — runs real data without
+    modification: the scheduler neither knows nor cares that computation
+    is attached.
+
+    Tokens are floats; channels with initial delay start with that many
+    zero tokens, matching the scheduling semantics. *)
+
+type t
+
+val create :
+  ?record_trace:bool ->
+  program:Program.t ->
+  cache:Ccs_cache.Cache.config ->
+  capacities:int array ->
+  unit ->
+  t
+
+val machine : t -> Ccs_exec.Machine.t
+(** The underlying machine (statistics, occupancies, the fire hook slot is
+    owned by the engine — do not overwrite it). *)
+
+val fire : t -> Ccs_sdf.Graph.node -> unit
+(** Fire one module: checks legality, moves cache blocks, and runs the
+    kernel. *)
+
+val run_plan : t -> Ccs_sched.Plan.t -> outputs:int -> Ccs_sched.Runner.result
+(** Drive the engine's machine with the plan until the sink has fired
+    [outputs] times, running every kernel along the way; returns the same
+    measurement record as {!Ccs_sched.Runner.run}.
+    @raise Invalid_argument if the plan's capacities differ from the
+    engine's (they must be built from the same plan). *)
+
+val of_plan :
+  ?record_trace:bool ->
+  program:Program.t ->
+  cache:Ccs_cache.Cache.config ->
+  plan:Ccs_sched.Plan.t ->
+  unit ->
+  t
+(** Engine with the plan's own capacities. *)
+
+val state : t -> Ccs_sdf.Graph.node -> float array
+(** A module's live state vector (the kernel's working data). *)
+
+val queue_length : t -> Ccs_sdf.Graph.edge -> int
+(** Data tokens currently queued on a channel (always equals the machine's
+    token count). *)

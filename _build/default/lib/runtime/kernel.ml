@@ -1,0 +1,20 @@
+type t = {
+  state_words : int;
+  init : unit -> float array;
+  fire :
+    state:float array ->
+    inputs:float array array ->
+    outputs:float array array ->
+    unit;
+}
+
+let make ?init ~state_words fire =
+  let init =
+    match init with
+    | Some f -> f
+    | None -> fun () -> Array.make state_words 0.
+  in
+  { state_words; init; fire }
+
+let stateless ~state_words fire =
+  make ~state_words (fun ~state:_ ~inputs ~outputs -> fire ~inputs ~outputs)

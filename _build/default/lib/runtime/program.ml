@@ -1,0 +1,20 @@
+module Graph = Ccs_sdf.Graph
+
+type t = { graph : Graph.t; kernels : Kernel.t array }
+
+let create g kernel_of =
+  let kernels =
+    Array.init (Graph.num_nodes g) (fun v ->
+        let k = kernel_of v in
+        if k.Kernel.state_words <> Graph.state g v then
+          invalid_arg
+            (Printf.sprintf
+               "Program.create: module %s declares %d state words but its \
+                kernel has %d"
+               (Graph.node_name g v) (Graph.state g v) k.Kernel.state_words);
+        k)
+  in
+  { graph = g; kernels }
+
+let graph t = t.graph
+let kernel t v = t.kernels.(v)

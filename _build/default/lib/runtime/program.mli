@@ -1,0 +1,11 @@
+(** A program binds a streaming graph to one kernel per module. *)
+
+type t
+
+val create : Ccs_sdf.Graph.t -> (Ccs_sdf.Graph.node -> Kernel.t) -> t
+(** [create g kernel_of] binds every module.
+    @raise Invalid_argument if some kernel's [state_words] differs from the
+    graph's declared state size for its module. *)
+
+val graph : t -> Ccs_sdf.Graph.t
+val kernel : t -> Ccs_sdf.Graph.node -> Kernel.t

@@ -1,0 +1,1 @@
+lib/sched/ccs_sched.ml: Analysis Baseline Kohli Partitioned Plan Runner Scaling Schedule Simulate

@@ -1,0 +1,1 @@
+lib/sched/analysis.ml: Array Ccs_partition Ccs_sdf Option

@@ -1,0 +1,1 @@
+lib/sched/analysis.mli: Ccs_partition Ccs_sdf

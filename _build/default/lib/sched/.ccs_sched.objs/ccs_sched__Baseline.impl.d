@@ -1,0 +1,1 @@
+lib/sched/baseline.ml: Array Ccs_sdf List Plan Schedule Simulate

@@ -1,0 +1,1 @@
+lib/sched/baseline.mli: Ccs_sdf Plan

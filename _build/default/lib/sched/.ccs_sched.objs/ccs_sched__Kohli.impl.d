@@ -1,0 +1,1 @@
+lib/sched/kohli.ml: Array Ccs_exec Ccs_sdf Plan Printf

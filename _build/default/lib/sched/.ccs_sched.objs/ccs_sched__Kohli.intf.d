@@ -1,0 +1,1 @@
+lib/sched/kohli.mli: Ccs_sdf Plan

@@ -1,0 +1,1 @@
+lib/sched/partitioned.ml: Array Ccs_exec Ccs_partition Ccs_sdf Hashtbl List Plan Printf Schedule

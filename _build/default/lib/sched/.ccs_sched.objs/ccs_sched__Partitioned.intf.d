@@ -1,0 +1,1 @@
+lib/sched/partitioned.mli: Ccs_partition Ccs_sdf Plan

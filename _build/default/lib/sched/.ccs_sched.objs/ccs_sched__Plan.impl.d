@@ -1,0 +1,1 @@
+lib/sched/plan.ml: Array Ccs_exec Ccs_sdf Printf Schedule Simulate

@@ -1,0 +1,1 @@
+lib/sched/plan.mli: Ccs_exec Ccs_sdf Schedule

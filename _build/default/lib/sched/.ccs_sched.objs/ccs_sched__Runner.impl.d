@@ -1,0 +1,1 @@
+lib/sched/runner.ml: Array Ccs_cache Ccs_exec Ccs_sdf Float Format Plan

@@ -1,0 +1,1 @@
+lib/sched/runner.mli: Ccs_cache Ccs_exec Ccs_sdf Format Plan

@@ -1,0 +1,1 @@
+lib/sched/scaling.ml: Array Ccs_sdf List Plan Printf Schedule Simulate

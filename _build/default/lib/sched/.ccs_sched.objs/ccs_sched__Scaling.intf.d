@@ -1,0 +1,1 @@
+lib/sched/scaling.mli: Ccs_sdf Plan Schedule

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Ccs_exec Ccs_sdf Format List

@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Ccs_exec Ccs_sdf Format

@@ -1,0 +1,1 @@
+lib/sched/simulate.ml: Array Ccs_sdf List Schedule

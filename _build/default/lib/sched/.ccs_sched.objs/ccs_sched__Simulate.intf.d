@@ -1,0 +1,1 @@
+lib/sched/simulate.mli: Ccs_sdf Schedule

@@ -1,0 +1,46 @@
+module Graph = Ccs_sdf.Graph
+module Rates = Ccs_sdf.Rates
+module Q = Ccs_sdf.Rational
+module Spec = Ccs_partition.Spec
+module Pipeline = Ccs_partition.Pipeline
+module Dag = Ccs_partition.Dag
+
+let pipeline_lower_bound g a ~m ~b =
+  let chain = Pipeline.chain_order g in
+  let n = Array.length chain in
+  (* Carve maximal disjoint segments of state >= 2m, greedily from the
+     head; each contributes the gain of its gain-minimizing edge. *)
+  let total = ref Q.zero in
+  let lo = ref 0 in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + Graph.state g chain.(i);
+    if !acc >= 2 * m then begin
+      if !lo < i then begin
+        let e = Pipeline.gain_minimizing_edge g a chain ~lo:!lo ~hi:i in
+        total := Q.add !total (Rates.edge_gain a e)
+      end;
+      lo := i + 1;
+      acc := 0
+    end
+  done;
+  Q.to_float !total /. float_of_int b
+
+let dag_lower_bound g a ~m ~b ?max_nodes () =
+  if Graph.total_state g <= 3 * m then Some 0.
+  else
+    Option.map
+      (fun bw -> Q.to_float bw /. float_of_int b)
+      (Dag.min_bandwidth g a ~bound:(3 * m) ?max_nodes ())
+
+let bandwidth_per_input spec a = Q.to_float (Spec.bandwidth spec a)
+
+let partition_cost_prediction spec a ~b ~t =
+  let state_loads = ref 0. in
+  for c = 0 to Spec.num_components spec - 1 do
+    state_loads :=
+      !state_loads +. (float_of_int (Spec.component_state spec c) /. float_of_int t)
+  done;
+  (* Each cross-edge token is written once by the producing component and
+     read once by the consuming one: two block-streamed touches. *)
+  ((2. *. bandwidth_per_input spec a) +. !state_loads) /. float_of_int b

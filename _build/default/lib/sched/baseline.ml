@@ -1,0 +1,57 @@
+module Graph = Ccs_sdf.Graph
+module Minbuf = Ccs_sdf.Minbuf
+
+let single_appearance g (a : Ccs_sdf.Rates.analysis) =
+  let topo = Graph.topological_order g in
+  let period =
+    Schedule.seq
+      (Array.to_list topo
+      |> List.map (fun v -> Schedule.repeat a.repetition.(v) (Schedule.fire v))
+      )
+  in
+  let capacities = Simulate.peaks g period in
+  Plan.of_period ~name:"single-appearance" ~capacities period
+
+let minimal_memory g (a : Ccs_sdf.Rates.analysis) =
+  let mb = Minbuf.compute g a in
+  let period = Schedule.of_list mb.Minbuf.schedule in
+  Plan.of_period ~name:"minimal-memory" ~capacities:mb.Minbuf.capacity period
+
+let round_robin g (a : Ccs_sdf.Rates.analysis) =
+  (* One firing at a time, cycling through modules in topological order;
+     a module that cannot fire (or has exhausted its period quota) is
+     skipped.  Token-feasible by construction. *)
+  let topo = Graph.topological_order g in
+  let remaining = Array.copy a.repetition in
+  let tokens = Array.init (Graph.num_edges g) (fun e -> Graph.delay g e) in
+  let total = Array.fold_left ( + ) 0 remaining in
+  let fired = ref 0 in
+  let acc = ref [] in
+  while !fired < total do
+    let progressed = ref false in
+    Array.iter
+      (fun v ->
+        if
+          remaining.(v) > 0
+          && List.for_all
+               (fun e -> tokens.(e) >= Graph.pop g e)
+               (Graph.in_edges g v)
+        then begin
+          List.iter
+            (fun e -> tokens.(e) <- tokens.(e) - Graph.pop g e)
+            (Graph.in_edges g v);
+          List.iter
+            (fun e -> tokens.(e) <- tokens.(e) + Graph.push g e)
+            (Graph.out_edges g v);
+          remaining.(v) <- remaining.(v) - 1;
+          acc := v :: !acc;
+          incr fired;
+          progressed := true
+        end)
+      topo;
+    if not !progressed then
+      raise (Graph.Invalid_graph "Baseline.round_robin: deadlock")
+  done;
+  let period = Schedule.of_list (List.rev !acc) in
+  let capacities = Simulate.peaks g period in
+  Plan.of_period ~name:"round-robin" ~capacities period

@@ -1,0 +1,23 @@
+(** Baseline schedulers from the pre-existing streaming literature.
+
+    These are the comparators the paper's related-work section discusses:
+    none is cache-aware in the paper's sense, and the evaluation uses them
+    to show the gap that partition scheduling closes.
+
+    - {!single_appearance}: the classic minimum-code-size SDF schedule
+      (Lee–Messerschmitt style): one period fires each module its full
+      repetition count consecutively, in topological order.  Minimizes
+      state reloads per period but maximizes buffering: every channel must
+      hold a whole period's tokens.
+    - {!minimal_memory}: the opposite extreme — the demand-driven PASS from
+      {!Ccs_sdf.Minbuf}, which keeps channel occupancy minimal but reloads
+      module state constantly once total state exceeds the cache.
+    - {!round_robin}: fires modules one firing at a time in topological
+      order (skipping modules that cannot fire), the naive operating-system
+      style schedule. *)
+
+val single_appearance : Ccs_sdf.Graph.t -> Ccs_sdf.Rates.analysis -> Plan.t
+
+val minimal_memory : Ccs_sdf.Graph.t -> Ccs_sdf.Rates.analysis -> Plan.t
+
+val round_robin : Ccs_sdf.Graph.t -> Ccs_sdf.Rates.analysis -> Plan.t

@@ -1,0 +1,39 @@
+module Graph = Ccs_sdf.Graph
+module Machine = Ccs_exec.Machine
+module Minbuf = Ccs_sdf.Minbuf
+
+let plan g a ~buffer_tokens =
+  let mb = Minbuf.compute g a in
+  let capacities =
+    Array.map (fun c -> max c buffer_tokens) mb.Minbuf.capacity
+  in
+  let topo = Graph.topological_order g in
+  let drive machine ~target_outputs =
+    while Machine.sink_outputs machine < target_outputs do
+      let progressed = ref false in
+      Array.iter
+        (fun v ->
+          while
+            Machine.can_fire machine v
+            && Machine.sink_outputs machine < target_outputs
+          do
+            Machine.fire machine v;
+            progressed := true
+          done)
+        topo;
+      if
+        (not !progressed)
+        && Machine.sink_outputs machine < target_outputs
+      then
+        raise
+          (Graph.Invalid_graph "Kohli.plan: no module fireable (deadlock)")
+    done
+  in
+  Plan.dynamic
+    ~name:(Printf.sprintf "kohli-greedy-%d" buffer_tokens)
+    ~capacities drive
+
+let auto g a ~cache_words =
+  let m = Graph.num_edges g in
+  let budget = max 1 (cache_words / 2 / max 1 m) in
+  plan g a ~buffer_tokens:budget

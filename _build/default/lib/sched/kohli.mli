@@ -1,0 +1,30 @@
+(** Kohli-style greedy cache-aware heuristic (UC Berkeley TR M04/3).
+
+    The paper's Section 6 describes Kohli's proposal for chains: make
+    {e local} decisions about whether to keep firing the current module
+    (reusing its hot state) or move to its successor (keeping the produced
+    data hot), based on estimated misses.  Because decisions are local, the
+    heuristic cannot be asymptotically optimal — the evaluation uses it as
+    the strongest pre-partitioning comparator.
+
+    Our rendition, applicable to any topology with a unique topological
+    order or any graph if driven per-node: give each channel a fixed budget
+    of [buffer_tokens]; repeatedly sweep modules in topological order,
+    firing each module as long as it remains fireable (inputs available and
+    output space free) before moving on.  Each sweep thus amortizes one
+    state load per module over as many firings as the local buffers
+    allow. *)
+
+val plan :
+  Ccs_sdf.Graph.t ->
+  Ccs_sdf.Rates.analysis ->
+  buffer_tokens:int ->
+  Plan.t
+(** Dynamic plan with per-channel capacity
+    [max (minBuf e) buffer_tokens]. *)
+
+val auto :
+  Ccs_sdf.Graph.t -> Ccs_sdf.Rates.analysis -> cache_words:int -> Plan.t
+(** Sizes the per-channel budget so that all buffers together occupy about
+    half of [cache_words], leaving the other half for module state — the
+    balance Kohli's estimates aim for. *)

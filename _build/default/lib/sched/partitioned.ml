@@ -1,0 +1,298 @@
+module Graph = Ccs_sdf.Graph
+module Rates = Ccs_sdf.Rates
+module Q = Ccs_sdf.Rational
+module Minbuf = Ccs_sdf.Minbuf
+module Spec = Ccs_partition.Spec
+module Machine = Ccs_exec.Machine
+
+(* Local repetition vector of a component: the smallest positive integral
+   vector proportional to the members' gains. *)
+let local_repetition (a : Rates.analysis) members =
+  let denoms =
+    List.fold_left (fun acc v -> Q.lcm acc (Q.den a.node_gain.(v))) 1 members
+  in
+  let ints =
+    List.map (fun v -> (v, Q.to_int_exn (Q.mul_int a.node_gain.(v) denoms)))
+      members
+  in
+  let g = List.fold_left (fun acc (_, x) -> Q.gcd acc x) 0 ints in
+  List.map (fun (v, x) -> (v, x / g)) ints
+
+(* Latest-first simulation of one local period of component [c]: internal
+   edges are token-tracked from their delays; cross edges are treated as
+   unbounded supply/void.  Returns the firing order and internal peaks. *)
+let local_period g (a : Rates.analysis) spec c =
+  let members = Spec.members spec c in
+  let local_rep = local_repetition a members in
+  let remaining = Hashtbl.create 16 in
+  List.iter (fun (v, k) -> Hashtbl.replace remaining v k) local_rep;
+  let m = Graph.num_edges g in
+  let internal e =
+    Spec.component_of spec (Graph.src g e) = c
+    && Spec.component_of spec (Graph.dst g e) = c
+  in
+  let tokens = Array.make m 0 in
+  let peaks = Array.make m 0 in
+  List.iter
+    (fun e ->
+      if internal e then begin
+        tokens.(e) <- Graph.delay g e;
+        peaks.(e) <- Graph.delay g e
+      end)
+    (Graph.edges g);
+  let rank = Graph.topo_rank g in
+  let enabled v =
+    Hashtbl.find remaining v > 0
+    && List.for_all
+         (fun e -> (not (internal e)) || tokens.(e) >= Graph.pop g e)
+         (Graph.in_edges g v)
+  in
+  let total = List.fold_left (fun acc (_, k) -> acc + k) 0 local_rep in
+  let order = ref [] in
+  let fired = ref 0 in
+  while !fired < total do
+    let best = ref (-1) in
+    List.iter
+      (fun v -> if enabled v && (!best = -1 || rank.(v) > rank.(!best)) then best := v)
+      members;
+    (match !best with
+    | -1 ->
+        raise
+          (Graph.Invalid_graph
+             (Printf.sprintf "Partitioned.local_period: component %d deadlocked"
+                c))
+    | v ->
+        List.iter
+          (fun e -> if internal e then tokens.(e) <- tokens.(e) - Graph.pop g e)
+          (Graph.in_edges g v);
+        List.iter
+          (fun e ->
+            if internal e then begin
+              tokens.(e) <- tokens.(e) + Graph.push g e;
+              if tokens.(e) > peaks.(e) then peaks.(e) <- tokens.(e)
+            end)
+          (Graph.out_edges g v);
+        Hashtbl.replace remaining v (Hashtbl.find remaining v - 1);
+        order := v :: !order;
+        incr fired)
+  done;
+  (List.rev !order, peaks)
+
+let batch g (a : Rates.analysis) spec ~t =
+  if not (Spec.is_well_ordered spec) then
+    invalid_arg "Partitioned.batch: partition is not well-ordered";
+  let base = Rates.granularity g a ~at_least:1 in
+  if t < 1 || t mod base <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Partitioned.batch: t=%d is not a positive multiple of the \
+          granularity %d"
+         t base);
+  let m = Graph.num_edges g in
+  let capacities = Array.make m 0 in
+  (* Cross edges hold a whole batch (plus initial tokens). *)
+  List.iter
+    (fun e ->
+      capacities.(e) <- Rates.tokens_per_batch a ~t e + Graph.delay g e)
+    (Spec.cross_edges spec);
+  let order = Spec.component_topo_order spec in
+  let component_schedules =
+    Array.to_list order
+    |> List.map (fun c ->
+           let firing_order, peaks = local_period g a spec c in
+           (* Internal capacities: the local period's peak occupancies. *)
+           Array.iteri
+             (fun e p -> if p > 0 then capacities.(e) <- max capacities.(e) p)
+             peaks;
+           (* Internal edges must at least admit a single push/pop even if
+              the peak analysis yields less (e.g. zero-delay tight loops). *)
+           List.iter
+             (fun e ->
+               if
+                 Spec.component_of spec (Graph.src g e) = c
+                 && Spec.component_of spec (Graph.dst g e) = c
+               then
+                 capacities.(e) <-
+                   max capacities.(e) (max (Graph.push g e) (Graph.pop g e)))
+             (Graph.edges g);
+           (* Repeat count: firings per batch divided by the local period. *)
+           let v0 =
+             match Spec.members spec c with
+             | v :: _ -> v
+             | [] -> assert false
+           in
+           let local_rep = local_repetition a (Spec.members spec c) in
+           let p0 = List.assoc v0 local_rep in
+           let n0 = Rates.firings_per_batch a ~t v0 in
+           assert (n0 mod p0 = 0);
+           Schedule.repeat (n0 / p0) (Schedule.of_list firing_order))
+  in
+  let period = Schedule.seq component_schedules in
+  Plan.of_period
+    ~name:(Printf.sprintf "partitioned-batch-T%d" t)
+    ~capacities period
+
+let homogeneous g a spec ~m_tokens =
+  if not (Graph.is_homogeneous g) then
+    invalid_arg "Partitioned.homogeneous: graph is not homogeneous";
+  let plan = batch g a spec ~t:m_tokens in
+  { plan with Plan.name = Printf.sprintf "partitioned-homog-M%d" m_tokens }
+
+(* --- Dynamic homogeneous-DAG schedule ------------------------------------ *)
+
+let dag_dynamic g (a : Rates.analysis) spec ~m_tokens =
+  if not (Graph.is_homogeneous g) then
+    invalid_arg "Partitioned.dag_dynamic: graph is not homogeneous";
+  if List.exists (fun e -> Graph.delay g e > 0) (Graph.edges g) then
+    invalid_arg "Partitioned.dag_dynamic: channel delays are not supported";
+  if not (Spec.is_well_ordered spec) then
+    invalid_arg "Partitioned.dag_dynamic: partition is not well-ordered";
+  ignore a;
+  let mb = Minbuf.compute g a in
+  let m = Graph.num_edges g in
+  let capacities =
+    Array.init m (fun e ->
+        if Spec.is_cross spec e then m_tokens else mb.Minbuf.capacity.(e))
+  in
+  let order = Spec.component_topo_order spec in
+  let k = Array.length order in
+  let members = Array.map (fun c -> Spec.members spec c) order in
+  let in_cross = Array.make k [] and out_cross = Array.make k [] in
+  List.iter
+    (fun e ->
+      if Spec.is_cross spec e then begin
+        let cs = Spec.component_of spec (Graph.src g e)
+        and cd = Spec.component_of spec (Graph.dst g e) in
+        Array.iteri
+          (fun i c ->
+            if c = cs then out_cross.(i) <- e :: out_cross.(i);
+            if c = cd then in_cross.(i) <- e :: in_cross.(i))
+          order
+      end)
+    (Graph.edges g);
+  let drive machine ~target_outputs =
+    let schedulable i =
+      List.for_all
+        (fun e -> Machine.tokens machine e >= m_tokens)
+        in_cross.(i)
+      && List.for_all (fun e -> Machine.tokens machine e = 0) out_cross.(i)
+    in
+    (* Prefer the latest schedulable component so tokens drain towards the
+       sink and outputs appear as early as possible. *)
+    let pick () =
+      let rec scan i =
+        if i < 0 then None else if schedulable i then Some i else scan (i - 1)
+      in
+      scan (k - 1)
+    in
+    let execute i =
+      (* Each member fires m_tokens times: one topological pass of the
+         component, repeated (the paper's low-level schedule for
+         homogeneous graphs). *)
+      for _ = 1 to m_tokens do
+        List.iter (Machine.fire machine) members.(i)
+      done
+    in
+    while Machine.sink_outputs machine < target_outputs do
+      match pick () with
+      | Some i -> execute i
+      | None ->
+          raise
+            (Graph.Invalid_graph
+               "Partitioned.dag_dynamic: no schedulable component")
+    done
+  in
+  Plan.dynamic
+    ~name:(Printf.sprintf "partitioned-dag-dyn-M%d" m_tokens)
+    ~capacities drive
+
+(* --- Dynamic pipeline schedule ------------------------------------------ *)
+
+let pipeline_dynamic g (a : Rates.analysis) spec ~m_tokens =
+  if not (Graph.is_pipeline g) then
+    invalid_arg "Partitioned.pipeline_dynamic: graph is not a pipeline";
+  if not (Spec.is_well_ordered spec) then
+    invalid_arg "Partitioned.pipeline_dynamic: partition is not well-ordered";
+  let mb = Minbuf.compute g a in
+  let m = Graph.num_edges g in
+  let capacities = Array.make m 0 in
+  List.iter
+    (fun e ->
+      capacities.(e) <-
+        (if Spec.is_cross spec e then
+           max (2 * m_tokens)
+             (2 * max (Graph.push g e) (Graph.pop g e) + Graph.delay g e)
+         else mb.Minbuf.capacity.(e)))
+    (Graph.edges g);
+  let order = Spec.component_topo_order spec in
+  let k = Array.length order in
+  (* For a pipeline segmentation, component [order.(i)] has at most one
+     outgoing cross edge. *)
+  let out_cross = Array.make k None in
+  List.iter
+    (fun e ->
+      if Spec.is_cross spec e then begin
+        let cs = Spec.component_of spec (Graph.src g e) in
+        Array.iteri (fun i c -> if c = cs then out_cross.(i) <- Some e) order
+      end)
+    (Graph.edges g);
+  let members = Array.map (fun c -> Spec.members spec c) order in
+  let rank = Graph.topo_rank g in
+  let drive machine ~target_outputs =
+    let half e = capacities.(e) / 2 in
+    let output_at_most_half i =
+      match out_cross.(i) with
+      | None -> true (* last segment: the sink always drains *)
+      | Some e -> Machine.tokens machine e <= half e
+    in
+    (* Paper's continuity scan: the first segment (in topological order)
+       whose output cross edge is at most half full is schedulable — every
+       earlier segment's output, which is this segment's input, is more
+       than half full by construction of the scan. *)
+    let pick () =
+      let rec scan i =
+        if i >= k then None
+        else if output_at_most_half i then Some i
+        else scan (i + 1)
+      in
+      scan 0
+    in
+    let execute i =
+      (* Run the segment until nothing in it can fire (input exhausted or
+         output full), latest-first to drain internal buffers. *)
+      let progressed = ref false in
+      let rec go () =
+        let best = ref (-1) in
+        List.iter
+          (fun v ->
+            if
+              Machine.can_fire machine v
+              && (!best = -1 || rank.(v) > rank.(!best))
+            then best := v)
+          members.(i);
+        if !best >= 0 then begin
+          Machine.fire machine !best;
+          progressed := true;
+          if Machine.sink_outputs machine < target_outputs then go ()
+        end
+      in
+      go ();
+      !progressed
+    in
+    while Machine.sink_outputs machine < target_outputs do
+      match pick () with
+      | Some i ->
+          if not (execute i) then
+            raise
+              (Graph.Invalid_graph
+                 "Partitioned.pipeline_dynamic: schedulable segment could \
+                  not fire")
+      | None ->
+          raise
+            (Graph.Invalid_graph
+               "Partitioned.pipeline_dynamic: no schedulable segment")
+    done
+  in
+  Plan.dynamic
+    ~name:(Printf.sprintf "partitioned-pipeline-M%d" m_tokens)
+    ~capacities drive

@@ -1,0 +1,70 @@
+type driver = Ccs_exec.Machine.t -> target_outputs:int -> unit
+
+type t = {
+  name : string;
+  capacities : int array;
+  period : Schedule.t option;
+  drive : driver;
+}
+
+let of_period ~name ~capacities period =
+  let drive machine ~target_outputs =
+    let rec go () =
+      if Ccs_exec.Machine.sink_outputs machine < target_outputs then begin
+        Schedule.run machine period;
+        go ()
+      end
+    in
+    (* Guard against periods that never fire the sink. *)
+    let before = Ccs_exec.Machine.sink_outputs machine in
+    if target_outputs > before then begin
+      Schedule.run machine period;
+      if Ccs_exec.Machine.sink_outputs machine = before then
+        invalid_arg
+          (Printf.sprintf "Plan %s: period does not fire the sink" name);
+      go ()
+    end
+  in
+  { name; capacities; period = Some period; drive }
+
+let dynamic ~name ~capacities drive = { name; capacities; period = None; drive }
+
+let buffer_words t = Array.fold_left ( + ) 0 t.capacities
+
+let validate g t =
+  match t.period with
+  | None -> Ok ()
+  | Some period -> (
+      if not (Simulate.legal g ~capacities:t.capacities period) then
+        Error
+          (Printf.sprintf "plan %s: period is not legal at its capacities"
+             t.name)
+      else if not (Simulate.is_periodic g period) then
+        Error (Printf.sprintf "plan %s: period does not restore channel state" t.name)
+      else
+        match Ccs_sdf.Rates.analyze g with
+        | Error msg -> Error msg
+        | Ok a ->
+            let counts =
+              Schedule.fire_counts ~num_nodes:(Ccs_sdf.Graph.num_nodes g)
+                period
+            in
+            let sink = Ccs_sdf.Graph.sink g in
+            if counts.(sink) = 0 then
+              Error (Printf.sprintf "plan %s: period never fires the sink" t.name)
+            else begin
+              let rep = a.Ccs_sdf.Rates.repetition in
+              let ratio_num = counts.(0) and ratio_den = rep.(0) in
+              let ok = ref (counts.(0) mod rep.(0) = 0) in
+              Array.iteri
+                (fun v c ->
+                  if c * ratio_den <> rep.(v) * ratio_num then ok := false)
+                counts;
+              if !ok then Ok ()
+              else
+                Error
+                  (Printf.sprintf
+                     "plan %s: firing counts are not a multiple of the \
+                      repetition vector"
+                     t.name)
+            end)

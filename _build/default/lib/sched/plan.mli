@@ -1,0 +1,39 @@
+(** Execution plans: a scheduler's complete prescription for running a
+    streaming graph — buffer capacities plus a driver that produces
+    outputs.
+
+    Plans unify static schedulers (which emit a periodic {!Schedule.t}) and
+    dynamic ones (which decide firings online from buffer occupancies, like
+    the paper's half-full pipeline rule), so the experiment harness can
+    treat every scheduler identically: build a machine with the plan's
+    capacities, then drive it to a target output count and read the miss
+    counters. *)
+
+type driver = Ccs_exec.Machine.t -> target_outputs:int -> unit
+(** Drive the machine until the sink has fired at least [target_outputs]
+    times.  Must be resumable: calling again with a larger target continues
+    from the current machine state. *)
+
+type t = {
+  name : string;  (** Scheduler name, for reports. *)
+  capacities : int array;  (** Per-channel buffer capacity in tokens. *)
+  period : Schedule.t option;
+      (** For static schedulers, one period/batch of the schedule. *)
+  drive : driver;
+}
+
+val of_period : name:string -> capacities:int array -> Schedule.t -> t
+(** A static plan: the driver repeats the period until the target is met.
+    The period must fire the sink at least once. *)
+
+val dynamic : name:string -> capacities:int array -> driver -> t
+
+val buffer_words : t -> int
+(** Total buffer footprint of the plan, in words (= tokens). *)
+
+val validate : Ccs_sdf.Graph.t -> t -> (unit, string) result
+(** Certify a static plan offline: its period must be token-legal at the
+    plan's capacities, periodic (channels return to their initial
+    occupancy), fire the sink, and fire every module a whole multiple of
+    its repetition count.  Dynamic plans (no [period]) return [Ok ()] —
+    their legality is enforced at run time by the machine. *)

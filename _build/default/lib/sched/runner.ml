@@ -1,0 +1,89 @@
+module Machine = Ccs_exec.Machine
+module Cache = Ccs_cache.Cache
+
+type result = {
+  plan_name : string;
+  inputs : int;
+  outputs : int;
+  misses : int;
+  accesses : int;
+  misses_per_input : float;
+  buffer_words : int;
+  address_space_words : int;
+}
+
+let run ?(record_trace = false) ~graph ~cache ~plan ~outputs () =
+  let machine =
+    Machine.create ~record_trace ~graph ~cache
+      ~capacities:plan.Plan.capacities ()
+  in
+  plan.Plan.drive machine ~target_outputs:outputs;
+  let result =
+    {
+      plan_name = plan.Plan.name;
+      inputs = Machine.source_inputs machine;
+      outputs = Machine.sink_outputs machine;
+      misses = Machine.misses machine;
+      accesses = Cache.accesses (Machine.cache machine);
+      misses_per_input = Machine.misses_per_input machine;
+      buffer_words = Plan.buffer_words plan;
+      address_space_words = Machine.address_space_words machine;
+    }
+  in
+  (result, machine)
+
+type latency = { max_inputs_behind : int; mean_inputs_behind : float }
+
+let run_with_latency ~graph ~cache ~plan ~outputs () =
+  let machine =
+    Machine.create ~graph ~cache ~capacities:plan.Plan.capacities ()
+  in
+  let g = graph in
+  let a = Ccs_sdf.Rates.analyze_exn g in
+  let sink = Ccs_sdf.Graph.sink g in
+  (* Inputs necessary for k sink firings: k / gain(sink), rounded up. *)
+  let inv_gain = Ccs_sdf.Rational.inv a.Ccs_sdf.Rates.node_gain.(sink) in
+  let max_behind = ref 0 in
+  let sum_behind = ref 0 in
+  let samples = ref 0 in
+  Machine.set_fire_hook machine
+    (Some
+       (fun v ->
+         if v = sink then begin
+           let k = Machine.sink_outputs machine in
+           let necessary =
+             Ccs_sdf.Rational.ceil (Ccs_sdf.Rational.mul_int inv_gain k)
+           in
+           let behind = Machine.source_inputs machine - necessary in
+           if behind > !max_behind then max_behind := behind;
+           sum_behind := !sum_behind + max 0 behind;
+           incr samples
+         end));
+  plan.Plan.drive machine ~target_outputs:outputs;
+  let result =
+    {
+      plan_name = plan.Plan.name;
+      inputs = Machine.source_inputs machine;
+      outputs = Machine.sink_outputs machine;
+      misses = Machine.misses machine;
+      accesses = Cache.accesses (Machine.cache machine);
+      misses_per_input = Machine.misses_per_input machine;
+      buffer_words = Plan.buffer_words plan;
+      address_space_words = Machine.address_space_words machine;
+    }
+  in
+  let latency =
+    {
+      max_inputs_behind = !max_behind;
+      mean_inputs_behind =
+        (if !samples = 0 then Float.nan
+         else float_of_int !sum_behind /. float_of_int !samples);
+    }
+  in
+  (result, latency)
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "%-28s inputs=%-8d outputs=%-8d misses=%-10d misses/input=%.4f \
+     buffers=%dw"
+    r.plan_name r.inputs r.outputs r.misses r.misses_per_input r.buffer_words

@@ -1,0 +1,48 @@
+(** Run a plan on a simulated machine and collect its cost. *)
+
+type result = {
+  plan_name : string;
+  inputs : int;  (** Source firings executed. *)
+  outputs : int;  (** Sink firings executed. *)
+  misses : int;
+  accesses : int;
+  misses_per_input : float;
+  buffer_words : int;  (** Plan's total buffer footprint. *)
+  address_space_words : int;  (** Whole simulated footprint. *)
+}
+
+val run :
+  ?record_trace:bool ->
+  graph:Ccs_sdf.Graph.t ->
+  cache:Ccs_cache.Cache.config ->
+  plan:Plan.t ->
+  outputs:int ->
+  unit ->
+  result * Ccs_exec.Machine.t
+(** Build a machine with the plan's capacities, drive it until the sink has
+    fired at least [outputs] times, and return the measured result along
+    with the machine (for inspecting the cache or trace). *)
+
+val pp_result : Format.formatter -> result -> unit
+
+type latency = {
+  max_inputs_behind : int;
+      (** Max over sink firings of (inputs consumed so far − inputs
+          {e necessary} for that many outputs): the buffered backlog, in
+          input tokens — a direct latency measure in the streaming sense.
+          Minimal-memory schedules keep it near the pipeline depth; batch
+          schedules hold whole batches, so it grows with [T] times the
+          component count. *)
+  mean_inputs_behind : float;
+}
+
+val run_with_latency :
+  graph:Ccs_sdf.Graph.t ->
+  cache:Ccs_cache.Cache.config ->
+  plan:Plan.t ->
+  outputs:int ->
+  unit ->
+  result * latency
+(** Like {!run}, additionally tracking the input-to-output backlog at every
+    sink firing (via the machine's fire hook, so it works for dynamic
+    plans too). *)

@@ -1,0 +1,40 @@
+module Graph = Ccs_sdf.Graph
+module Minbuf = Ccs_sdf.Minbuf
+
+let scaled_schedule g a ~s =
+  if s < 1 then invalid_arg "Scaling.scaled_schedule: s must be >= 1";
+  let mb = Minbuf.compute g a in
+  Schedule.seq
+    (List.map (fun v -> Schedule.repeat s (Schedule.fire v)) mb.Minbuf.schedule)
+
+let plan g a ~s =
+  let period = scaled_schedule g a ~s in
+  let capacities = Simulate.peaks g period in
+  Plan.of_period ~name:(Printf.sprintf "scaling-x%d" s) ~capacities period
+
+let footprint g a ~s =
+  let period = scaled_schedule g a ~s in
+  let peaks = Simulate.peaks g period in
+  let buffers = Array.fold_left ( + ) 0 peaks in
+  let max_state =
+    List.fold_left (fun acc v -> max acc (Graph.state g v)) 0 (Graph.nodes g)
+  in
+  buffers + max_state
+
+let auto g a ~cache_words ?(max_s = 4096) () =
+  let fits s = footprint g a ~s <= cache_words in
+  if not (fits 1) then plan g a ~s:1
+  else begin
+    (* Doubling phase. *)
+    let rec double s = if 2 * s <= max_s && fits (2 * s) then double (2 * s) else s in
+    let lo = double 1 in
+    (* Bisect in (lo, min (2*lo) max_s]. *)
+    let rec bisect lo hi =
+      if hi - lo <= 1 then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if fits mid then bisect mid hi else bisect lo mid
+    in
+    let s = bisect lo (min (2 * lo) max_s + 1) in
+    plan g a ~s
+  end

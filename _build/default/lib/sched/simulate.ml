@@ -1,0 +1,56 @@
+module Graph = Ccs_sdf.Graph
+
+exception Illegal of {
+  node : Graph.node;
+  edge : Graph.edge;
+  at_firing : int;
+}
+
+let replay g sched ~on_fire =
+  let tokens = Array.init (Graph.num_edges g) (fun e -> Graph.delay g e) in
+  let count = ref 0 in
+  Schedule.iter sched ~f:(fun v ->
+      List.iter
+        (fun e ->
+          tokens.(e) <- tokens.(e) - Graph.pop g e;
+          if tokens.(e) < 0 then
+            raise (Illegal { node = v; edge = e; at_firing = !count }))
+        (Graph.in_edges g v);
+      List.iter
+        (fun e -> tokens.(e) <- tokens.(e) + Graph.push g e)
+        (Graph.out_edges g v);
+      on_fire tokens;
+      incr count);
+  tokens
+
+let peaks g sched =
+  let peak = Array.init (Graph.num_edges g) (fun e -> Graph.delay g e) in
+  let _ =
+    replay g sched ~on_fire:(fun tokens ->
+        Array.iteri (fun e t -> if t > peak.(e) then peak.(e) <- t) tokens)
+  in
+  peak
+
+let final_tokens g sched = replay g sched ~on_fire:(fun _ -> ())
+
+let is_periodic g sched =
+  match final_tokens g sched with
+  | final ->
+      let ok = ref true in
+      Array.iteri (fun e t -> if t <> Graph.delay g e then ok := false) final;
+      !ok
+  | exception Illegal _ -> false
+
+let legal g ~capacities sched =
+  match
+    let _ =
+      replay g sched ~on_fire:(fun tokens ->
+          Array.iteri
+            (fun e t -> if t > capacities.(e) then raise Exit)
+            tokens)
+    in
+    ()
+  with
+  | () -> true
+  | exception Exit -> false
+  | exception Illegal _ -> false

@@ -1,0 +1,32 @@
+(** Cache-free token simulation of firing sequences.
+
+    Schedulers need to know how much buffering a candidate schedule uses
+    {e before} committing to capacities; this module replays a schedule on
+    token counters only (no cache, no addresses) and reports per-channel
+    peak occupancy, or rejects the schedule as illegal. *)
+
+exception Illegal of {
+  node : Ccs_sdf.Graph.node;
+  edge : Ccs_sdf.Graph.edge;
+  at_firing : int;
+}
+(** The [at_firing]-th firing tried to consume more tokens than channel
+    [edge] held. *)
+
+val peaks : Ccs_sdf.Graph.t -> Schedule.t -> int array
+(** [peaks g sched] replays [sched] from the initial token state (channel
+    delays) with unbounded buffers and returns each channel's maximum
+    occupancy.  A channel that is never written still reports its delay.
+    @raise Illegal if the schedule underflows a channel. *)
+
+val final_tokens : Ccs_sdf.Graph.t -> Schedule.t -> int array
+(** Token counts on every channel after the schedule completes.
+    @raise Illegal as for {!peaks}. *)
+
+val is_periodic : Ccs_sdf.Graph.t -> Schedule.t -> bool
+(** Whether the schedule returns every channel to its initial occupancy —
+    i.e. it can be repeated indefinitely with bounded buffers. *)
+
+val legal : Ccs_sdf.Graph.t -> capacities:int array -> Schedule.t -> bool
+(** Whether the schedule respects both token availability and the given
+    capacities throughout. *)

@@ -1,0 +1,1 @@
+lib/sdf/ccs_sdf.ml: Generators Graph Minbuf Rates Rational Serial Transform

@@ -1,0 +1,1 @@
+lib/sdf/generators.ml: Array Graph List Printf Random Rational Stdlib

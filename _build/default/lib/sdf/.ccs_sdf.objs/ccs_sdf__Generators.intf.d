@@ -1,0 +1,1 @@
+lib/sdf/generators.mli: Graph

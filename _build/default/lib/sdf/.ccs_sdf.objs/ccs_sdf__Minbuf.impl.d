@@ -1,0 +1,1 @@
+lib/sdf/minbuf.ml: Array Graph List Printf Rates Rational Stdlib

@@ -1,0 +1,1 @@
+lib/sdf/minbuf.mli: Graph Rates

@@ -1,0 +1,1 @@
+lib/sdf/rates.ml: Array Graph List Option Printf Queue Rational Result Stdlib

@@ -1,0 +1,1 @@
+lib/sdf/rates.mli: Graph Rational

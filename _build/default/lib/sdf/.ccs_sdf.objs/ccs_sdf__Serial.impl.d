@@ -1,0 +1,1 @@
+lib/sdf/serial.ml: Buffer Format Graph Hashtbl List Printf String

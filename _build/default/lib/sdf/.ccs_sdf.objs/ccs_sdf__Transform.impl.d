@@ -1,0 +1,1 @@
+lib/sdf/transform.ml: Array Fun Graph List Rates Rational

@@ -1,0 +1,1 @@
+lib/sdf/transform.mli: Graph

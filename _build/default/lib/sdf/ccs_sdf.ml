@@ -1,0 +1,10 @@
+(** Streaming-graph substrate: SDF graphs, rate analysis, buffer sizing,
+    workload generators, and serialization. *)
+
+module Rational = Rational
+module Graph = Graph
+module Rates = Rates
+module Minbuf = Minbuf
+module Generators = Generators
+module Serial = Serial
+module Transform = Transform

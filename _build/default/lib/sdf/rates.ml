@@ -1,0 +1,111 @@
+module Q = Rational
+
+type analysis = {
+  node_gain : Q.t array;
+  edge_gain : Q.t array;
+  repetition : int array;
+  period_inputs : int;
+}
+
+(* Propagate gains by BFS over the underlying undirected graph: crossing a
+   channel (u,v) forward multiplies the gain by push/pop; crossing it
+   backward divides.  Any disagreement on an already-labelled node means the
+   graph is not rate-matched. *)
+let analyze g =
+  let n = Graph.num_nodes g in
+  if not (Graph.is_connected g) then Error "graph is not connected"
+  else begin
+    let gain = Array.make n None in
+    let start =
+      match Graph.sources g with v :: _ -> v | [] -> assert false
+    in
+    gain.(start) <- Some Q.one;
+    let queue = Queue.create () in
+    Queue.add start queue;
+    let consistent = ref None in
+    let set v q =
+      match gain.(v) with
+      | None ->
+          gain.(v) <- Some q;
+          Queue.add v queue
+      | Some q' ->
+          if not (Q.equal q q') then
+            consistent :=
+              Some
+                (Printf.sprintf
+                   "module %s has inconsistent gain along different paths \
+                    (%s vs %s)"
+                   (Graph.node_name g v) (Q.to_string q') (Q.to_string q))
+    in
+    while not (Queue.is_empty queue) && !consistent = None do
+      let v = Queue.pop queue in
+      let gv = Option.get gain.(v) in
+      List.iter
+        (fun e ->
+          let w = Graph.dst g e in
+          let r = Q.make (Graph.push g e) (Graph.pop g e) in
+          set w (Q.mul gv r))
+        (Graph.out_edges g v);
+      List.iter
+        (fun e ->
+          let u = Graph.src g e in
+          let r = Q.make (Graph.pop g e) (Graph.push g e) in
+          set u (Q.mul gv r))
+        (Graph.in_edges g v)
+    done;
+    match !consistent with
+    | Some msg -> Error msg
+    | None ->
+        let node_gain = Array.map Option.get gain in
+        let m = Graph.num_edges g in
+        let edge_gain =
+          Array.init m (fun e ->
+              Q.mul_int node_gain.(Graph.src g e) (Graph.push g e))
+        in
+        (* Repetition vector: scale gains to the smallest integral vector. *)
+        let denom_lcm =
+          Array.fold_left (fun acc q -> Q.lcm acc (Q.den q)) 1 node_gain
+        in
+        let scaled =
+          Array.map (fun q -> Q.to_int_exn (Q.mul_int q denom_lcm)) node_gain
+        in
+        let num_gcd = Array.fold_left Q.gcd 0 scaled in
+        let repetition = Array.map (fun x -> x / num_gcd) scaled in
+        let period_inputs =
+          match Graph.sources g with
+          | [ s ] -> repetition.(s)
+          | _ -> repetition.(start)
+        in
+        Ok { node_gain; edge_gain; repetition; period_inputs }
+  end
+
+let analyze_exn g =
+  match analyze g with
+  | Ok a -> a
+  | Error msg -> raise (Graph.Invalid_graph msg)
+
+let is_rate_matched g = Result.is_ok (analyze g)
+let gain a v = a.node_gain.(v)
+let edge_gain a e = a.edge_gain.(e)
+
+let granularity _g a ~at_least =
+  (* T must be a multiple of lcm over nodes of den(gain v); then every
+     T * gain v is integral, which implies every T * edge_gain e is integral
+     and divisible by push (= T*gain(src) firings of src) and pop. *)
+  let l =
+    Array.fold_left (fun acc q -> Q.lcm acc (Q.den q)) 1 a.node_gain
+  in
+  let k = Stdlib.max 1 ((Stdlib.max 1 at_least + l - 1) / l) in
+  k * l
+
+let firings_per_batch a ~t v =
+  let q = Q.mul_int a.node_gain.(v) t in
+  if not (Q.is_integer q) then
+    invalid_arg "Rates.firings_per_batch: t is not a granularity multiple"
+  else Q.to_int_exn q
+
+let tokens_per_batch a ~t e =
+  let q = Q.mul_int a.edge_gain.(e) t in
+  if not (Q.is_integer q) then
+    invalid_arg "Rates.tokens_per_batch: t is not a granularity multiple"
+  else Q.to_int_exn q

@@ -1,0 +1,54 @@
+(** Rate analysis of SDF graphs: gains, rate-matching, repetition vectors.
+
+    Following Definition 1 of the paper, the {e gain} of module [v] is the
+    number of times [v] fires per firing of the source, and the gain of a
+    channel [(u,v)] is [gain(u) * push(u,v)] — the number of tokens crossing
+    the channel per source firing.  Gains are well defined only for
+    {e rate-matched} graphs, where the product of [push/pop] ratios is the
+    same along every directed path between any fixed pair of vertices. *)
+
+type analysis = {
+  node_gain : Rational.t array;  (** [gain(v)], normalized so the gain of
+                                     the reference source is 1. *)
+  edge_gain : Rational.t array;  (** [gain(e) = gain(src e) * push e]. *)
+  repetition : int array;
+      (** Smallest positive integral firing vector [q] such that every
+          channel is balanced over one period:
+          [q.(src e) * push e = q.(dst e) * pop e]. *)
+  period_inputs : int;
+      (** Number of source firings in one period, [q.(source)]. *)
+}
+
+val analyze : Graph.t -> (analysis, string) result
+(** Full rate analysis.  Returns [Error] with a human-readable reason when
+    the graph is not rate-matched (inconsistent rates) or not connected
+    (gains would be ambiguous across components). *)
+
+val analyze_exn : Graph.t -> analysis
+(** @raise Graph.Invalid_graph when {!analyze} would return [Error]. *)
+
+val is_rate_matched : Graph.t -> bool
+
+val gain : analysis -> Graph.node -> Rational.t
+val edge_gain : analysis -> Graph.edge -> Rational.t
+
+val granularity : Graph.t -> analysis -> at_least:int -> int
+(** [granularity g a ~at_least] is the smallest batch size [T >= at_least]
+    (in source firings… see below) such that for every channel [e],
+    [T * edge_gain e] is integral and divisible by both [push e] and
+    [pop e]; equivalently the smallest [T >= at_least] with [T * gain v]
+    integral for every module [v].  Scheduling at a granularity of [T]
+    source inputs lets all progeny of the batch drain through the graph with
+    every module firing an integral number of times (Section 3,
+    "Scheduling inhomogeneous graphs"). *)
+
+val firings_per_batch : analysis -> t:int -> Graph.node -> int
+(** [firings_per_batch a ~t v] is [t * gain v], the number of firings of [v]
+    required to process a batch of [t] source firings.
+    @raise Invalid_argument if the product is not integral (i.e. [t] is not
+    a multiple of the granularity). *)
+
+val tokens_per_batch : analysis -> t:int -> Graph.edge -> int
+(** [tokens_per_batch a ~t e] is [t * edge_gain e], the number of tokens
+    crossing channel [e] during a batch of [t] source firings.
+    @raise Invalid_argument if not integral. *)

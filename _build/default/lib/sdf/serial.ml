@@ -1,0 +1,123 @@
+let to_dot g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" (Graph.name g));
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s (%d)\"];\n" v (Graph.node_name g v)
+           (Graph.state g v)))
+    (Graph.nodes g);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%d/%d\"];\n" (Graph.src g e)
+           (Graph.dst g e) (Graph.push g e) (Graph.pop g e)))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_text g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s\n" (Graph.name g));
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "module %s %d\n" (Graph.node_name g v)
+           (Graph.state g v)))
+    (Graph.nodes g);
+  List.iter
+    (fun e ->
+      let d = Graph.delay g e in
+      Buffer.add_string buf
+        (Printf.sprintf "channel %s %s %d %d%s\n"
+           (Graph.node_name g (Graph.src g e))
+           (Graph.node_name g (Graph.dst g e))
+           (Graph.push g e) (Graph.pop g e)
+           (if d = 0 then "" else Printf.sprintf " %d" d)))
+    (Graph.edges g);
+  Buffer.contents buf
+
+let parse text =
+  (* Pre-scan for the graph name so the builder is created under it. *)
+  let pre_name =
+    String.split_on_char '\n' text
+    |> List.find_map (fun line ->
+           match
+             String.split_on_char ' ' (String.trim line)
+             |> List.filter (fun w -> w <> "")
+           with
+           | [ "graph"; n ] -> Some n
+           | _ -> None)
+  in
+  let b = Graph.Builder.create ?name:pre_name () in
+  let named = Hashtbl.create 16 in
+  let graph_name = ref None in
+  let error lineno fmt =
+    Format.kasprintf (fun s -> Error (Printf.sprintf "line %d: %s" lineno s))
+      fmt
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let words =
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun w -> w <> "")
+        in
+        match words with
+        | [] -> go (lineno + 1) rest
+        | [ "graph"; n ] ->
+            graph_name := Some n;
+            go (lineno + 1) rest
+        | [ "module"; n; st ] -> (
+            match int_of_string_opt st with
+            | None -> error lineno "bad state size %S" st
+            | Some st ->
+                if Hashtbl.mem named n then
+                  error lineno "duplicate module %S" n
+                else begin
+                  Hashtbl.add named n (Graph.Builder.add_module b ~state:st n);
+                  go (lineno + 1) rest
+                end)
+        | "channel" :: s :: d :: pu :: po :: tl -> (
+            let delay =
+              match tl with
+              | [] -> Some 0
+              | [ x ] -> int_of_string_opt x
+              | _ -> None
+            in
+            match
+              ( Hashtbl.find_opt named s,
+                Hashtbl.find_opt named d,
+                int_of_string_opt pu,
+                int_of_string_opt po,
+                delay )
+            with
+            | Some src, Some dst, Some push, Some pop, Some delay -> (
+                match
+                  Graph.Builder.add_channel b ~delay ~src ~dst ~push ~pop ()
+                with
+                | _ -> go (lineno + 1) rest
+                | exception Graph.Invalid_graph msg -> error lineno "%s" msg)
+            | None, _, _, _, _ -> error lineno "unknown module %S" s
+            | _, None, _, _, _ -> error lineno "unknown module %S" d
+            | _ -> error lineno "bad channel line")
+        | w :: _ -> error lineno "unknown directive %S" w)
+  in
+  match go 1 lines with
+  | Error _ as e -> e
+  | Ok () -> (
+      ignore !graph_name;
+      match Graph.Builder.build b with
+      | g -> Ok g
+      | exception Graph.Invalid_graph msg -> Error msg)
+
+let parse_exn text =
+  match parse text with
+  | Ok g -> g
+  | Error msg -> raise (Graph.Invalid_graph msg)

@@ -1,0 +1,27 @@
+(** Textual serialization of streaming graphs.
+
+    Two formats:
+    - {!to_dot}: Graphviz DOT export for visualization (one-way).
+    - a line-oriented format readable back by {!parse}, used by the
+      [ccsched] CLI:
+
+    {v
+    graph NAME
+    module NAME STATE
+    channel SRC_NAME DST_NAME PUSH POP [DELAY]
+    v}
+
+    Blank lines and [#]-comments are ignored. *)
+
+val to_dot : Graph.t -> string
+(** Graphviz representation; modules are labelled [name (state)], channels
+    [push/pop]. *)
+
+val to_text : Graph.t -> string
+(** Round-trippable text form ({!parse} recovers an equal graph). *)
+
+val parse : string -> (Graph.t, string) result
+(** Parse the text form.  Errors carry a line number and reason. *)
+
+val parse_exn : string -> Graph.t
+(** @raise Graph.Invalid_graph on parse failure. *)

@@ -1,0 +1,73 @@
+module Q = Rational
+
+type info = {
+  graph : Graph.t;
+  super_source : Graph.node option;
+  super_sink : Graph.node option;
+  node_map : Graph.node array;
+}
+
+let is_normalized g =
+  List.length (Graph.sources g) = 1 && List.length (Graph.sinks g) = 1
+
+let normalize ?(source_state = 1) ?(sink_state = 1) g =
+  if is_normalized g then
+    {
+      graph = g;
+      super_source = None;
+      super_sink = None;
+      node_map = Array.init (Graph.num_nodes g) Fun.id;
+    }
+  else begin
+    let a = Rates.analyze_exn g in
+    let b = Graph.Builder.create ~name:(Graph.name g) () in
+    let node_map =
+      Array.init (Graph.num_nodes g) (fun v ->
+          Graph.Builder.add_module b ~state:(Graph.state g v)
+            (Graph.node_name g v))
+    in
+    List.iter
+      (fun e ->
+        ignore
+          (Graph.Builder.add_channel b ~delay:(Graph.delay g e)
+             ~src:node_map.(Graph.src g e)
+             ~dst:node_map.(Graph.dst g e)
+             ~push:(Graph.push g e) ~pop:(Graph.pop g e) ()))
+      (Graph.edges g);
+    let sources = Graph.sources g and sinks = Graph.sinks g in
+    let super_source =
+      match sources with
+      | [ _ ] -> None
+      | _ ->
+          let s =
+            Graph.Builder.add_module b ~state:source_state "super-source"
+          in
+          (* A channel to original source v: the super source has gain 1,
+             so push/pop must equal gain(v). *)
+          List.iter
+            (fun v ->
+              let gv = Rates.gain a v in
+              ignore
+                (Graph.Builder.add_channel b ~src:s ~dst:node_map.(v)
+                   ~push:(Q.num gv) ~pop:(Q.den gv) ()))
+            sources;
+          Some s
+    in
+    let super_sink =
+      match sinks with
+      | [ _ ] -> None
+      | _ ->
+          let t = Graph.Builder.add_module b ~state:sink_state "super-sink" in
+          (* Give the super sink gain 1 as well: from original sink v with
+             gain g, push/pop = 1/g in lowest terms. *)
+          List.iter
+            (fun v ->
+              let gv = Rates.gain a v in
+              ignore
+                (Graph.Builder.add_channel b ~src:node_map.(v) ~dst:t
+                   ~push:(Q.den gv) ~pop:(Q.num gv) ()))
+            sinks;
+          Some t
+    in
+    { graph = Graph.Builder.build b; super_source; super_sink; node_map }
+  end

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Ccs Ccs_apps List

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Ccs Ccs_apps Hashtbl List Option

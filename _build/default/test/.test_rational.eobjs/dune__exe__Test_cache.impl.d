@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Ccs Fun List QCheck2 QCheck_alcotest

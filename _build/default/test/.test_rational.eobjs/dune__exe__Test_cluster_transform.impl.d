@@ -1,0 +1,1 @@
+test/test_cluster_transform.ml: Alcotest Array Ccs Ccs_apps List Printf

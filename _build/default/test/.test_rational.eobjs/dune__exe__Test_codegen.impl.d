@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Ccs Ccs_apps Filename Option Printf Scanf Sys

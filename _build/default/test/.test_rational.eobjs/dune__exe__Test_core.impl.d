@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Ccs Ccs_apps Float List Option Printf Result String

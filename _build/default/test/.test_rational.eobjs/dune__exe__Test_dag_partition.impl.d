@@ -1,0 +1,1 @@
+test/test_dag_partition.ml: Alcotest Ccs Ccs_apps List Printf

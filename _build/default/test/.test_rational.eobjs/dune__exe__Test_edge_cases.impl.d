@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Ccs Ccs_exec List

@@ -1,0 +1,1 @@
+test/test_lru.ml: Alcotest Ccs List QCheck2 QCheck_alcotest

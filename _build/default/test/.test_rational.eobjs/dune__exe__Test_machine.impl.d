@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Ccs Float List Printf String

@@ -1,0 +1,1 @@
+test/test_minbuf.ml: Alcotest Array Ccs Ccs_apps List Printf

@@ -1,0 +1,1 @@
+test/test_order_dp.ml: Alcotest Array Ccs Ccs_apps List Printf

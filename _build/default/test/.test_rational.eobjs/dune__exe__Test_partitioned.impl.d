@@ -1,0 +1,1 @@
+test/test_partitioned.ml: Alcotest Array Ccs Ccs_apps Hashtbl List Option Printf

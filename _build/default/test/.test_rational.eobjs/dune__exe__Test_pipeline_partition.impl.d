@@ -1,0 +1,1 @@
+test/test_pipeline_partition.ml: Alcotest Array Ccs List Option Printf

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Ccs List QCheck2 QCheck_alcotest

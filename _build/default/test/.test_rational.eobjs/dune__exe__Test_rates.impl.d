@@ -1,0 +1,1 @@
+test/test_rates.ml: Alcotest Array Ccs Ccs_apps List Printf String

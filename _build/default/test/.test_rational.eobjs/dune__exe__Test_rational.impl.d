@@ -1,0 +1,1 @@
+test/test_rational.ml: Alcotest Ccs List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Ccs Ccs_apps Float List Printf Scanf

@@ -1,0 +1,1 @@
+test/test_scaling_kohli.ml: Alcotest Array Ccs Ccs_apps List Option Printf

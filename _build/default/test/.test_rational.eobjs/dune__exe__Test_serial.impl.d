@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Ccs Ccs_apps List Printf String

@@ -1,0 +1,1 @@
+test/test_simulate.ml: Alcotest Ccs Ccs_apps List

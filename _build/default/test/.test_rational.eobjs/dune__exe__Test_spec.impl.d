@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Array Ccs List

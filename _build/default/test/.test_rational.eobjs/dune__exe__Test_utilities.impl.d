@@ -1,0 +1,1 @@
+test/test_utilities.ml: Alcotest Array Ccs Ccs_apps Format List Printf QCheck2 QCheck_alcotest String

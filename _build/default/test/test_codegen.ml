@@ -1,0 +1,126 @@
+(* Tests for the code generator: the emitted standalone OCaml program must
+   compute exactly what the in-process engine computes (differential
+   testing through the real `ocaml` interpreter). *)
+
+module G = Ccs.Graph
+module R = Ccs.Rates
+
+let run_generated code ~periods =
+  let path = Filename.temp_file "ccsgen" ".ml" in
+  let oc = open_out path in
+  output_string oc code;
+  close_out oc;
+  let out_path = Filename.temp_file "ccsgen" ".out" in
+  let rc =
+    Sys.command
+      (Printf.sprintf "ocaml %s %d > %s 2>/dev/null" (Filename.quote path)
+         periods
+         (Filename.quote out_path))
+  in
+  let ic = open_in out_path in
+  let line = try input_line ic with End_of_file -> "" in
+  close_in ic;
+  Sys.remove path;
+  Sys.remove out_path;
+  if rc <> 0 then Alcotest.failf "generated program exited with %d" rc;
+  Scanf.sscanf line "outputs=%d checksum=%f" (fun o c -> (o, c))
+
+let engine_reference g plan ~outputs =
+  let program = Ccs.Program.create g (Ccs.Codegen.codegen_semantics g) in
+  let engine =
+    Ccs.Engine.of_plan ~program
+      ~cache:(Ccs.Cache.config ~size_words:4096 ~block_words:16 ())
+      ~plan ()
+  in
+  let r = Ccs.Engine.run_plan engine plan ~outputs in
+  let sink = G.sink g in
+  (r.Ccs.Runner.outputs, (Ccs.Engine.state engine sink).(0))
+
+let differential g plan ~periods =
+  let period_outputs =
+    let counts =
+      Ccs.Schedule.fire_counts ~num_nodes:(G.num_nodes g)
+        (Option.get plan.Ccs.Plan.period)
+    in
+    counts.(G.sink g)
+  in
+  let gen_outputs, gen_checksum =
+    run_generated (Ccs.Codegen.emit g ~plan) ~periods
+  in
+  let eng_outputs, eng_checksum =
+    engine_reference g plan ~outputs:(periods * period_outputs)
+  in
+  Alcotest.(check int) "same outputs" eng_outputs gen_outputs;
+  Alcotest.(check (float 1e-6)) "same checksum" eng_checksum gen_checksum
+
+let test_pipeline_batch () =
+  let g = Ccs.Generators.uniform_pipeline ~n:6 ~state:8 () in
+  let a = R.analyze_exn g in
+  let spec = Ccs.Spec.of_assignment g [| 0; 0; 0; 1; 1; 1 |] in
+  differential g (Ccs.Partitioned.batch g a spec ~t:8) ~periods:5
+
+let test_multirate_chain () =
+  let g =
+    Ccs.Generators.pipeline ~n:4
+      ~state:(fun _ -> 4)
+      ~rates:(fun i -> [| (2, 1); (1, 4); (3, 1) |].(i))
+      ()
+  in
+  let a = R.analyze_exn g in
+  differential g (Ccs.Baseline.minimal_memory g a) ~periods:7
+
+let test_split_join () =
+  let g = Ccs.Generators.split_join ~branches:3 ~depth:2 ~state:4 () in
+  let a = R.analyze_exn g in
+  let spec = Ccs.Dag_partition.greedy g ~bound:16 in
+  differential g (Ccs.Partitioned.homogeneous g a spec ~m_tokens:4) ~periods:3
+
+let test_app_beamformer () =
+  let g = Ccs_apps.Beamformer.graph ~channels:2 ~beams:2 ~taps:4 () in
+  let a = R.analyze_exn g in
+  differential g (Ccs.Baseline.single_appearance g a) ~periods:4
+
+let test_delays_respected () =
+  let b = G.Builder.create ~name:"delayed" () in
+  let x = G.Builder.add_module b ~state:2 "x" in
+  let y = G.Builder.add_module b ~state:2 "y" in
+  let z = G.Builder.add_module b ~state:2 "z" in
+  ignore (G.Builder.add_channel b ~src:x ~dst:y ~push:1 ~pop:1 ());
+  ignore (G.Builder.add_channel b ~delay:2 ~src:y ~dst:z ~push:1 ~pop:1 ());
+  let g = G.Builder.build b in
+  let a = R.analyze_exn g in
+  differential g (Ccs.Baseline.minimal_memory g a) ~periods:6
+
+let test_rejects_dynamic () =
+  let g = Ccs.Generators.uniform_pipeline ~n:4 ~state:8 () in
+  let a = R.analyze_exn g in
+  let spec = Ccs.Spec.of_assignment g [| 0; 0; 1; 1 |] in
+  let plan = Ccs.Partitioned.pipeline_dynamic g a spec ~m_tokens:16 in
+  match Ccs.Codegen.emit g ~plan with
+  | _ -> Alcotest.fail "dynamic plan must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_deterministic () =
+  let g = Ccs.Generators.uniform_pipeline ~n:4 ~state:4 () in
+  let a = R.analyze_exn g in
+  let plan = Ccs.Baseline.minimal_memory g a in
+  Alcotest.(check string) "same text twice" (Ccs.Codegen.emit g ~plan)
+    (Ccs.Codegen.emit g ~plan)
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "pipeline batch" `Quick test_pipeline_batch;
+          Alcotest.test_case "multirate chain" `Quick test_multirate_chain;
+          Alcotest.test_case "split-join" `Quick test_split_join;
+          Alcotest.test_case "beamformer" `Quick test_app_beamformer;
+          Alcotest.test_case "delays" `Quick test_delays_respected;
+        ] );
+      ( "unit",
+        [
+          Alcotest.test_case "rejects dynamic" `Quick test_rejects_dynamic;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+(* Unit and property tests for the O(1) LRU set. *)
+
+module L = Ccs.Lru
+
+let test_create_invalid () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Lru.create: capacity must be >= 1") (fun () ->
+      ignore (L.create ~capacity:0))
+
+let test_hit_miss () =
+  let l = L.create ~capacity:2 in
+  (match L.touch l 1 with
+  | `Miss None -> ()
+  | _ -> Alcotest.fail "first touch is a non-evicting miss");
+  (match L.touch l 1 with
+  | `Hit -> ()
+  | _ -> Alcotest.fail "second touch is a hit");
+  Alcotest.(check int) "size" 1 (L.size l)
+
+let test_eviction_order () =
+  let l = L.create ~capacity:3 in
+  List.iter (fun k -> ignore (L.touch l k)) [ 1; 2; 3 ];
+  (* 1 is the LRU entry. *)
+  (match L.touch l 4 with
+  | `Miss (Some 1) -> ()
+  | `Miss (Some k) -> Alcotest.failf "evicted %d, expected 1" k
+  | _ -> Alcotest.fail "expected eviction");
+  (* Touch 2 to refresh it; next eviction is 3. *)
+  ignore (L.touch l 2);
+  match L.touch l 5 with
+  | `Miss (Some 3) -> ()
+  | _ -> Alcotest.fail "expected 3 evicted"
+
+let test_mru_order () =
+  let l = L.create ~capacity:4 in
+  List.iter (fun k -> ignore (L.touch l k)) [ 1; 2; 3; 4 ];
+  Alcotest.(check (list int)) "mru order" [ 4; 3; 2; 1 ]
+    (L.to_list_mru_first l);
+  ignore (L.touch l 2);
+  Alcotest.(check (list int)) "after touch 2" [ 2; 4; 3; 1 ]
+    (L.to_list_mru_first l)
+
+let test_mem_no_promote () =
+  let l = L.create ~capacity:2 in
+  ignore (L.touch l 1);
+  ignore (L.touch l 2);
+  Alcotest.(check bool) "mem 1" true (L.mem l 1);
+  (* mem must not have promoted 1: inserting 3 still evicts 1. *)
+  match L.touch l 3 with
+  | `Miss (Some 1) -> ()
+  | _ -> Alcotest.fail "mem must not update recency"
+
+let test_remove () =
+  let l = L.create ~capacity:2 in
+  ignore (L.touch l 1);
+  ignore (L.touch l 2);
+  Alcotest.(check bool) "removed" true (L.remove l 1);
+  Alcotest.(check bool) "absent now" false (L.mem l 1);
+  Alcotest.(check bool) "remove missing" false (L.remove l 99);
+  Alcotest.(check int) "size" 1 (L.size l)
+
+let test_clear () =
+  let l = L.create ~capacity:4 in
+  List.iter (fun k -> ignore (L.touch l k)) [ 1; 2; 3 ];
+  L.clear l;
+  Alcotest.(check int) "empty" 0 (L.size l);
+  Alcotest.(check bool) "no members" false (L.mem l 2);
+  (match L.touch l 7 with
+  | `Miss None -> ()
+  | _ -> Alcotest.fail "fresh after clear");
+  Alcotest.(check (list int)) "list" [ 7 ] (L.to_list_mru_first l)
+
+let test_capacity_one () =
+  let l = L.create ~capacity:1 in
+  ignore (L.touch l 1);
+  (match L.touch l 2 with
+  | `Miss (Some 1) -> ()
+  | _ -> Alcotest.fail "capacity-1 always evicts");
+  Alcotest.(check bool) "only 2" true (L.mem l 2 && not (L.mem l 1))
+
+(* Model-based property test: compare against a naive list model. *)
+
+let model_touch model capacity k =
+  if List.mem k model then (`Hit, k :: List.filter (fun x -> x <> k) model)
+  else if List.length model >= capacity then
+    let rec split_last acc = function
+      | [] -> assert false
+      | [ last ] -> (last, List.rev acc)
+      | x :: rest -> split_last (x :: acc) rest
+    in
+    let evicted, kept = split_last [] model in
+    (`Miss (Some evicted), k :: kept)
+  else (`Miss None, k :: model)
+
+let prop_matches_model =
+  QCheck2.Test.make ~name:"LRU matches reference model" ~count:300
+    QCheck2.Gen.(
+      pair (int_range 1 8) (list_size (int_range 0 200) (int_range 0 15)))
+    (fun (capacity, keys) ->
+      let l = L.create ~capacity in
+      let model = ref [] in
+      List.for_all
+        (fun k ->
+          let expected, m' = model_touch !model capacity k in
+          model := m';
+          let actual = L.touch l k in
+          actual = expected && L.to_list_mru_first l = !model)
+        keys)
+
+let prop_size_bounded =
+  QCheck2.Test.make ~name:"size never exceeds capacity" ~count:300
+    QCheck2.Gen.(
+      pair (int_range 1 8) (list_size (int_range 0 100) (int_range 0 50)))
+    (fun (capacity, keys) ->
+      let l = L.create ~capacity in
+      List.for_all
+        (fun k ->
+          ignore (L.touch l k);
+          L.size l <= capacity)
+        keys)
+
+let () =
+  Alcotest.run "lru"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "create invalid" `Quick test_create_invalid;
+          Alcotest.test_case "hit/miss" `Quick test_hit_miss;
+          Alcotest.test_case "eviction order" `Quick test_eviction_order;
+          Alcotest.test_case "mru order" `Quick test_mru_order;
+          Alcotest.test_case "mem no promote" `Quick test_mem_no_promote;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "capacity one" `Quick test_capacity_one;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_matches_model; prop_size_bounded ] );
+    ]

@@ -1,0 +1,152 @@
+(* Tests for the multiprocessor extension: LPT assignment and the
+   private-cache placement simulator. *)
+
+module G = Ccs.Graph
+module R = Ccs.Rates
+module Sp = Ccs.Spec
+
+let setup () =
+  let g = Ccs.Generators.uniform_pipeline ~n:16 ~state:64 () in
+  let a = R.analyze_exn g in
+  let spec = Ccs.Pipeline_partition.optimal_dp g a ~bound:128 in
+  (g, a, spec)
+
+let test_lpt_assigns_everything () =
+  let g, a, spec = setup () in
+  let assign = Ccs.Assign.lpt g a spec ~processors:3 in
+  Alcotest.(check int) "every component placed"
+    (Sp.num_components spec)
+    (Array.length assign.Ccs.Assign.processor_of_component);
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "valid processor" true (p >= 0 && p < 3))
+    assign.Ccs.Assign.processor_of_component
+
+let test_lpt_single_processor () =
+  let g, a, spec = setup () in
+  let assign = Ccs.Assign.lpt g a spec ~processors:1 in
+  Alcotest.(check (float 1e-9)) "imbalance 1" 1. (Ccs.Assign.imbalance assign)
+
+let test_lpt_load_conserved () =
+  let g, a, spec = setup () in
+  let total p =
+    let assign = Ccs.Assign.lpt g a spec ~processors:p in
+    Array.fold_left ( +. ) 0. assign.Ccs.Assign.load
+  in
+  Alcotest.(check (float 1e-6)) "same total load" (total 1) (total 4)
+
+let test_lpt_balance_reasonable () =
+  (* 8 equal components on 4 processors: LPT is perfectly balanced. *)
+  let g = Ccs.Generators.uniform_pipeline ~n:16 ~state:64 () in
+  let a = R.analyze_exn g in
+  let spec = Sp.of_assignment g (Array.init 16 (fun v -> v / 2)) in
+  let assign = Ccs.Assign.lpt g a spec ~processors:4 in
+  Alcotest.(check bool) "near-perfect balance" true
+    (Ccs.Assign.imbalance assign < 1.01)
+
+let test_lpt_rejects_zero () =
+  let g, a, spec = setup () in
+  Alcotest.check_raises "0 processors"
+    (Invalid_argument "Assign.lpt: processors must be >= 1") (fun () ->
+      ignore (Ccs.Assign.lpt g a spec ~processors:0))
+
+let test_component_load_positive () =
+  let g, a, spec = setup () in
+  for c = 0 to Sp.num_components spec - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "component %d load > 0" c)
+      true
+      (Ccs.Assign.component_load g a spec c > 0.)
+  done
+
+let run_multi g a spec ~processors =
+  let assign = Ccs.Assign.lpt g a spec ~processors in
+  let cfg =
+    {
+      Ccs.Multi_machine.processors;
+      cache = Ccs.Cache.config ~size_words:256 ~block_words:16 ();
+      miss_penalty = 16.;
+    }
+  in
+  Ccs.Multi_machine.run g a spec assign
+    ~t:(R.granularity g a ~at_least:256)
+    ~batches:4 cfg
+
+let test_single_processor_equals_uniprocessor () =
+  let g, a, spec = setup () in
+  let r = run_multi g a spec ~processors:1 in
+  (* With P=1 the multiprocessor run IS the uniprocessor run. *)
+  Alcotest.(check (float 1e-9)) "speedup 1" 1. r.Ccs.Multi_machine.speedup;
+  Alcotest.(check int) "same misses" r.Ccs.Multi_machine.total_misses
+    r.Ccs.Multi_machine.per_processor_misses.(0)
+
+let test_speedup_grows () =
+  let g, a, spec = setup () in
+  let r1 = run_multi g a spec ~processors:1 in
+  let r4 = run_multi g a spec ~processors:4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "P=4 speedup %.2f > 2" r4.Ccs.Multi_machine.speedup)
+    true
+    (r4.Ccs.Multi_machine.speedup > 2.);
+  Alcotest.(check bool) "makespan shrinks" true
+    (r4.Ccs.Multi_machine.makespan < r1.Ccs.Multi_machine.makespan)
+
+let test_inputs_counted () =
+  let g, a, spec = setup () in
+  let r = run_multi g a spec ~processors:2 in
+  Alcotest.(check int) "inputs = batches * T" (4 * 256)
+    r.Ccs.Multi_machine.inputs
+
+let test_mismatched_processors_rejected () =
+  let g, a, spec = setup () in
+  let assign = Ccs.Assign.lpt g a spec ~processors:2 in
+  let cfg =
+    {
+      Ccs.Multi_machine.processors = 3;
+      cache = Ccs.Cache.config ~size_words:256 ~block_words:16 ();
+      miss_penalty = 16.;
+    }
+  in
+  match
+    Ccs.Multi_machine.run g a spec assign ~t:256 ~batches:1 cfg
+  with
+  | _ -> Alcotest.fail "mismatch must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_work_conserved_across_processors () =
+  let g, a, spec = setup () in
+  let r1 = run_multi g a spec ~processors:1 in
+  let r4 = run_multi g a spec ~processors:4 in
+  let total r =
+    Array.fold_left ( +. ) 0. r.Ccs.Multi_machine.per_processor_work
+  in
+  Alcotest.(check (float 1e-6)) "same total work" (total r1) (total r4)
+
+let () =
+  Alcotest.run "multi"
+    [
+      ( "assign",
+        [
+          Alcotest.test_case "assigns everything" `Quick
+            test_lpt_assigns_everything;
+          Alcotest.test_case "single processor" `Quick
+            test_lpt_single_processor;
+          Alcotest.test_case "load conserved" `Quick test_lpt_load_conserved;
+          Alcotest.test_case "balance reasonable" `Quick
+            test_lpt_balance_reasonable;
+          Alcotest.test_case "rejects zero" `Quick test_lpt_rejects_zero;
+          Alcotest.test_case "loads positive" `Quick
+            test_component_load_positive;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "P=1 = uniprocessor" `Quick
+            test_single_processor_equals_uniprocessor;
+          Alcotest.test_case "speedup grows" `Quick test_speedup_grows;
+          Alcotest.test_case "inputs counted" `Quick test_inputs_counted;
+          Alcotest.test_case "mismatch rejected" `Quick
+            test_mismatched_processors_rejected;
+          Alcotest.test_case "work conserved" `Quick
+            test_work_conserved_across_processors;
+        ] );
+    ]

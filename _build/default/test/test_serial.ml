@@ -1,0 +1,123 @@
+(* Tests for graph serialization: DOT export and the round-trippable text
+   format. *)
+
+module G = Ccs.Graph
+module S = Ccs.Serial
+
+let graphs_equal g1 g2 =
+  G.num_nodes g1 = G.num_nodes g2
+  && G.num_edges g1 = G.num_edges g2
+  && List.for_all
+       (fun v ->
+         String.equal (G.node_name g1 v) (G.node_name g2 v)
+         && G.state g1 v = G.state g2 v)
+       (G.nodes g1)
+  && List.for_all
+       (fun e ->
+         G.src g1 e = G.src g2 e
+         && G.dst g1 e = G.dst g2 e
+         && G.push g1 e = G.push g2 e
+         && G.pop g1 e = G.pop g2 e
+         && G.delay g1 e = G.delay g2 e)
+       (G.edges g1)
+
+let test_roundtrip_pipeline () =
+  let g =
+    Ccs.Generators.pipeline ~n:5
+      ~state:(fun i -> (i * 3) + 1)
+      ~rates:(fun i -> (i + 1, i + 2))
+      ()
+  in
+  let g2 = S.parse_exn (S.to_text g) in
+  Alcotest.(check bool) "roundtrip equal" true (graphs_equal g g2)
+
+let test_roundtrip_apps () =
+  List.iter
+    (fun entry ->
+      let g = entry.Ccs_apps.Suite.graph () in
+      let g2 = S.parse_exn (S.to_text g) in
+      Alcotest.(check bool)
+        (entry.Ccs_apps.Suite.name ^ " roundtrips")
+        true (graphs_equal g g2))
+    Ccs_apps.Suite.all
+
+let test_roundtrip_delay () =
+  let b = G.Builder.create ~name:"delayed" () in
+  let x = G.Builder.add_module b ~state:3 "x" in
+  let y = G.Builder.add_module b ~state:4 "y" in
+  ignore (G.Builder.add_channel b ~delay:9 ~src:x ~dst:y ~push:2 ~pop:3 ());
+  let g = G.Builder.build b in
+  let g2 = S.parse_exn (S.to_text g) in
+  Alcotest.(check bool) "delay preserved" true (graphs_equal g g2);
+  Alcotest.(check int) "delay value" 9 (G.delay g2 0)
+
+let test_parse_name () =
+  let g = S.parse_exn "graph myapp\nmodule a 1\nmodule b 2\nchannel a b 1 1\n" in
+  Alcotest.(check string) "name" "myapp" (G.name g)
+
+let test_parse_comments_and_blanks () =
+  let text =
+    "# a comment\n\ngraph x\nmodule a 1   # trailing comment\n\nmodule b 1\n\
+     channel a b 1 1\n"
+  in
+  let g = S.parse_exn text in
+  Alcotest.(check int) "nodes" 2 (G.num_nodes g)
+
+let test_parse_errors () =
+  let expect_error text =
+    match S.parse text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("should fail: " ^ text)
+  in
+  expect_error "module a x\n";
+  expect_error "channel a b 1 1\n";
+  expect_error "module a 1\nmodule a 2\n";
+  expect_error "frobnicate\n";
+  expect_error "module a 1\nmodule b 1\nchannel a b 0 1\n";
+  expect_error "module a 1\nmodule b 1\nchannel a b 1 1 -2\n";
+  (* Parses but builds a cyclic graph. *)
+  expect_error
+    "module a 1\nmodule b 1\nchannel a b 1 1\nchannel b a 1 1\n"
+
+let test_error_carries_line () =
+  match S.parse "module a 1\nbogus line here\n" with
+  | Error msg ->
+      Alcotest.(check bool) "mentions line 2" true
+        (String.length msg >= 6 && String.sub msg 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_dot_output () =
+  let g = Ccs.Generators.uniform_pipeline ~n:3 ~state:5 () in
+  let dot = S.to_dot g in
+  Alcotest.(check bool) "has digraph" true
+    (String.length dot > 10 && String.sub dot 0 7 = "digraph");
+  (* Every node and edge appears. *)
+  let contains haystack needle =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun v ->
+      let needle = Printf.sprintf "n%d " v in
+      Alcotest.(check bool) (needle ^ "present") true (contains dot needle))
+    (G.nodes g)
+
+let () =
+  Alcotest.run "serial"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "roundtrip pipeline" `Quick
+            test_roundtrip_pipeline;
+          Alcotest.test_case "roundtrip apps" `Quick test_roundtrip_apps;
+          Alcotest.test_case "roundtrip delay" `Quick test_roundtrip_delay;
+          Alcotest.test_case "parse name" `Quick test_parse_name;
+          Alcotest.test_case "comments and blanks" `Quick
+            test_parse_comments_and_blanks;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "error line numbers" `Quick
+            test_error_carries_line;
+          Alcotest.test_case "dot output" `Quick test_dot_output;
+        ] );
+    ]

@@ -1,0 +1,104 @@
+(* Tests for the cache-free token simulator used by schedulers to size
+   buffers and validate candidate schedules. *)
+
+module G = Ccs.Graph
+module S = Ccs.Schedule
+module Sim = Ccs.Simulate
+
+let chain3 () = Ccs.Generators.uniform_pipeline ~n:3 ~state:1 ()
+
+let test_peaks_simple () =
+  let g = chain3 () in
+  (* Fire source twice before draining: edge 0 peaks at 2. *)
+  let s = S.of_list [ 0; 0; 1; 1; 2; 2 ] in
+  Alcotest.(check (array int)) "peaks" [| 2; 2 |] (Sim.peaks g s);
+  let tight = S.of_list [ 0; 1; 2; 0; 1; 2 ] in
+  Alcotest.(check (array int)) "tight peaks" [| 1; 1 |] (Sim.peaks g tight)
+
+let test_peaks_includes_delay () =
+  let b = G.Builder.create () in
+  let x = G.Builder.add_module b "x" in
+  let y = G.Builder.add_module b "y" in
+  ignore (G.Builder.add_channel b ~delay:3 ~src:x ~dst:y ~push:1 ~pop:1 ());
+  let g = G.Builder.build b in
+  (* Empty schedule: peak is the initial delay. *)
+  Alcotest.(check (array int)) "delay is the floor" [| 3 |]
+    (Sim.peaks g (S.seq []))
+
+let test_illegal_underflow () =
+  let g = chain3 () in
+  match Sim.peaks g (S.of_list [ 1 ]) with
+  | _ -> Alcotest.fail "consuming from an empty channel must fail"
+  | exception Sim.Illegal { node; edge; at_firing } ->
+      Alcotest.(check int) "node" 1 node;
+      Alcotest.(check int) "edge" 0 edge;
+      Alcotest.(check int) "at firing" 0 at_firing
+
+let test_final_tokens () =
+  let g = chain3 () in
+  Alcotest.(check (array int)) "residue" [| 1; 0 |]
+    (Sim.final_tokens g (S.of_list [ 0; 0; 1; 2 ]))
+
+let test_is_periodic () =
+  let g = chain3 () in
+  Alcotest.(check bool) "balanced period" true
+    (Sim.is_periodic g (S.of_list [ 0; 1; 2 ]));
+  Alcotest.(check bool) "unbalanced" false
+    (Sim.is_periodic g (S.of_list [ 0; 0; 1; 2 ]));
+  Alcotest.(check bool) "illegal is not periodic" false
+    (Sim.is_periodic g (S.of_list [ 1; 0; 2 ]))
+
+let test_legal () =
+  let g = chain3 () in
+  Alcotest.(check bool) "fits capacity 1" true
+    (Sim.legal g ~capacities:[| 1; 1 |] (S.of_list [ 0; 1; 2 ]));
+  Alcotest.(check bool) "exceeds capacity 1" false
+    (Sim.legal g ~capacities:[| 1; 1 |] (S.of_list [ 0; 0; 1; 1; 2; 2 ]));
+  Alcotest.(check bool) "fits capacity 2" true
+    (Sim.legal g ~capacities:[| 2; 2 |] (S.of_list [ 0; 0; 1; 1; 2; 2 ]));
+  Alcotest.(check bool) "underflow illegal" false
+    (Sim.legal g ~capacities:[| 9; 9 |] (S.of_list [ 1 ]))
+
+let test_multirate () =
+  (* src -3/2-> snk: firing src twice then snk three times is balanced. *)
+  let g =
+    Ccs.Generators.pipeline ~n:2 ~state:(fun _ -> 1) ~rates:(fun _ -> (3, 2)) ()
+  in
+  let s = S.of_list [ 0; 0; 1; 1; 1 ] in
+  Alcotest.(check bool) "periodic" true (Sim.is_periodic g s);
+  Alcotest.(check (array int)) "peak 6" [| 6 |] (Sim.peaks g s)
+
+let test_machine_agreement () =
+  (* Simulate.legal must agree with what the machine accepts. *)
+  let g = Ccs_apps.Beamformer.graph ~channels:2 ~beams:2 ~taps:4 () in
+  let a = Ccs.Rates.analyze_exn g in
+  let mb = Ccs.Minbuf.compute g a in
+  let sched = S.of_list mb.Ccs.Minbuf.schedule in
+  Alcotest.(check bool) "minbuf schedule legal at minbuf caps" true
+    (Sim.legal g ~capacities:mb.Ccs.Minbuf.capacity sched);
+  let m =
+    Ccs.Machine.create ~graph:g
+      ~cache:(Ccs.Cache.config ~size_words:256 ~block_words:8 ())
+      ~capacities:mb.Ccs.Minbuf.capacity ()
+  in
+  (* Must run without Not_fireable. *)
+  S.run m sched;
+  Alcotest.(check int) "one period ran" (List.length mb.Ccs.Minbuf.schedule)
+    (Ccs.Machine.total_fires m)
+
+let () =
+  Alcotest.run "simulate"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "peaks" `Quick test_peaks_simple;
+          Alcotest.test_case "peaks include delay" `Quick
+            test_peaks_includes_delay;
+          Alcotest.test_case "illegal underflow" `Quick test_illegal_underflow;
+          Alcotest.test_case "final tokens" `Quick test_final_tokens;
+          Alcotest.test_case "is_periodic" `Quick test_is_periodic;
+          Alcotest.test_case "legal" `Quick test_legal;
+          Alcotest.test_case "multirate" `Quick test_multirate;
+          Alcotest.test_case "machine agreement" `Quick test_machine_agreement;
+        ] );
+    ]
