@@ -18,16 +18,34 @@
 
 open Cmdliner
 
+let read_file path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error reason | Failure reason ->
+    (* [Sys_error] messages usually lead with the path; drop it rather than
+       print the path twice. *)
+    let prefix = path ^ ": " in
+    let reason =
+      if String.starts_with ~prefix reason then
+        String.sub reason (String.length prefix)
+          (String.length reason - String.length prefix)
+      else reason
+    in
+    Error (Ccs.Error.to_string (Ccs.Error.Io { path; reason }))
+
 let read_graph file app =
   match (file, app) with
-  | Some path, None ->
-      let ic = open_in path in
-      let len = in_channel_length ic in
-      let text = really_input_string ic len in
-      close_in ic;
-      (match Ccs.Serial.parse text with
-      | Ok g -> Ok g
-      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | Some path, None -> (
+      match read_file path with
+      | Error _ as e -> e
+      | Ok text -> (
+          match Ccs.Serial.parse text with
+          | Ok g -> Ok g
+          | Error err ->
+              Error (Printf.sprintf "%s: %s" path (Ccs.Error.to_string err))))
   | None, Some name -> (
       match Ccs_apps.Suite.find name with
       | Some entry -> Ok (entry.Ccs_apps.Suite.graph ())
@@ -76,6 +94,116 @@ let or_die = function
 
 let with_graph graph f = f (or_die graph)
 
+let ints_of_string s =
+  try
+    String.split_on_char ',' s
+    |> List.filter (fun x -> String.trim x <> "")
+    |> List.map (fun x -> int_of_string (String.trim x))
+    |> Result.ok
+  with Failure _ ->
+    Error (Printf.sprintf "expected comma-separated integers, got %S" s)
+
+(* --- check ---------------------------------------------------------------- *)
+
+let check_cmd =
+  let run graph m b components capacities degree_bound strict =
+    with_graph graph @@ fun g ->
+    let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
+    let report =
+      let base = Ccs.Check.graph g in
+      match (components, capacities) with
+      | None, None ->
+          (* Nothing user-supplied: lint the full pipeline at this cache
+             size (graph, the paper's own partition, its plan). *)
+          Ccs.Check.auto ?degree_bound g cfg
+      | _ ->
+          let with_components =
+            match components with
+            | None -> base
+            | Some s ->
+                Ccs.Check.merge base
+                  (match ints_of_string s with
+                  | Error reason ->
+                      {
+                        Ccs.Check.empty with
+                        errors =
+                          [
+                            Ccs.Error.Plan_invalid
+                              { plan = "--components"; reason };
+                          ];
+                      }
+                  | Ok ints ->
+                      Ccs.Check.partition
+                        ~bound:(Ccs.Config.partition_bound cfg)
+                        ?degree_bound g
+                        ~components:(Array.of_list ints))
+          in
+          (match capacities with
+          | None -> with_components
+          | Some s ->
+              Ccs.Check.merge with_components
+                (match ints_of_string s with
+                | Error reason ->
+                    {
+                      Ccs.Check.empty with
+                      errors =
+                        [
+                          Ccs.Error.Plan_invalid
+                            { plan = "--capacities"; reason };
+                        ];
+                    }
+                | Ok ints ->
+                    Ccs.Check.capacities g (Array.of_list ints)))
+    in
+    Format.printf "%a" Ccs.Check.pp report;
+    let ne = List.length report.Ccs.Check.errors in
+    let nw = List.length report.Ccs.Check.warnings in
+    if ne > 0 || (strict && nw > 0) then (
+      Printf.printf "check failed: %d error(s), %d warning(s)%s\n" ne nw
+        (if ne = 0 then " (strict)" else "");
+      exit 1)
+    else Printf.printf "check passed: 0 errors, %d warning(s)\n" nw
+  in
+  let components =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "components" ] ~docv:"C0,C1,..."
+          ~doc:
+            "Lint this node-to-component assignment (one id per module, in \
+             node order) instead of the computed partition.")
+  in
+  let capacities =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "capacities" ] ~docv:"N0,N1,..."
+          ~doc:
+            "Lint these per-channel buffer capacities (tokens, in channel \
+             order) instead of the computed plan.")
+  in
+  let degree_bound =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "degree-bound" ] ~docv:"N"
+          ~doc:"Also require every component's cross-edge degree to be at \
+                most N (Lemma 8's degree-limited condition).")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Treat warnings as errors (exit nonzero).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Lint a graph — and optionally a partition and buffer capacities \
+          — against the paper's preconditions; exit nonzero on any error.")
+    Term.(
+      const run $ graph_args $ cache_words_arg $ block_words_arg $ components
+      $ capacities $ degree_bound $ strict)
+
 (* --- info ---------------------------------------------------------------- *)
 
 let info_cmd =
@@ -121,23 +249,66 @@ let partition_cmd =
 (* --- run ------------------------------------------------------------------ *)
 
 let run_cmd =
-  let run graph m b outputs =
+  let run graph m b outputs inject_seed inject_count =
     with_graph graph @@ fun g ->
     let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
     let choice = Ccs.Auto.plan g cfg in
+    let plan = choice.Ccs.Auto.plan in
     Printf.printf "partition: %d components; batch T=%d\n"
       (Ccs.Spec.num_components choice.Ccs.Auto.partition)
       choice.Ccs.Auto.batch;
-    let result, machine =
-      Ccs.Runner.run ~graph:g ~cache:(Ccs.Config.cache_config cfg)
-        ~plan:choice.Ccs.Auto.plan ~outputs ()
-    in
-    Format.printf "%a@." Ccs.Runner.pp_result result;
-    Format.printf "cache: %a@." Ccs.Cache.pp_stats (Ccs.Machine.cache machine)
+    match inject_seed with
+    | None ->
+        let result, machine =
+          Ccs.Runner.run ~graph:g ~cache:(Ccs.Config.cache_config cfg) ~plan
+            ~outputs ()
+        in
+        Format.printf "%a@." Ccs.Runner.pp_result result;
+        Format.printf "cache: %a@." Ccs.Cache.pp_stats
+          (Ccs.Machine.cache machine)
+    | Some seed ->
+        (* Fault drill: run real kernels with an injected fault plan; a
+           triggered fault is contained and reported, with nonzero exit. *)
+        let fault = Ccs.Fault.plan ~seed ~count:inject_count g in
+        Format.printf "%a@." Ccs.Fault.pp fault;
+        let program =
+          Ccs.Program.inject fault
+            (Ccs.Program.create g (Ccs.Kernels.autobind g))
+        in
+        let engine =
+          or_die
+            (Result.map_error Ccs.Error.to_string
+               (Ccs.Engine.create_checked ~program
+                  ~cache:(Ccs.Config.cache_config cfg)
+                  ~capacities:plan.Ccs.Plan.capacities ()))
+        in
+        let result =
+          or_die
+            (Result.map_error Ccs.Error.to_string
+               (Ccs.Engine.run_plan_checked engine plan ~outputs))
+        in
+        Format.printf "%a@." Ccs.Runner.pp_result result
+  in
+  let inject_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject-seed" ] ~docv:"SEED"
+          ~doc:
+            "Run real kernels with a seeded fault-injection plan; any \
+             triggered fault is contained and reported with nonzero exit.")
+  in
+  let inject_count =
+    Arg.(
+      value & opt int 1
+      & info [ "inject-count" ] ~docv:"N"
+          ~doc:"Number of fault sites to draw (with --inject-seed).")
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Schedule with the partitioned scheduler and simulate.")
-    Term.(const run $ graph_args $ cache_words_arg $ block_words_arg $ outputs_arg)
+    Term.(
+      const run $ graph_args $ cache_words_arg $ block_words_arg $ outputs_arg
+      $ inject_seed $ inject_count)
 
 (* --- compare --------------------------------------------------------------- *)
 
@@ -306,10 +477,30 @@ let dot_cmd =
 
 let () =
   let doc = "cache-conscious scheduling of streaming applications (SPAA'12)" in
-  exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "ccsched" ~version:"1.0.0" ~doc)
-          [
-            info_cmd; partition_cmd; run_cmd; compare_cmd; apps_cmd; multi_cmd; trace_cmd; codegen_cmd; fuse_cmd;
-            normalize_cmd; dot_cmd;
-          ]))
+  let status =
+    (* Last-resort containment: no subcommand may escape with an uncaught
+       exception on malformed input — everything becomes a one-line
+       diagnostic and a nonzero exit. *)
+    try
+      Cmd.eval
+        (Cmd.group (Cmd.info "ccsched" ~version:"1.0.0" ~doc)
+           [
+             check_cmd; info_cmd; partition_cmd; run_cmd; compare_cmd;
+             apps_cmd; multi_cmd; trace_cmd; codegen_cmd; fuse_cmd;
+             normalize_cmd; dot_cmd;
+           ])
+    with
+    | Ccs.Error.Error e ->
+        prerr_endline ("ccsched: error: " ^ Ccs.Error.to_string e);
+        1
+    | Ccs.Graph.Invalid_graph msg ->
+        prerr_endline ("ccsched: invalid graph: " ^ msg);
+        1
+    | Invalid_argument msg | Failure msg ->
+        prerr_endline ("ccsched: error: " ^ msg);
+        1
+    | Sys_error msg ->
+        prerr_endline ("ccsched: i/o error: " ^ msg);
+        1
+  in
+  exit status

@@ -14,6 +14,11 @@ type choice = {
   plan : Ccs_sched.Plan.t;
 }
 
+val fitting_bound : Ccs_sdf.Graph.t -> Config.t -> int
+(** The component state bound {!partition} actually enforces: half the
+    configured cache (the rest absorbs buffers and streaming blocks),
+    relaxed to the largest single module when one is bigger than that. *)
+
 val partition :
   Ccs_sdf.Graph.t -> Ccs_sdf.Rates.analysis -> Config.t -> Ccs_partition.Spec.t
 (** Just the partitioning step: pipelines get the minimum-bandwidth

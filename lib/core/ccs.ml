@@ -25,6 +25,11 @@
     {!Scaling}, {!Kohli}, {!Partitioned}, {!Analysis}, {!Runner}) and the
     high-level API ({!Config}, {!Auto}, {!Compare}). *)
 
+(* Structured errors and validation *)
+module Error = Ccs_sdf.Error
+module Validate = Ccs_sdf.Validate
+module Check = Check
+
 (* SDF substrate *)
 module Rational = Ccs_sdf.Rational
 module Graph = Ccs_sdf.Graph
@@ -42,6 +47,7 @@ module Trace_analysis = Ccs_cache.Trace_analysis
 
 (* Execution *)
 module Machine = Ccs_exec.Machine
+module Fault = Ccs_exec.Fault
 
 (* Partitioning *)
 module Spec = Ccs_partition.Spec
@@ -59,6 +65,7 @@ module Kohli = Ccs_sched.Kohli
 module Partitioned = Ccs_sched.Partitioned
 module Analysis = Ccs_sched.Analysis
 module Runner = Ccs_sched.Runner
+module Watchdog = Ccs_sched.Watchdog
 
 (* High-level API *)
 module Config = Config

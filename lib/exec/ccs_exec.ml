@@ -2,3 +2,4 @@
 
 module Intvec = Intvec
 module Machine = Machine
+module Fault = Fault

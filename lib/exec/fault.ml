@@ -1,0 +1,65 @@
+module Graph = Ccs_sdf.Graph
+module E = Ccs_sdf.Error
+
+type site = { node : Graph.node; fault : E.fault_class; at_fire : int }
+type t = { graph : Graph.t; sites : site list }
+
+exception Injected of { node : Graph.node; fault : E.fault_class }
+
+let all_classes = [ E.Nan_output; E.Bad_state_arity; E.Kernel_exception ]
+
+(* Deterministic xorshift64*: fault schedules must replay identically for a
+   given seed, independent of any global Random state. *)
+let rng seed =
+  let state = ref (Int64.of_int (if seed = 0 then 0x9e3779b9 else seed)) in
+  fun bound ->
+    let x = !state in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    state := x;
+    Int64.to_int (Int64.rem (Int64.logand x Int64.max_int) (Int64.of_int bound))
+
+let plan ?(classes = all_classes) ?(horizon = 64) ~seed ~count graph =
+  if classes = [] then invalid_arg "Fault.plan: empty class list";
+  if horizon <= 0 then invalid_arg "Fault.plan: horizon must be positive";
+  let next = rng seed in
+  let n = Graph.num_nodes graph in
+  let classes = Array.of_list classes in
+  let sites =
+    List.init count (fun _ ->
+        {
+          node = next n;
+          fault = classes.(next (Array.length classes));
+          at_fire = next horizon;
+        })
+  in
+  { graph; sites }
+
+let of_sites graph sites = { graph; sites }
+let sites t = t.sites
+
+let find t ~node ~fire_index =
+  List.find_map
+    (fun s ->
+      if s.node = node && s.at_fire = fire_index then Some s.fault else None)
+    t.sites
+
+let targets ?fault t =
+  List.filter_map
+    (fun s ->
+      match fault with
+      | Some f when s.fault <> f -> None
+      | _ -> Some s.node)
+    t.sites
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>fault plan (%d sites)@," (List.length t.sites);
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  %s on firing %d of %s@,"
+        (E.fault_class_to_string s.fault)
+        s.at_fire
+        (Graph.node_name t.graph s.node))
+    t.sites;
+  Format.fprintf fmt "@]"

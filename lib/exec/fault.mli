@@ -1,0 +1,53 @@
+(** Seeded fault-injection plans for the runtime engine.
+
+    A fault plan designates (module, firing-index) sites at which a wrapped
+    kernel misbehaves in one of the {!Ccs_sdf.Error.fault_class} ways: it
+    emits NaN outputs, reports state of the wrong arity, or raises at fire
+    time.  Site selection is driven by a private xorshift generator so a
+    plan is a pure function of [seed] — tests replay the exact same faults
+    on every run without touching the global [Random] state.
+
+    The plan itself is inert data; {!Ccs_runtime.Engine.inject} consults it
+    to wrap a program's kernels, and the engine's containment checks turn
+    each triggered site into a structured [Fault] error naming the module. *)
+
+type site = {
+  node : Ccs_sdf.Graph.node;
+  fault : Ccs_sdf.Error.fault_class;
+  at_fire : int;  (** Zero-based firing index of [node] at which to fire. *)
+}
+
+type t
+
+exception
+  Injected of { node : Ccs_sdf.Graph.node; fault : Ccs_sdf.Error.fault_class }
+(** Raised by an injected kernel for the [Kernel_exception] class; the
+    engine catches it (like any other kernel exception) and reports a
+    structured fault. *)
+
+val all_classes : Ccs_sdf.Error.fault_class list
+
+val plan :
+  ?classes:Ccs_sdf.Error.fault_class list ->
+  ?horizon:int ->
+  seed:int ->
+  count:int ->
+  Ccs_sdf.Graph.t ->
+  t
+(** [plan ~seed ~count g] draws [count] fault sites over [g]'s modules,
+    fault classes drawn from [classes] (default {!all_classes}) and firing
+    indices below [horizon] (default 64).  Deterministic in [seed]. *)
+
+val of_sites : Ccs_sdf.Graph.t -> site list -> t
+(** Hand-built plan, for tests that need a fault at an exact site. *)
+
+val sites : t -> site list
+
+val find :
+  t -> node:Ccs_sdf.Graph.node -> fire_index:int -> Ccs_sdf.Error.fault_class option
+(** The fault (if any) scheduled for [node]'s [fire_index]-th firing. *)
+
+val targets : ?fault:Ccs_sdf.Error.fault_class -> t -> Ccs_sdf.Graph.node list
+(** Modules with at least one site, optionally restricted to one class. *)
+
+val pp : Format.formatter -> t -> unit

@@ -3,6 +3,7 @@ module Cache = Ccs_cache.Cache
 module Layout = Ccs_cache.Layout
 
 exception Not_fireable of { node : Graph.node; reason : string }
+exception Budget_exceeded of { budget : int }
 
 type chan = {
   region : Layout.region;
@@ -25,6 +26,7 @@ type t = {
   space_words : int;
   recorder : Intvec.t option;
   mutable fire_hook : (Graph.node -> unit) option;
+  mutable fire_budget : int option;
 }
 
 let create ?(align_to_block = true) ?(record_trace = false) ~graph ~cache
@@ -73,6 +75,7 @@ let create ?(align_to_block = true) ?(record_trace = false) ~graph ~cache
     space_words = Layout.size layout;
     recorder = (if record_trace then Some (Intvec.create ()) else None);
     fire_hook = None;
+    fire_budget = None;
   }
 
 let graph t = t.graph
@@ -89,8 +92,8 @@ let fireable_reason t v =
   match lacking with
   | Some e ->
       Some
-        (Printf.sprintf "input channel %d has %d < %d tokens" e (tokens t e)
-           (Graph.pop g e))
+        (Printf.sprintf "input channel %s has %d < %d tokens"
+           (Graph.edge_name g e) (tokens t e) (Graph.pop g e))
   | None -> (
       let full =
         List.find_opt
@@ -100,11 +103,14 @@ let fireable_reason t v =
       match full with
       | Some e ->
           Some
-            (Printf.sprintf "output channel %d has %d < %d free slots" e
-               (space t e) (Graph.push g e))
+            (Printf.sprintf "output channel %s has %d < %d free slots"
+               (Graph.edge_name g e) (space t e) (Graph.push g e))
       | None -> None)
 
 let can_fire t v = fireable_reason t v = None
+
+let deadlocked t =
+  List.for_all (fun v -> not (can_fire t v)) (Graph.nodes t.graph)
 
 (* All touches are block-granular: within one firing, touching each block of
    a contiguous span once produces exactly the same sequence of distinct
@@ -135,6 +141,9 @@ let touch_ring t (region : Layout.region) pos k =
   end
 
 let fire t v =
+  (match t.fire_budget with
+  | Some budget when t.total_fires >= budget -> raise (Budget_exceeded { budget })
+  | _ -> ());
   (match fireable_reason t v with
   | Some reason -> raise (Not_fireable { node = v; reason })
   | None -> ());
@@ -165,6 +174,7 @@ let fire t v =
   match t.fire_hook with Some hook -> hook v | None -> ()
 
 let set_fire_hook t hook = t.fire_hook <- hook
+let set_fire_budget t budget = t.fire_budget <- budget
 
 let fire_many t v k =
   for _ = 1 to k do
@@ -194,6 +204,32 @@ let trace t =
   match t.recorder with
   | Some r -> Intvec.to_array r
   | None -> invalid_arg "Machine.trace: machine created without record_trace"
+
+let snapshot t =
+  let g = t.graph in
+  let module E = Ccs_sdf.Error in
+  {
+    E.fired = t.total_fires;
+    inputs = source_inputs t;
+    outputs = sink_outputs t;
+    channels =
+      List.map
+        (fun e ->
+          {
+            E.chan = Graph.edge_name g e;
+            edge = e;
+            occupied = tokens t e;
+            capacity = t.chans.(e).capacity;
+          })
+        (Graph.edges g);
+    blocked =
+      List.filter_map
+        (fun v ->
+          Option.map
+            (fun reason -> { E.node = Graph.node_name g v; reason })
+            (fireable_reason t v))
+        (Graph.nodes g);
+  }
 
 let address_space_words t = t.space_words
 let state_region t v = t.states.(v)

@@ -18,6 +18,10 @@ type t
 
 exception Not_fireable of { node : Ccs_sdf.Graph.node; reason : string }
 
+exception Budget_exceeded of { budget : int }
+(** Raised by {!fire} once {!total_fires} reaches the budget installed with
+    {!set_fire_budget} — the watchdog's guard against livelocked drivers. *)
+
 val create :
   ?align_to_block:bool ->
   ?record_trace:bool ->
@@ -45,6 +49,10 @@ val space : t -> Ccs_sdf.Graph.edge -> int
 
 val can_fire : t -> Ccs_sdf.Graph.node -> bool
 
+val deadlocked : t -> bool
+(** True iff no module at all can fire — the machine can make no further
+    progress under any driver. *)
+
 val fireable_reason : t -> Ccs_sdf.Graph.node -> string option
 (** [None] if fireable, otherwise a human-readable obstruction. *)
 
@@ -56,6 +64,16 @@ val set_fire_hook : t -> (Ccs_sdf.Graph.node -> unit) option -> unit
     fired module.  This is how the data-carrying runtime
     ({!Ccs_runtime.Engine}) piggybacks real token movement onto any
     schedule driver, static or dynamic, without changing the driver. *)
+
+val set_fire_budget : t -> int option -> unit
+(** Install (or clear) a cap on {!total_fires}; once reached, any further
+    {!fire} raises {!Budget_exceeded} instead of executing.  Used by
+    {!Ccs_sched.Watchdog} to bound runaway or livelocked drivers. *)
+
+val snapshot : t -> Ccs_sdf.Error.snapshot
+(** Diagnostic freeze-frame: firing/input/output counts, every channel's
+    occupancy against its capacity, and every currently-blocked module with
+    its {!fireable_reason}. *)
 
 val fire_many : t -> Ccs_sdf.Graph.node -> int -> unit
 (** [fire_many t v k] fires [v] exactly [k] times. *)

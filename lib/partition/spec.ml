@@ -124,6 +124,82 @@ let is_degree_limited t ~bound =
   done;
   !ok
 
+(* Witness for a non-well-ordered partition: a cycle of components in the
+   contracted multigraph, found by DFS over cross edges. *)
+let component_cycle t =
+  let g = t.graph in
+  let k = t.num_components in
+  let succs = Array.make k [] in
+  List.iter
+    (fun e ->
+      let s = t.component.(Graph.src g e) and d = t.component.(Graph.dst g e) in
+      if s <> d then succs.(s) <- (e, d) :: succs.(s))
+    (Graph.edges g);
+  let color = Array.make k 0 in
+  let cycle = ref None in
+  let rec dfs path c =
+    color.(c) <- 1;
+    List.iter
+      (fun (e, d) ->
+        if !cycle = None then
+          if color.(d) = 1 then begin
+            let rec take acc = function
+              | [] -> acc
+              | (e', s') :: _ when s' = d -> (e', s') :: acc
+              | x :: rest -> take (x :: acc) rest
+            in
+            cycle := Some (take [] ((e, c) :: path))
+          end
+          else if color.(d) = 0 then dfs ((e, c) :: path) d)
+      succs.(c);
+    if !cycle = None then color.(c) <- 2
+  in
+  let c = ref 0 in
+  while !cycle = None && !c < k do
+    if color.(!c) = 0 then dfs [] !c;
+    incr c
+  done;
+  !cycle
+
+let validate ?bound ?degree_bound t =
+  let errs = ref [] in
+  let add e = errs := e :: !errs in
+  (if not (is_well_ordered t) then
+     match component_cycle t with
+     | Some steps ->
+         let components = List.map snd steps in
+         let witness =
+           match steps with
+           | (e, _) :: _ -> Graph.edge_name t.graph e
+           | [] -> "?"
+         in
+         add (Ccs_sdf.Error.Not_well_ordered { components; witness })
+     | None -> assert false);
+  (match bound with
+  | None -> ()
+  | Some bound ->
+      for c = 0 to t.num_components - 1 do
+        let state = component_state t c in
+        if state > bound then
+          add
+            (Ccs_sdf.Error.Component_overflow
+               {
+                 component = c;
+                 state;
+                 bound;
+                 members = List.map (Graph.node_name t.graph) (members t c);
+               })
+      done);
+  (match degree_bound with
+  | None -> ()
+  | Some bound ->
+      for c = 0 to t.num_components - 1 do
+        let degree = component_degree t c in
+        if degree > bound then
+          add (Ccs_sdf.Error.Degree_exceeded { component = c; degree; bound })
+      done);
+  List.rev !errs
+
 let bandwidth t analysis =
   List.fold_left
     (fun acc e -> Q.add acc (Rates.edge_gain analysis e))

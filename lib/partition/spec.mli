@@ -69,6 +69,19 @@ val is_degree_limited : t -> bound:int -> bool
 (** Whether every component's cross-edge degree is at most [bound] (the
     paper's [O(m/b)]). *)
 
+val validate : ?bound:int -> ?degree_bound:int -> t -> Ccs_sdf.Error.t list
+(** Check the partition against the paper's preconditions, with witnesses:
+    - [Not_well_ordered] when the contracted multigraph has a cycle — the
+      report names the component cycle and a witness cross edge on it
+      (Definition 2);
+    - [Component_overflow] for every component whose state exceeds [bound]
+      (c-boundedness, Definition 2), naming the members;
+    - [Degree_exceeded] for every component with more than [degree_bound]
+      cross edges (the degree-limited condition of Lemma 8).
+
+    Omitting [bound] / [degree_bound] skips those checks.  Empty means the
+    partition satisfies everything that was checked. *)
+
 val bandwidth : t -> Ccs_sdf.Rates.analysis -> Ccs_sdf.Rational.t
 (** [Σ gain(e)] over cross edges [e] (Definition 3).  For homogeneous
     graphs this is the number of cross edges. *)

@@ -1,4 +1,5 @@
 module Graph = Ccs_sdf.Graph
+module E = Ccs_sdf.Error
 module Machine = Ccs_exec.Machine
 
 type t = {
@@ -7,10 +8,12 @@ type t = {
   states : float array array;
   queues : float Queue.t array;
   capacities : int array;
+  validate : bool;
 }
 
 let move_data t v =
   let g = Program.graph t.program in
+  let name = Graph.node_name g v in
   let kernel = Program.kernel t.program v in
   let inputs =
     Graph.in_edges g v
@@ -24,28 +27,66 @@ let move_data t v =
     out_edges |> List.map (fun e -> Array.make (Graph.push g e) 0.)
     |> Array.of_list
   in
-  kernel.Kernel.fire ~state:t.states.(v) ~inputs ~outputs;
+  (try kernel.Kernel.fire ~state:t.states.(v) ~inputs ~outputs with
+  | Ccs_exec.Fault.Injected { fault; _ } ->
+      E.fail (E.Fault { node = name; fault; detail = "injected fault" })
+  | E.Error _ as exn -> raise exn
+  | exn ->
+      E.fail
+        (E.Fault
+           {
+             node = name;
+             fault = E.Kernel_exception;
+             detail = Printexc.to_string exn;
+           }));
+  if t.validate then
+    Array.iter
+      (fun out ->
+        Array.iter
+          (fun x ->
+            if not (Float.is_finite x) then
+              E.fail
+                (E.Fault
+                   {
+                     node = name;
+                     fault = E.Nan_output;
+                     detail =
+                       Printf.sprintf "kernel produced a non-finite token (%h)"
+                         x;
+                   }))
+          out)
+      outputs;
   List.iteri
     (fun i e -> Array.iter (fun x -> Queue.push x t.queues.(e)) outputs.(i))
     out_edges
 
-let create ?(record_trace = false) ~program ~cache ~capacities () =
+(* Materialise every kernel's initial state, reporting arity mismatches as
+   structured [Bad_state_arity] faults. *)
+let init_states program =
+  let g = Program.graph program in
+  Array.init (Graph.num_nodes g) (fun v ->
+      let st = (Program.kernel program v).Kernel.init () in
+      if Array.length st <> Graph.state g v then
+        E.fail
+          (E.Fault
+             {
+               node = Graph.node_name g v;
+               fault = E.Bad_state_arity;
+               detail =
+                 Printf.sprintf "kernel init returned %d words, expected %d"
+                   (Array.length st) (Graph.state g v);
+             });
+      st)
+
+let create_unsafe ?(record_trace = false) ?(validate = false) ~program ~cache
+    ~capacities () =
   let g = Program.graph program in
   let machine = Machine.create ~record_trace ~graph:g ~cache ~capacities () in
   let t =
     {
       program;
       machine;
-      states =
-        Array.init (Graph.num_nodes g) (fun v ->
-            let st = (Program.kernel program v).Kernel.init () in
-            if Array.length st <> Graph.state g v then
-              invalid_arg
-                (Printf.sprintf
-                   "Engine.create: kernel init for %s returned %d words, \
-                    expected %d"
-                   (Graph.node_name g v) (Array.length st) (Graph.state g v));
-            st);
+      states = init_states program;
       queues =
         Array.init (Graph.num_edges g) (fun e ->
             let q = Queue.create () in
@@ -54,18 +95,26 @@ let create ?(record_trace = false) ~program ~cache ~capacities () =
             done;
             q);
       capacities = Array.copy capacities;
+      validate;
     }
   in
   Machine.set_fire_hook machine (Some (move_data t));
   t
 
+let create ?record_trace ?validate ~program ~cache ~capacities () =
+  try create_unsafe ?record_trace ?validate ~program ~cache ~capacities ()
+  with E.Error (E.Fault { node; detail; _ }) ->
+    invalid_arg (Printf.sprintf "Engine.create: %s: %s" node detail)
+
+let create_checked ?record_trace ?(validate = true) ~program ~cache ~capacities
+    () =
+  E.protect (fun () ->
+      create_unsafe ?record_trace ~validate ~program ~cache ~capacities ())
+
 let machine t = t.machine
 let fire t v = Machine.fire t.machine v
 
-let run_plan t plan ~outputs =
-  if plan.Ccs_sched.Plan.capacities <> t.capacities then
-    invalid_arg "Engine.run_plan: plan capacities differ from the engine's";
-  plan.Ccs_sched.Plan.drive t.machine ~target_outputs:outputs;
+let result_of_run t plan =
   {
     Ccs_sched.Runner.plan_name = plan.Ccs_sched.Plan.name;
     inputs = Machine.source_inputs t.machine;
@@ -77,8 +126,27 @@ let run_plan t plan ~outputs =
     address_space_words = Machine.address_space_words t.machine;
   }
 
-let of_plan ?record_trace ~program ~cache ~plan () =
-  create ?record_trace ~program ~cache
+let run_plan t plan ~outputs =
+  if plan.Ccs_sched.Plan.capacities <> t.capacities then
+    invalid_arg "Engine.run_plan: plan capacities differ from the engine's";
+  plan.Ccs_sched.Plan.drive t.machine ~target_outputs:outputs;
+  result_of_run t plan
+
+let run_plan_checked ?budget t plan ~outputs =
+  if plan.Ccs_sched.Plan.capacities <> t.capacities then
+    Result.error
+      (E.Plan_invalid
+         {
+           plan = plan.Ccs_sched.Plan.name;
+           reason = "plan capacities differ from the engine's";
+         })
+  else
+    match Ccs_sched.Watchdog.drive ?budget t.machine ~plan ~outputs with
+    | Error e -> Result.error e
+    | Ok () -> Ok (result_of_run t plan)
+
+let of_plan ?record_trace ?validate ~program ~cache ~plan () =
+  create ?record_trace ?validate ~program ~cache
     ~capacities:plan.Ccs_sched.Plan.capacities ()
 
 let state t v = t.states.(v)

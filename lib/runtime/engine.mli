@@ -9,20 +9,47 @@
     is attached.
 
     Tokens are floats; channels with initial delay start with that many
-    zero tokens, matching the scheduling semantics. *)
+    zero tokens, matching the scheduling semantics.
+
+    {2 Fault containment}
+
+    The [_checked] constructors and runners contain misbehaving kernels
+    (including those wrapped by {!Program.inject}) instead of crashing or
+    corrupting downstream state: a kernel that raises, emits non-finite
+    tokens (with [validate]), or initialises state of the wrong arity comes
+    back as a structured {!Ccs_sdf.Error.Fault} naming the module. *)
 
 type t
 
 val create :
   ?record_trace:bool ->
+  ?validate:bool ->
   program:Program.t ->
   cache:Ccs_cache.Cache.config ->
   capacities:int array ->
   unit ->
   t
+(** With [validate] (default [false]) every firing's outputs are checked
+    for non-finite tokens; a violation raises
+    [Ccs_sdf.Error.Error (Fault _)].
+    @raise Invalid_argument if some kernel's [init] returns state of the
+    wrong length. *)
+
+val create_checked :
+  ?record_trace:bool ->
+  ?validate:bool ->
+  program:Program.t ->
+  cache:Ccs_cache.Cache.config ->
+  capacities:int array ->
+  unit ->
+  (t, Ccs_sdf.Error.t) result
+(** Like {!create} but [validate] defaults to [true] and every
+    construction failure is a structured error: a wrong-arity [init] is a
+    [Fault] with class [Bad_state_arity] naming the module, and capacity
+    violations surface as [Failure_msg] rather than exceptions. *)
 
 val machine : t -> Ccs_exec.Machine.t
-(** The underlying machine (statistics, occupancies, the fire hook slot is
+(** The underlying machine (statistics, occupancies; the fire hook slot is
     owned by the engine — do not overwrite it). *)
 
 val fire : t -> Ccs_sdf.Graph.node -> unit
@@ -36,8 +63,20 @@ val run_plan : t -> Ccs_sched.Plan.t -> outputs:int -> Ccs_sched.Runner.result
     @raise Invalid_argument if the plan's capacities differ from the
     engine's (they must be built from the same plan). *)
 
+val run_plan_checked :
+  ?budget:int ->
+  t ->
+  Ccs_sched.Plan.t ->
+  outputs:int ->
+  (Ccs_sched.Runner.result, Ccs_sdf.Error.t) result
+(** {!run_plan} under the {!Ccs_sched.Watchdog}: kernel faults come back
+    as [Fault] errors, stalls as [Deadlocked]/[Budget_exhausted] with a
+    machine snapshot, and a capacity mismatch as [Plan_invalid] — no
+    exception escapes for any of the fault classes under test. *)
+
 val of_plan :
   ?record_trace:bool ->
+  ?validate:bool ->
   program:Program.t ->
   cache:Ccs_cache.Cache.config ->
   plan:Ccs_sched.Plan.t ->

@@ -18,3 +18,48 @@ let create g kernel_of =
 
 let graph t = t.graph
 let kernel t v = t.kernels.(v)
+
+module Fault = Ccs_exec.Fault
+module E = Ccs_sdf.Error
+
+(* Wrap one kernel so it misbehaves exactly at the plan's sites for [v].
+   [Bad_state_arity] corrupts [init] (state length is fixed thereafter);
+   the other classes trigger on the matching firing index. *)
+let wrap_kernel plan v k sites =
+  let bad_arity =
+    List.exists (fun s -> s.Fault.fault = E.Bad_state_arity) sites
+  in
+  let count = ref 0 in
+  {
+    Kernel.state_words = k.Kernel.state_words;
+    init =
+      (if bad_arity then fun () -> Array.make (k.Kernel.state_words + 1) 0.
+       else k.Kernel.init);
+    fire =
+      (fun ~state ~inputs ~outputs ->
+        let i = !count in
+        incr count;
+        match Fault.find plan ~node:v ~fire_index:i with
+        | Some E.Kernel_exception ->
+            raise (Fault.Injected { node = v; fault = E.Kernel_exception })
+        | Some E.Nan_output ->
+            k.Kernel.fire ~state ~inputs ~outputs;
+            Array.iter
+              (fun out -> Array.fill out 0 (Array.length out) Float.nan)
+              outputs
+        | Some E.Bad_state_arity | None ->
+            k.Kernel.fire ~state ~inputs ~outputs);
+  }
+
+let inject plan t =
+  let kernels =
+    Array.mapi
+      (fun v k ->
+        match
+          List.filter (fun s -> s.Fault.node = v) (Fault.sites plan)
+        with
+        | [] -> k
+        | sites -> wrap_kernel plan v k sites)
+      t.kernels
+  in
+  { t with kernels }

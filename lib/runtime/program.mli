@@ -9,3 +9,11 @@ val create : Ccs_sdf.Graph.t -> (Ccs_sdf.Graph.node -> Kernel.t) -> t
 
 val graph : t -> Ccs_sdf.Graph.t
 val kernel : t -> Ccs_sdf.Graph.node -> Kernel.t
+
+val inject : Ccs_exec.Fault.t -> t -> t
+(** Wrap every kernel named by the fault plan so it misbehaves at the
+    plan's sites: [Nan_output] overwrites the firing's outputs with NaN,
+    [Kernel_exception] raises {!Ccs_exec.Fault.Injected} from [fire], and
+    [Bad_state_arity] makes [init] return one word too many (caught when an
+    engine is built from the program).  Unnamed modules are untouched, and
+    the original program is not modified. *)

@@ -10,3 +10,4 @@ module Kohli = Kohli
 module Partitioned = Partitioned
 module Analysis = Analysis
 module Runner = Runner
+module Watchdog = Watchdog

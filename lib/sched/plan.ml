@@ -31,28 +31,91 @@ let dynamic ~name ~capacities drive = { name; capacities; period = None; drive }
 
 let buffer_words t = Array.fold_left ( + ) 0 t.capacities
 
-let validate g t =
-  match t.period with
-  | None -> Ok ()
+let validate ?cache ?spec g t =
+  let module E = Ccs_sdf.Error in
+  let module Graph = Ccs_sdf.Graph in
+  let errs = ref [] in
+  let add e = errs := e :: !errs in
+  let invalid reason = add (E.Plan_invalid { plan = t.name; reason }) in
+  (* Capacity preconditions: every channel must admit both one push and one
+     pop, or the machine (and any real runtime) wedges on that channel. *)
+  let caps_ok = ref true in
+  (if Array.length t.capacities <> Graph.num_edges g then begin
+     caps_ok := false;
+     invalid
+       (Printf.sprintf "%d capacities for %d channels"
+          (Array.length t.capacities) (Graph.num_edges g))
+   end
+   else
+     List.iter
+       (fun e ->
+         let required = max (Graph.push g e) (Graph.pop g e) in
+         if t.capacities.(e) < required then begin
+           caps_ok := false;
+           add
+             (E.Capacity_below_rate
+                {
+                  edge = e;
+                  src = Graph.node_name g (Graph.src g e);
+                  dst = Graph.node_name g (Graph.dst g e);
+                  capacity = t.capacities.(e);
+                  required;
+                })
+         end)
+       (Graph.edges g));
+  let analysis =
+    match Ccs_sdf.Rates.analyze_checked g with
+    | Ok a -> Some a
+    | Error e ->
+        add e;
+        None
+  in
+  (* Feasibility: some periodic schedule must exist under these capacities
+     (minBuf is the tight per-channel floor; a capacity vector can clear
+     every per-channel bound and still be jointly infeasible). *)
+  (match analysis with
+  | Some a when !caps_ok ->
+      if not (Ccs_sdf.Minbuf.feasible g a ~capacities:t.capacities) then
+        add
+          (E.Capacity_infeasible
+             {
+               reason =
+                 Printf.sprintf
+                   "plan %s: latest-first simulation cannot complete a \
+                    period within the given capacities"
+                   t.name;
+             })
+  | _ -> ());
+  (* Cache fit of the largest component, when the caller says which
+     partition and cache the plan was built for. *)
+  (match (spec, cache) with
+  | Some spec, Some cache ->
+      let cache_words = cache.Ccs_cache.Cache.size_words in
+      for c = 0 to Ccs_partition.Spec.num_components spec - 1 do
+        let state = Ccs_partition.Spec.component_state spec c in
+        if state > cache_words then
+          add (E.Cache_overflow { component = c; state; cache_words })
+      done
+  | _ -> ());
+  (* Static plans: certify the period itself. *)
+  (match t.period with
+  | None -> ()
   | Some period -> (
-      if not (Simulate.legal g ~capacities:t.capacities period) then
-        Error
-          (Printf.sprintf "plan %s: period is not legal at its capacities"
-             t.name)
-      else if not (Simulate.is_periodic g period) then
-        Error (Printf.sprintf "plan %s: period does not restore channel state" t.name)
-      else
-        match Ccs_sdf.Rates.analyze g with
-        | Error msg -> Error msg
-        | Ok a ->
-            let counts =
-              Schedule.fire_counts ~num_nodes:(Ccs_sdf.Graph.num_nodes g)
-                period
-            in
-            let sink = Ccs_sdf.Graph.sink g in
-            if counts.(sink) = 0 then
-              Error (Printf.sprintf "plan %s: period never fires the sink" t.name)
-            else begin
+      (match Simulate.validate g ~capacities:t.capacities period with
+      | Ok () ->
+          if not (Simulate.is_periodic g period) then
+            invalid "period does not restore channel state"
+      | Error e -> add e);
+      match analysis with
+      | None -> ()
+      | Some a -> (
+          let counts =
+            Schedule.fire_counts ~num_nodes:(Graph.num_nodes g) period
+          in
+          match Graph.sinks g with
+          | [ sink ] when counts.(sink) = 0 ->
+              invalid "period never fires the sink"
+          | _ ->
               let rep = a.Ccs_sdf.Rates.repetition in
               let ratio_num = counts.(0) and ratio_den = rep.(0) in
               let ok = ref (counts.(0) mod rep.(0) = 0) in
@@ -60,11 +123,7 @@ let validate g t =
                 (fun v c ->
                   if c * ratio_den <> rep.(v) * ratio_num then ok := false)
                 counts;
-              if !ok then Ok ()
-              else
-                Error
-                  (Printf.sprintf
-                     "plan %s: firing counts are not a multiple of the \
-                      repetition vector"
-                     t.name)
-            end)
+              if not !ok then
+                invalid
+                  "firing counts are not a multiple of the repetition vector")));
+  match List.rev !errs with [] -> Ok () | errs -> Result.error errs

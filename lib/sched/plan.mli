@@ -31,9 +31,25 @@ val dynamic : name:string -> capacities:int array -> driver -> t
 val buffer_words : t -> int
 (** Total buffer footprint of the plan, in words (= tokens). *)
 
-val validate : Ccs_sdf.Graph.t -> t -> (unit, string) result
-(** Certify a static plan offline: its period must be token-legal at the
-    plan's capacities, periodic (channels return to their initial
-    occupancy), fire the sink, and fire every module a whole multiple of
-    its repetition count.  Dynamic plans (no [period]) return [Ok ()] —
-    their legality is enforced at run time by the machine. *)
+val validate :
+  ?cache:Ccs_cache.Cache.config ->
+  ?spec:Ccs_partition.Spec.t ->
+  Ccs_sdf.Graph.t ->
+  t ->
+  (unit, Ccs_sdf.Error.t list) result
+(** Certify a plan offline, reporting {e every} violated precondition:
+
+    - [Capacity_below_rate]: a channel whose capacity admits neither a push
+      nor a pop (the machine would wedge on it);
+    - [Capacity_infeasible]: capacities that clear every per-channel floor
+      but jointly admit no periodic schedule (checked against
+      {!Ccs_sdf.Minbuf.feasible});
+    - [Cache_overflow] (warning): when [?spec] and [?cache] are given, a
+      component whose state exceeds the whole cache;
+    - for static plans, the period must additionally be token-legal at the
+      plan's capacities ([Schedule_illegal] with the witness firing),
+      periodic, fire the sink, and fire every module a whole multiple of
+      its repetition count ([Plan_invalid]).
+
+    Dynamic plans (no [period]) skip the period checks — their legality is
+    enforced at run time by the machine and {!Watchdog}. *)

@@ -41,6 +41,39 @@ let is_periodic g sched =
       !ok
   | exception Illegal _ -> false
 
+let validate g ~capacities sched =
+  let module E = Ccs_sdf.Error in
+  let tokens = Array.init (Graph.num_edges g) (fun e -> Graph.delay g e) in
+  let count = ref 0 in
+  let err = ref None in
+  let report v e kind =
+    if !err = None then
+      err :=
+        Some
+          (E.Schedule_illegal
+             {
+               node = Graph.node_name g v;
+               edge = Graph.edge_name g e;
+               at_firing = !count;
+               kind;
+             })
+  in
+  Schedule.iter sched ~f:(fun v ->
+      if !err = None then begin
+        List.iter
+          (fun e ->
+            tokens.(e) <- tokens.(e) - Graph.pop g e;
+            if tokens.(e) < 0 then report v e `Underflow)
+          (Graph.in_edges g v);
+        List.iter
+          (fun e ->
+            tokens.(e) <- tokens.(e) + Graph.push g e;
+            if tokens.(e) > capacities.(e) then report v e `Overflow)
+          (Graph.out_edges g v);
+        incr count
+      end);
+  match !err with Some e -> Result.error e | None -> Ok ()
+
 let legal g ~capacities sched =
   match
     let _ =

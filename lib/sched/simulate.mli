@@ -30,3 +30,13 @@ val is_periodic : Ccs_sdf.Graph.t -> Schedule.t -> bool
 val legal : Ccs_sdf.Graph.t -> capacities:int array -> Schedule.t -> bool
 (** Whether the schedule respects both token availability and the given
     capacities throughout. *)
+
+val validate :
+  Ccs_sdf.Graph.t ->
+  capacities:int array ->
+  Schedule.t ->
+  (unit, Ccs_sdf.Error.t) result
+(** Like {!legal} but with a witness: the first firing that underflows a
+    channel (consumes tokens it does not have) or overflows one (exceeds
+    its capacity), as [Error.Schedule_illegal] naming the module, the
+    channel and the firing index. *)

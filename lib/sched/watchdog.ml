@@ -1,0 +1,104 @@
+module Graph = Ccs_sdf.Graph
+module E = Ccs_sdf.Error
+module Machine = Ccs_exec.Machine
+
+(* A firing budget comfortably above any legitimate run: batch plans execute
+   whole batches of T >= M source firings even for one output, so cover the
+   target plus two batches' worth of periods, times a safety factor. *)
+let default_budget g ~cache_words ~outputs =
+  match Ccs_sdf.Rates.analyze_checked g with
+  | Ok a ->
+      let total_rep = Array.fold_left ( + ) 0 a.Ccs_sdf.Rates.repetition in
+      let per_period = max 1 a.Ccs_sdf.Rates.period_inputs in
+      let sink_rep =
+        match Graph.sinks g with
+        | [ s ] -> max 1 a.Ccs_sdf.Rates.repetition.(s)
+        | _ -> 1
+      in
+      let periods_for_target = (outputs + sink_rep - 1) / sink_rep in
+      let periods_per_batch = ((2 * cache_words) + per_period - 1) / per_period in
+      1024 + (8 * total_rep * (periods_for_target + (2 * periods_per_batch)))
+  | Error _ -> 1024 + (64 * (outputs + 1) * Graph.num_nodes g)
+
+let drive ?budget machine ~plan ~outputs =
+  let g = Machine.graph machine in
+  let plan_name = plan.Plan.name in
+  let budget =
+    match budget with
+    | Some b -> b
+    | None ->
+        let cache_words =
+          Ccs_cache.Cache.size_words (Machine.cache machine)
+        in
+        default_budget g ~cache_words ~outputs
+  in
+  Machine.set_fire_budget machine (Some (Machine.total_fires machine + budget));
+  let result =
+    match plan.Plan.drive machine ~target_outputs:outputs with
+    | () ->
+        if Machine.sink_outputs machine >= outputs then Ok ()
+        else
+          (* A driver that returns early is as wedged as one that loops. *)
+          Result.error
+            (E.Deadlocked
+               {
+                 plan = plan_name;
+                 detail =
+                   Printf.sprintf
+                     "driver returned with %d of %d target outputs"
+                     (Machine.sink_outputs machine) outputs;
+                 snapshot = Machine.snapshot machine;
+               })
+    | exception Machine.Not_fireable { node; reason } ->
+        Result.error
+          (E.Deadlocked
+             {
+               plan = plan_name;
+               detail =
+                 Printf.sprintf "module %s cannot fire (%s)"
+                   (Graph.node_name g node) reason;
+               snapshot = Machine.snapshot machine;
+             })
+    | exception Machine.Budget_exceeded { budget } ->
+        Result.error
+          (E.Budget_exhausted
+             { plan = plan_name; budget; snapshot = Machine.snapshot machine })
+    | exception Graph.Invalid_graph msg ->
+        (* Dynamic drivers report scheduling dead ends this way. *)
+        Result.error
+          (E.Deadlocked
+             {
+               plan = plan_name;
+               detail = msg;
+               snapshot = Machine.snapshot machine;
+             })
+    | exception Invalid_argument msg ->
+        Result.error (E.Plan_invalid { plan = plan_name; reason = msg })
+    | exception E.Error e -> Result.error e
+  in
+  Machine.set_fire_budget machine None;
+  result
+
+let run ?budget ?record_trace ~graph ~cache ~plan ~outputs () =
+  match
+    E.protect (fun () ->
+        Ccs_exec.Machine.create ?record_trace ~graph ~cache
+          ~capacities:plan.Plan.capacities ())
+  with
+  | Error e -> Result.error e
+  | Ok machine -> (
+      match drive ?budget machine ~plan ~outputs with
+      | Error e -> Result.error e
+      | Ok () ->
+          Ok
+            ( {
+                Runner.plan_name = plan.Plan.name;
+                inputs = Machine.source_inputs machine;
+                outputs = Machine.sink_outputs machine;
+                misses = Machine.misses machine;
+                accesses = Ccs_cache.Cache.accesses (Machine.cache machine);
+                misses_per_input = Machine.misses_per_input machine;
+                buffer_words = Plan.buffer_words plan;
+                address_space_words = Machine.address_space_words machine;
+              },
+              machine ))

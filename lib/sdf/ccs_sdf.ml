@@ -1,8 +1,10 @@
 (** Streaming-graph substrate: SDF graphs, rate analysis, buffer sizing,
     workload generators, and serialization. *)
 
+module Error = Error
 module Rational = Rational
 module Graph = Graph
+module Validate = Validate
 module Rates = Rates
 module Minbuf = Minbuf
 module Generators = Generators

@@ -1,0 +1,250 @@
+type fault_class = Nan_output | Bad_state_arity | Kernel_exception
+
+type channel_state = {
+  chan : string;
+  edge : int;
+  occupied : int;
+  capacity : int;
+}
+
+type blocked = { node : string; reason : string }
+
+type snapshot = {
+  fired : int;
+  inputs : int;
+  outputs : int;
+  channels : channel_state list;
+  blocked : blocked list;
+}
+
+type t =
+  | Io of { path : string; reason : string }
+  | Parse of { line : int; reason : string }
+  | At_line of { line : int; err : t }
+  | Empty_graph
+  | Dangling_edge of { edge : int; endpoint : int; num_nodes : int }
+  | Degenerate_edge of { edge : int; node : string }
+  | Nonpositive_rate of {
+      edge : int;
+      src : string;
+      dst : string;
+      push : int;
+      pop : int;
+    }
+  | Negative_delay of { edge : int; src : string; dst : string; delay : int }
+  | Negative_state of { node : string; state : int }
+  | Duplicate_module of { name : string }
+  | Unknown_module of { name : string }
+  | Deadlock_cycle of { cycle : string list; total_delay : int }
+  | Rate_inconsistent of { node : string; gain_a : string; gain_b : string }
+  | Disconnected of { reachable : int; total : int }
+  | Multiple_sources of { nodes : string list }
+  | Multiple_sinks of { nodes : string list }
+  | Not_well_ordered of { components : int list; witness : string }
+  | Component_overflow of {
+      component : int;
+      state : int;
+      bound : int;
+      members : string list;
+    }
+  | Degree_exceeded of { component : int; degree : int; bound : int }
+  | Capacity_below_rate of {
+      edge : int;
+      src : string;
+      dst : string;
+      capacity : int;
+      required : int;
+    }
+  | Capacity_infeasible of { reason : string }
+  | Cache_overflow of { component : int; state : int; cache_words : int }
+  | Schedule_illegal of {
+      node : string;
+      edge : string;
+      at_firing : int;
+      kind : [ `Underflow | `Overflow ];
+    }
+  | Plan_invalid of { plan : string; reason : string }
+  | Deadlocked of { plan : string; detail : string; snapshot : snapshot }
+  | Budget_exhausted of { plan : string; budget : int; snapshot : snapshot }
+  | Fault of { node : string; fault : fault_class; detail : string }
+  | Failure_msg of { context : string; reason : string }
+
+exception Error of t
+
+let fail e = raise (Error e)
+
+let fault_class_to_string = function
+  | Nan_output -> "nan-output"
+  | Bad_state_arity -> "bad-state-arity"
+  | Kernel_exception -> "kernel-exception"
+
+let rec code = function
+  | Io _ -> "io"
+  | Parse _ -> "parse"
+  | At_line { err; _ } -> code err
+  | Empty_graph -> "empty-graph"
+  | Dangling_edge _ -> "dangling-edge"
+  | Degenerate_edge _ -> "degenerate-edge"
+  | Nonpositive_rate _ -> "nonpositive-rate"
+  | Negative_delay _ -> "negative-delay"
+  | Negative_state _ -> "negative-state"
+  | Duplicate_module _ -> "duplicate-module"
+  | Unknown_module _ -> "unknown-module"
+  | Deadlock_cycle _ -> "deadlock-cycle"
+  | Rate_inconsistent _ -> "rate-inconsistent"
+  | Disconnected _ -> "disconnected"
+  | Multiple_sources _ -> "multiple-sources"
+  | Multiple_sinks _ -> "multiple-sinks"
+  | Not_well_ordered _ -> "not-well-ordered"
+  | Component_overflow _ -> "component-overflow"
+  | Degree_exceeded _ -> "degree-exceeded"
+  | Capacity_below_rate _ -> "capacity-below-rate"
+  | Capacity_infeasible _ -> "capacity-infeasible"
+  | Cache_overflow _ -> "cache-overflow"
+  | Schedule_illegal _ -> "schedule-illegal"
+  | Plan_invalid _ -> "plan-invalid"
+  | Deadlocked _ -> "deadlock"
+  | Budget_exhausted _ -> "budget-exhausted"
+  | Fault { fault; _ } -> "fault-" ^ fault_class_to_string fault
+  | Failure_msg _ -> "failure"
+
+let rec severity = function
+  | At_line { err; _ } -> severity err
+  | Multiple_sources _ | Multiple_sinks _ | Cache_overflow _ -> `Warning
+  | _ -> `Error
+
+let pp_names fmt names =
+  Format.pp_print_string fmt (String.concat " -> " names)
+
+let pp_snapshot fmt s =
+  Format.fprintf fmt
+    "@[<v>after %d firings (%d inputs, %d outputs):@,@[<v2>channels:@,%a@]@,\
+     @[<v2>blocked modules:@,%a@]@]"
+    s.fired s.inputs s.outputs
+    (Format.pp_print_list (fun fmt c ->
+         Format.fprintf fmt "%-24s %d/%d tokens" c.chan c.occupied c.capacity))
+    s.channels
+    (Format.pp_print_list (fun fmt b ->
+         Format.fprintf fmt "%-16s %s" b.node b.reason))
+    s.blocked
+
+let rec pp fmt = function
+  | Io { path; reason } -> Format.fprintf fmt "cannot read %s: %s" path reason
+  | Parse { line; reason } -> Format.fprintf fmt "line %d: %s" line reason
+  | At_line { line; err } -> Format.fprintf fmt "line %d: %a" line pp err
+  | Empty_graph -> Format.fprintf fmt "graph has no modules"
+  | Dangling_edge { edge; endpoint; num_nodes } ->
+      Format.fprintf fmt
+        "channel %d is dangling: endpoint %d outside modules 0..%d" edge
+        endpoint (num_nodes - 1)
+  | Degenerate_edge { edge; node } ->
+      Format.fprintf fmt "channel %d is a self-loop on module %s" edge node
+  | Nonpositive_rate { edge; src; dst; push; pop } ->
+      Format.fprintf fmt
+        "channel %d (%s -> %s): rates must be positive (push=%d pop=%d)" edge
+        src dst push pop
+  | Negative_delay { edge; src; dst; delay } ->
+      Format.fprintf fmt "channel %d (%s -> %s): negative delay %d" edge src
+        dst delay
+  | Negative_state { node; state } ->
+      Format.fprintf fmt "module %s: negative state size %d" node state
+  | Duplicate_module { name } ->
+      Format.fprintf fmt "duplicate module %S" name
+  | Unknown_module { name } -> Format.fprintf fmt "unknown module %S" name
+  | Deadlock_cycle { cycle; total_delay } ->
+      if total_delay = 0 then
+        Format.fprintf fmt
+          "deadlock: cycle %a carries no initial tokens, so no module on it \
+           can ever fire"
+          pp_names cycle
+      else
+        Format.fprintf fmt
+          "cycle %a (total delay %d) is not supported: schedules require an \
+           acyclic graph"
+          pp_names cycle total_delay
+  | Rate_inconsistent { node; gain_a; gain_b } ->
+      Format.fprintf fmt
+        "rates are inconsistent: module %s has gain %s along one path but %s \
+         along another"
+        node gain_a gain_b
+  | Disconnected { reachable; total } ->
+      Format.fprintf fmt
+        "graph is not connected: only %d of %d modules reachable from module \
+         0"
+        reachable total
+  | Multiple_sources { nodes } ->
+      Format.fprintf fmt
+        "graph has %d sources (%s); schedulers expect one (run `ccsched \
+         normalize`)"
+        (List.length nodes) (String.concat ", " nodes)
+  | Multiple_sinks { nodes } ->
+      Format.fprintf fmt
+        "graph has %d sinks (%s); schedulers expect one (run `ccsched \
+         normalize`)"
+        (List.length nodes) (String.concat ", " nodes)
+  | Not_well_ordered { components; witness } ->
+      Format.fprintf fmt
+        "partition is not well-ordered: components %s form a cycle (witness \
+         %s)"
+        (String.concat " -> " (List.map (Printf.sprintf "C%d") components))
+        witness
+  | Component_overflow { component; state; bound; members } ->
+      Format.fprintf fmt
+        "component C%d holds %d state words, exceeding the bound %d (members: \
+         %s)"
+        component state bound (String.concat ", " members)
+  | Degree_exceeded { component; degree; bound } ->
+      Format.fprintf fmt
+        "component C%d has %d cross edges, exceeding the degree limit %d"
+        component degree bound
+  | Capacity_below_rate { edge; src; dst; capacity; required } ->
+      Format.fprintf fmt
+        "channel %d (%s -> %s): capacity %d admits neither a push nor a pop \
+         (needs >= %d)"
+        edge src dst capacity required
+  | Capacity_infeasible { reason } ->
+      Format.fprintf fmt "capacities admit no periodic schedule: %s" reason
+  | Cache_overflow { component; state; cache_words } ->
+      Format.fprintf fmt
+        "component C%d (%d state words) cannot fit a cache of %d words; \
+         every firing will thrash"
+        component state cache_words
+  | Schedule_illegal { node; edge; at_firing; kind } ->
+      Format.fprintf fmt "firing %d (module %s) %s channel %s" at_firing node
+        (match kind with
+        | `Underflow -> "underflows"
+        | `Overflow -> "overflows")
+        edge
+  | Plan_invalid { plan; reason } ->
+      Format.fprintf fmt "plan %s: %s" plan reason
+  | Deadlocked { plan; detail; snapshot } ->
+      Format.fprintf fmt "plan %s deadlocked: %s@,%a" plan detail pp_snapshot
+        snapshot
+  | Budget_exhausted { plan; budget; snapshot } ->
+      Format.fprintf fmt
+        "plan %s exhausted its firing budget of %d without reaching the \
+         target@,%a"
+        plan budget pp_snapshot snapshot
+  | Fault { node; fault; detail } ->
+      Format.fprintf fmt "module %s raised a %s fault: %s" node
+        (fault_class_to_string fault)
+        detail
+  | Failure_msg { context; reason } ->
+      Format.fprintf fmt "%s: %s" context reason
+
+let to_string e = Format.asprintf "%a" pp e
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Ccs.Error.Error(%s)" (to_string e))
+    | _ -> None)
+
+let protect f =
+  match f () with
+  | v -> Ok v
+  | exception Error e -> Result.error e
+  | exception Invalid_argument msg ->
+      Result.error (Failure_msg { context = "invalid argument"; reason = msg })
+  | exception Failure msg ->
+      Result.error (Failure_msg { context = "failure"; reason = msg })
+  | exception Sys_error msg -> Result.error (Io { path = ""; reason = msg })

@@ -1,0 +1,119 @@
+(** Structured errors for the whole scheduling/execution stack.
+
+    The paper's guarantees (Lemmas 4 and 8) only hold for inputs satisfying
+    preconditions — consistent SDF rates, well-ordered [c]-bounded
+    partitions, channel capacities at least the maximum rate.  Every
+    validator in the stack reports violations as a value of {!t}: a variant
+    naming the defect class plus enough context (module/channel/component
+    names, expected-versus-actual values) to act on the report without a
+    stack trace.  {!code} gives each defect class a stable kebab-case tag
+    used by [ccsched check] and by tests. *)
+
+type fault_class =
+  | Nan_output  (** A kernel produced non-finite output tokens. *)
+  | Bad_state_arity
+      (** A kernel's state has the wrong number of words for its module. *)
+  | Kernel_exception  (** A kernel raised during {e fire}. *)
+
+type channel_state = {
+  chan : string;  (** ["src->dst#e"]. *)
+  edge : int;
+  occupied : int;
+  capacity : int;
+}
+
+type blocked = { node : string; reason : string }
+
+type snapshot = {
+  fired : int;
+  inputs : int;
+  outputs : int;
+  channels : channel_state list;
+  blocked : blocked list;  (** Every non-fireable module and why. *)
+}
+(** Diagnostic machine state captured when execution cannot proceed. *)
+
+type t =
+  | Io of { path : string; reason : string }
+  | Parse of { line : int; reason : string }
+  | At_line of { line : int; err : t }
+      (** Wraps a structural defect with the input line it came from. *)
+  | Empty_graph
+  | Dangling_edge of { edge : int; endpoint : int; num_nodes : int }
+  | Degenerate_edge of { edge : int; node : string }  (** Self-loop. *)
+  | Nonpositive_rate of {
+      edge : int;
+      src : string;
+      dst : string;
+      push : int;
+      pop : int;
+    }
+  | Negative_delay of { edge : int; src : string; dst : string; delay : int }
+  | Negative_state of { node : string; state : int }
+  | Duplicate_module of { name : string }
+  | Unknown_module of { name : string }
+  | Deadlock_cycle of { cycle : string list; total_delay : int }
+      (** A directed cycle; with [total_delay = 0] no module on it can ever
+          fire (deadlock by insufficient delay). *)
+  | Rate_inconsistent of { node : string; gain_a : string; gain_b : string }
+      (** The witness module whose gain differs along two paths. *)
+  | Disconnected of { reachable : int; total : int }
+  | Multiple_sources of { nodes : string list }  (** Warning. *)
+  | Multiple_sinks of { nodes : string list }  (** Warning. *)
+  | Not_well_ordered of { components : int list; witness : string }
+      (** Component cycle in the contracted graph plus a witness edge. *)
+  | Component_overflow of {
+      component : int;
+      state : int;
+      bound : int;
+      members : string list;
+    }  (** c-boundedness violation (Definition 2). *)
+  | Degree_exceeded of { component : int; degree : int; bound : int }
+      (** Degree-limited violation (Lemma 8). *)
+  | Capacity_below_rate of {
+      edge : int;
+      src : string;
+      dst : string;
+      capacity : int;
+      required : int;
+    }  (** A buffer that admits neither a push nor a pop. *)
+  | Capacity_infeasible of { reason : string }
+      (** No periodic schedule exists under the given capacities. *)
+  | Cache_overflow of { component : int; state : int; cache_words : int }
+      (** Warning: a component bigger than the whole cache. *)
+  | Schedule_illegal of {
+      node : string;
+      edge : string;
+      at_firing : int;
+      kind : [ `Underflow | `Overflow ];
+    }
+  | Plan_invalid of { plan : string; reason : string }
+  | Deadlocked of { plan : string; detail : string; snapshot : snapshot }
+  | Budget_exhausted of { plan : string; budget : int; snapshot : snapshot }
+  | Fault of { node : string; fault : fault_class; detail : string }
+  | Failure_msg of { context : string; reason : string }
+      (** Wrapper for legacy string errors not yet given structure. *)
+
+exception Error of t
+
+val fail : t -> 'a
+(** [fail e] raises {!Error}[ e]. *)
+
+val code : t -> string
+(** Stable kebab-case defect-class tag, e.g. ["rate-inconsistent"],
+    ["capacity-below-rate"].  [At_line] is transparent. *)
+
+val severity : t -> [ `Error | `Warning ]
+(** Warnings ([multiple-sources], [multiple-sinks], [cache-overflow]) are
+    conditions the stack can run despite; everything else violates a
+    precondition outright. *)
+
+val fault_class_to_string : fault_class -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** Run a thunk, catching {!Error}, [Invalid_argument], [Failure] and
+    [Sys_error] into structured errors.  ({!Graph.Invalid_graph} is caught
+    by callers that see the [Graph] module; this module sits below it.) *)

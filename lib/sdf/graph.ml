@@ -53,7 +53,10 @@ module Builder = struct
     b.nedges <- id + 1;
     id
 
-  (* Kahn's algorithm; raises if a cycle remains. *)
+  (* Channels in insertion order: (src, dst, push, pop, delay). *)
+  let channels b = Array.of_list (List.rev b.chans)
+
+  (* Kahn's algorithm; [None] if a cycle remains. *)
   let topo_sort n in_edges out_edges edge_dst =
     let indeg = Array.make n 0 in
     for v = 0 to n - 1 do
@@ -76,52 +79,170 @@ module Builder = struct
       in
       List.iter relax out_edges.(v)
     done;
-    if !count <> n then invalid "graph contains a cycle";
-    order
+    if !count <> n then None else Some order
+
+  (* Find a directed cycle (as an edge list) among edges with in-range
+     endpoints; used only after topo_sort failed, so one exists. *)
+  let find_cycle n chans =
+    let out = Array.make n [] in
+    Array.iteri
+      (fun e (s, d, _, _, _) ->
+        if s >= 0 && s < n && d >= 0 && d < n then out.(s) <- (e, d) :: out.(s))
+      chans;
+    let color = Array.make n 0 in
+    (* 0 white, 1 on stack, 2 done *)
+    let cycle = ref None in
+    let rec dfs path v =
+      color.(v) <- 1;
+      List.iter
+        (fun (e, w) ->
+          if !cycle = None then
+            if color.(w) = 1 then begin
+              (* Unwind [path] (edges, most recent first) back to [w]. *)
+              let rec take acc = function
+                | [] -> acc
+                | (e', s') :: _ when s' = w -> e' :: acc
+                | (e', _) :: rest -> take (e' :: acc) rest
+              in
+              cycle := Some (take [] ((e, v) :: path))
+            end
+            else if color.(w) = 0 then dfs ((e, v) :: path) w)
+        out.(v);
+      if !cycle = None then color.(v) <- 2
+    in
+    let v = ref 0 in
+    while !cycle = None && !v < n do
+      if color.(!v) = 0 then dfs [] !v;
+      incr v
+    done;
+    !cycle
+
+  let check b =
+    let n = b.nnodes in
+    let names = Array.of_list (List.rev b.names) in
+    let states = Array.of_list (List.rev b.states) in
+    let chans = channels b in
+    let errs = ref [] in
+    let add e = errs := e :: !errs in
+    if n = 0 then add Error.Empty_graph;
+    Array.iteri
+      (fun v st -> if st < 0 then add (Error.Negative_state { node = names.(v); state = st }))
+      states;
+    let dangling = ref false in
+    Array.iteri
+      (fun e (s, d, pu, po, de) ->
+        let name v = if v >= 0 && v < n then names.(v) else string_of_int v in
+        if s < 0 || s >= n then begin
+          dangling := true;
+          add (Error.Dangling_edge { edge = e; endpoint = s; num_nodes = n })
+        end;
+        if d < 0 || d >= n then begin
+          dangling := true;
+          add (Error.Dangling_edge { edge = e; endpoint = d; num_nodes = n })
+        end;
+        if s = d && s >= 0 && s < n then
+          add (Error.Degenerate_edge { edge = e; node = names.(s) });
+        if pu <= 0 || po <= 0 then
+          add
+            (Error.Nonpositive_rate
+               { edge = e; src = name s; dst = name d; push = pu; pop = po });
+        if de < 0 then
+          add
+            (Error.Negative_delay
+               { edge = e; src = name s; dst = name d; delay = de }))
+      chans;
+    (* Cycle analysis only when every endpoint resolves (self-loops are
+       already reported as degenerate edges, so skip them here). *)
+    if (not !dangling) && n > 0 then begin
+      let acyclic_chans =
+        Array.of_list
+          (List.filter (fun (s, d, _, _, _) -> s <> d) (Array.to_list chans))
+      in
+      let out = Array.make n [] and inc = Array.make n [] in
+      Array.iteri
+        (fun e (s, d, _, _, _) ->
+          out.(s) <- e :: out.(s);
+          inc.(d) <- e :: inc.(d))
+        acyclic_chans;
+      let dsts = Array.map (fun (_, d, _, _, _) -> d) acyclic_chans in
+      match topo_sort n inc out dsts with
+      | Some _ -> ()
+      | None -> (
+          match find_cycle n acyclic_chans with
+          | None -> ()
+          | Some edges ->
+              let cycle =
+                List.map
+                  (fun e ->
+                    let s, _, _, _, _ = acyclic_chans.(e) in
+                    names.(s))
+                  edges
+              in
+              let total_delay =
+                List.fold_left
+                  (fun acc e ->
+                    let _, _, _, _, de = acyclic_chans.(e) in
+                    acc + de)
+                  0 edges
+              in
+              add (Error.Deadlock_cycle { cycle; total_delay }))
+    end;
+    List.rev !errs
+
+  let build_result b =
+    match check b with
+    | _ :: _ as errs -> Result.error errs
+    | [] ->
+        let node_names = Array.of_list (List.rev b.names) in
+        let state = Array.of_list (List.rev b.states) in
+        let n = b.nnodes and m = b.nedges in
+        let edge_src = Array.make m 0
+        and edge_dst = Array.make m 0
+        and push = Array.make m 0
+        and pop = Array.make m 0
+        and delay = Array.make m 0 in
+        List.iteri
+          (fun i (s, d, pu, po, de) ->
+            let e = m - 1 - i in
+            edge_src.(e) <- s;
+            edge_dst.(e) <- d;
+            push.(e) <- pu;
+            pop.(e) <- po;
+            delay.(e) <- de)
+          b.chans;
+        let in_edges = Array.make n [] and out_edges = Array.make n [] in
+        for e = m - 1 downto 0 do
+          out_edges.(edge_src.(e)) <- e :: out_edges.(edge_src.(e));
+          in_edges.(edge_dst.(e)) <- e :: in_edges.(edge_dst.(e))
+        done;
+        let topo =
+          match topo_sort n in_edges out_edges edge_dst with
+          | Some order -> order
+          | None -> assert false (* check found no cycle *)
+        in
+        let rank = Array.make n 0 in
+        Array.iteri (fun i v -> rank.(v) <- i) topo;
+        Ok
+          {
+            name = b.bname;
+            node_names;
+            state;
+            edge_src;
+            edge_dst;
+            push;
+            pop;
+            delay;
+            in_edges;
+            out_edges;
+            topo;
+            rank;
+          }
 
   let build b =
-    if b.nnodes = 0 then invalid "empty graph";
-    let node_names = Array.of_list (List.rev b.names) in
-    let state = Array.of_list (List.rev b.states) in
-    let n = b.nnodes and m = b.nedges in
-    let edge_src = Array.make m 0
-    and edge_dst = Array.make m 0
-    and push = Array.make m 0
-    and pop = Array.make m 0
-    and delay = Array.make m 0 in
-    List.iteri
-      (fun i (s, d, pu, po, de) ->
-        let e = m - 1 - i in
-        if s < 0 || s >= n || d < 0 || d >= n then
-          invalid "channel %d: endpoint out of range" e;
-        edge_src.(e) <- s;
-        edge_dst.(e) <- d;
-        push.(e) <- pu;
-        pop.(e) <- po;
-        delay.(e) <- de)
-      b.chans;
-    let in_edges = Array.make n [] and out_edges = Array.make n [] in
-    for e = m - 1 downto 0 do
-      out_edges.(edge_src.(e)) <- e :: out_edges.(edge_src.(e));
-      in_edges.(edge_dst.(e)) <- e :: in_edges.(edge_dst.(e))
-    done;
-    let topo = topo_sort n in_edges out_edges edge_dst in
-    let rank = Array.make n 0 in
-    Array.iteri (fun i v -> rank.(v) <- i) topo;
-    {
-      name = b.bname;
-      node_names;
-      state;
-      edge_src;
-      edge_dst;
-      push;
-      pop;
-      delay;
-      in_edges;
-      out_edges;
-      topo;
-      rank;
-    }
+    match build_result b with
+    | Ok g -> g
+    | Error (e :: _) -> invalid "%s" (Error.to_string e)
+    | Error [] -> assert false
 end
 
 let name g = g.name
@@ -144,6 +265,13 @@ let node_of_name g s =
     else find (i + 1)
   in
   find 0
+
+let edge_name g e =
+  check_edge g e;
+  Printf.sprintf "%s->%s#%d"
+    g.node_names.(g.edge_src.(e))
+    g.node_names.(g.edge_dst.(e))
+    e
 
 let state g v = check_node g v; g.state.(v)
 let total_state g = Array.fold_left ( + ) 0 g.state

@@ -45,10 +45,21 @@ module Builder : sig
       to [dst].  [push] and [pop] must be positive; [delay] (initial tokens,
       default [0]) must be non-negative. *)
 
+  val check : t -> Error.t list
+  (** Every structural defect in the builder's current contents: empty
+      graph, dangling endpoints, self-loops, non-positive rates, negative
+      delays or state sizes, and directed cycles (reported with the cycle's
+      module names and total delay — a zero-delay cycle is a deadlock by
+      insufficient delay).  Empty means {!build} will succeed. *)
+
+  val build_result : t -> (graph, Error.t list) result
+  (** Freezes the builder, or returns {e all} defects {!check} finds. *)
+
   val build : t -> graph
   (** Freezes the builder.
-      @raise Invalid_graph if the graph is empty, contains a cycle, has an
-      edge endpoint out of range, or violates rate positivity. *)
+      @raise Invalid_graph with the first {!check} defect if the graph is
+      empty, contains a cycle, has an edge endpoint out of range, or
+      violates rate positivity. *)
 end
 
 (** {1 Size and naming} *)
@@ -59,6 +70,9 @@ val num_edges : t -> int
 val node_name : t -> node -> string
 val node_of_name : t -> string -> node
 (** @raise Not_found if no module has that name. *)
+
+val edge_name : t -> edge -> string
+(** ["src->dst#e"] — the channel label used in diagnostics. *)
 
 (** {1 Per-module accessors} *)
 

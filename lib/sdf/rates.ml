@@ -11,9 +11,35 @@ type analysis = {
    channel (u,v) forward multiplies the gain by push/pop; crossing it
    backward divides.  Any disagreement on an already-labelled node means the
    graph is not rate-matched. *)
-let analyze g =
+let reachable_undirected g =
   let n = Graph.num_nodes g in
-  if not (Graph.is_connected g) then Error "graph is not connected"
+  if n = 0 then 0
+  else begin
+    let seen = Array.make n false in
+    let stack = Stack.create () in
+    Stack.push 0 stack;
+    seen.(0) <- true;
+    let count = ref 1 in
+    while not (Stack.is_empty stack) do
+      let v = Stack.pop stack in
+      let visit w =
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          incr count;
+          Stack.push w stack
+        end
+      in
+      List.iter (fun e -> visit (Graph.dst g e)) (Graph.out_edges g v);
+      List.iter (fun e -> visit (Graph.src g e)) (Graph.in_edges g v)
+    done;
+    !count
+  end
+
+let analyze_checked g =
+  let n = Graph.num_nodes g in
+  if not (Graph.is_connected g) then
+    Result.error
+      (Error.Disconnected { reachable = reachable_undirected g; total = n })
   else begin
     let gain = Array.make n None in
     let start =
@@ -32,10 +58,12 @@ let analyze g =
           if not (Q.equal q q') then
             consistent :=
               Some
-                (Printf.sprintf
-                   "module %s has inconsistent gain along different paths \
-                    (%s vs %s)"
-                   (Graph.node_name g v) (Q.to_string q') (Q.to_string q))
+                (Error.Rate_inconsistent
+                   {
+                     node = Graph.node_name g v;
+                     gain_a = Q.to_string q';
+                     gain_b = Q.to_string q;
+                   })
     in
     while not (Queue.is_empty queue) && !consistent = None do
       let v = Queue.pop queue in
@@ -54,7 +82,7 @@ let analyze g =
         (Graph.in_edges g v)
     done;
     match !consistent with
-    | Some msg -> Error msg
+    | Some err -> Result.error err
     | None ->
         let node_gain = Array.map Option.get gain in
         let m = Graph.num_edges g in
@@ -78,6 +106,8 @@ let analyze g =
         in
         Ok { node_gain; edge_gain; repetition; period_inputs }
   end
+
+let analyze g = Result.map_error Error.to_string (analyze_checked g)
 
 let analyze_exn g =
   match analyze g with

@@ -24,6 +24,11 @@ val analyze : Graph.t -> (analysis, string) result
     the graph is not rate-matched (inconsistent rates) or not connected
     (gains would be ambiguous across components). *)
 
+val analyze_checked : Graph.t -> (analysis, Error.t) result
+(** Like {!analyze} with a structured error: [Rate_inconsistent] names the
+    witness module and its two conflicting gains; [Disconnected] counts
+    reachable modules. *)
+
 val analyze_exn : Graph.t -> analysis
 (** @raise Graph.Invalid_graph when {!analyze} would return [Error]. *)
 

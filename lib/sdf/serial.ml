@@ -51,9 +51,12 @@ let parse text =
   in
   let b = Graph.Builder.create ?name:pre_name () in
   let named = Hashtbl.create 16 in
+  let nedges = ref 0 in
   let graph_name = ref None in
+  let at lineno err = Result.error (Error.At_line { line = lineno; err }) in
   let error lineno fmt =
-    Format.kasprintf (fun s -> Error (Printf.sprintf "line %d: %s" lineno s))
+    Format.kasprintf
+      (fun s -> Result.error (Error.Parse { line = lineno; reason = s }))
       fmt
   in
   let lines = String.split_on_char '\n' text in
@@ -79,7 +82,9 @@ let parse text =
             | None -> error lineno "bad state size %S" st
             | Some st ->
                 if Hashtbl.mem named n then
-                  error lineno "duplicate module %S" n
+                  at lineno (Error.Duplicate_module { name = n })
+                else if st < 0 then
+                  at lineno (Error.Negative_state { node = n; state = st })
                 else begin
                   Hashtbl.add named n (Graph.Builder.add_module b ~state:st n);
                   go (lineno + 1) rest
@@ -98,14 +103,24 @@ let parse text =
                 int_of_string_opt po,
                 delay )
             with
-            | Some src, Some dst, Some push, Some pop, Some delay -> (
-                match
-                  Graph.Builder.add_channel b ~delay ~src ~dst ~push ~pop ()
-                with
-                | _ -> go (lineno + 1) rest
-                | exception Graph.Invalid_graph msg -> error lineno "%s" msg)
-            | None, _, _, _, _ -> error lineno "unknown module %S" s
-            | _, None, _, _, _ -> error lineno "unknown module %S" d
+            | Some src, Some dst, Some push, Some pop, Some delay ->
+                let e = !nedges in
+                if push <= 0 || pop <= 0 then
+                  at lineno
+                    (Error.Nonpositive_rate { edge = e; src = s; dst = d; push; pop })
+                else if delay < 0 then
+                  at lineno
+                    (Error.Negative_delay { edge = e; src = s; dst = d; delay })
+                else begin
+                  ignore
+                    (Graph.Builder.add_channel b ~delay ~src ~dst ~push ~pop ());
+                  incr nedges;
+                  go (lineno + 1) rest
+                end
+            | None, _, _, _, _ ->
+                at lineno (Error.Unknown_module { name = s })
+            | _, None, _, _, _ ->
+                at lineno (Error.Unknown_module { name = d })
             | _ -> error lineno "bad channel line")
         | w :: _ -> error lineno "unknown directive %S" w)
   in
@@ -113,11 +128,12 @@ let parse text =
   | Error _ as e -> e
   | Ok () -> (
       ignore !graph_name;
-      match Graph.Builder.build b with
-      | g -> Ok g
-      | exception Graph.Invalid_graph msg -> Error msg)
+      match Graph.Builder.build_result b with
+      | Ok g -> Ok g
+      | Error (e :: _) -> Result.error e
+      | Error [] -> assert false)
 
 let parse_exn text =
   match parse text with
   | Ok g -> g
-  | Error msg -> raise (Graph.Invalid_graph msg)
+  | Error e -> raise (Graph.Invalid_graph (Error.to_string e))

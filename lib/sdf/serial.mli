@@ -20,8 +20,13 @@ val to_dot : Graph.t -> string
 val to_text : Graph.t -> string
 (** Round-trippable text form ({!parse} recovers an equal graph). *)
 
-val parse : string -> (Graph.t, string) result
-(** Parse the text form.  Errors carry a line number and reason. *)
+val parse : string -> (Graph.t, Error.t) result
+(** Parse the text form.  Line-level defects (syntax, duplicate or unknown
+    module names, non-positive rates, negative delays) come back wrapped in
+    [Error.At_line] with the offending line number; whole-graph defects
+    found at build time (dangling endpoints, deadlock cycles, empty graph)
+    come back unwrapped.  [Error.to_string] renders the former as the
+    classic ["line N: ..."] message. *)
 
 val parse_exn : string -> Graph.t
 (** @raise Graph.Invalid_graph on parse failure. *)

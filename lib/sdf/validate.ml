@@ -1,0 +1,31 @@
+let duplicates g =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun v ->
+      let name = Graph.node_name g v in
+      if Hashtbl.mem seen name then
+        if Hashtbl.find seen name then None
+        else begin
+          Hashtbl.replace seen name true;
+          Some (Error.Duplicate_module { name })
+        end
+      else begin
+        Hashtbl.add seen name false;
+        None
+      end)
+    (Graph.nodes g)
+
+let graph g =
+  let errs = ref [] in
+  let add e = errs := e :: !errs in
+  List.iter add (duplicates g);
+  (match Graph.sources g with
+  | [] | [ _ ] -> ()
+  | nodes ->
+      add (Error.Multiple_sources { nodes = List.map (Graph.node_name g) nodes }));
+  (match Graph.sinks g with
+  | [] | [ _ ] -> ()
+  | nodes ->
+      add (Error.Multiple_sinks { nodes = List.map (Graph.node_name g) nodes }));
+  (match Rates.analyze_checked g with Ok _ -> () | Error e -> add e);
+  List.rev !errs

@@ -1,0 +1,18 @@
+(** Whole-graph validation of already-built graphs.
+
+    {!Graph.Builder.check} covers defects a graph cannot be built with
+    (dangling edges, cycles, non-positive rates); this module lints the
+    properties a {e built} graph can still violate, which the schedulers
+    otherwise discover as raised exceptions deep in rate analysis. *)
+
+val graph : Graph.t -> Error.t list
+(** Defects of a built graph, in a deterministic order:
+    - [Duplicate_module] — two modules share a name, so [node_of_name] and
+      serialization are ambiguous (one report per name);
+    - [Multiple_sources] / [Multiple_sinks] — warnings: schedulers expect a
+      unique source and sink (see {!Transform.normalize});
+    - the {!Rates.analyze_checked} error, if any: [Disconnected] or
+      [Rate_inconsistent] with the witness module and conflicting gains.
+
+    Empty when the graph satisfies every scheduler precondition at this
+    layer. *)

@@ -67,10 +67,17 @@ let test_not_rate_matched () =
         "error mentions inconsistency" true
         (String.length msg > 0)
   | Ok _ -> Alcotest.fail "expected Error");
-  Alcotest.check_raises "analyze_exn raises"
-    (G.Invalid_graph
-       "module t has inconsistent gain along different paths (1 vs 2)")
-    (fun () -> ignore (R.analyze_exn g))
+  (match R.analyze_checked g with
+  | Error (Ccs.Error.Rate_inconsistent { node; _ }) ->
+      Alcotest.(check string) "offending module named" "t" node
+  | Error e ->
+      Alcotest.fail ("expected Rate_inconsistent, got " ^ Ccs.Error.code e)
+  | Ok _ -> Alcotest.fail "expected Error");
+  match R.analyze_exn g with
+  | exception G.Invalid_graph msg ->
+      Alcotest.(check bool) "message names the module" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "analyze_exn must raise"
 
 let test_disconnected_rejected () =
   let b = B.create () in

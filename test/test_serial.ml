@@ -81,10 +81,95 @@ let test_parse_errors () =
 
 let test_error_carries_line () =
   match S.parse "module a 1\nbogus line here\n" with
-  | Error msg ->
+  | Error err ->
+      let msg = Ccs.Error.to_string err in
       Alcotest.(check bool) "mentions line 2" true
         (String.length msg >= 6 && String.sub msg 0 6 = "line 2")
   | Ok _ -> Alcotest.fail "expected error"
+
+(* --- structured parse errors --------------------------------------------- *)
+
+let expect_code text code =
+  match S.parse text with
+  | Ok _ -> Alcotest.fail (Printf.sprintf "should fail [%s]: %s" code text)
+  | Error err ->
+      Alcotest.(check string)
+        (Printf.sprintf "error code for %S" text)
+        code (Ccs.Error.code err);
+      (* Every parse diagnostic must render to something readable. *)
+      Alcotest.(check bool) "message nonempty" true
+        (String.length (Ccs.Error.to_string err) > 0)
+
+let test_malformed_headers () =
+  expect_code "graph\n" "parse";
+  expect_code "module a\n" "parse";
+  expect_code "module a lots\n" "parse";
+  expect_code "frobnicate everything\n" "parse";
+  expect_code "channel a b\n" "parse"
+
+let test_duplicate_modules () =
+  expect_code "module a 1\nmodule a 2\n" "duplicate-module";
+  (match S.parse "module a 1\nmodule b 1\nmodule a 2\n" with
+  | Error (Ccs.Error.At_line { line; err = Ccs.Error.Duplicate_module { name } })
+    ->
+      Alcotest.(check int) "line" 3 line;
+      Alcotest.(check string) "name" "a" name
+  | _ -> Alcotest.fail "expected At_line Duplicate_module")
+
+let test_unknown_endpoints () =
+  expect_code "module a 1\nchannel a nowhere 1 1\n" "unknown-module";
+  expect_code "module a 1\nchannel nowhere a 1 1\n" "unknown-module";
+  (match S.parse "module a 1\nmodule b 1\nchannel a c 1 1\n" with
+  | Error (Ccs.Error.At_line { err = Ccs.Error.Unknown_module { name }; _ }) ->
+      Alcotest.(check string) "offender" "c" name
+  | _ -> Alcotest.fail "expected Unknown_module")
+
+let test_bad_rates_and_delays () =
+  expect_code "module a 1\nmodule b 1\nchannel a b 0 1\n" "nonpositive-rate";
+  expect_code "module a 1\nmodule b 1\nchannel a b 1 0\n" "nonpositive-rate";
+  expect_code "module a 1\nmodule b 1\nchannel a b -1 1\n" "nonpositive-rate";
+  expect_code "module a 1\nmodule b 1\nchannel a b 1 1 -2\n" "negative-delay";
+  expect_code "module a -5\n" "negative-state"
+
+let test_truncated_input () =
+  (* Inputs cut off mid-line or mid-graph must error, never raise. *)
+  expect_code "" "empty-graph";
+  expect_code "graph g\n" "empty-graph";
+  expect_code "module a 1\nmodule b 1\nchannel a b 1" "parse";
+  expect_code "module a 1\nchann" "parse"
+
+let test_deadlock_cycle_structured () =
+  match S.parse "module a 1\nmodule b 1\nchannel a b 1 1\nchannel b a 1 1\n" with
+  | Error err ->
+      Alcotest.(check string) "code" "deadlock-cycle" (Ccs.Error.code err)
+  | Ok _ -> Alcotest.fail "cycle must be rejected"
+
+(* --- round-trip property -------------------------------------------------- *)
+
+let gen_graph =
+  QCheck2.Gen.(
+    oneof
+      [
+        map
+          (fun (seed, n) ->
+            Ccs.Generators.random_pipeline ~seed ~n:(n + 2) ~max_state:12
+              ~max_rate:4 ())
+          (pair (int_range 0 10_000) (int_range 2 16));
+        map
+          (fun (seed, n, extra) ->
+            Ccs.Generators.random_sdf_dag ~seed ~n:(n + 2) ~max_state:12
+              ~max_rate:4 ~extra_edges:extra ())
+          (triple (int_range 0 10_000) (int_range 2 12) (int_range 0 6));
+      ])
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"parse (to_text g) = Ok g" ~count:200 gen_graph
+    (fun g ->
+      match S.parse (S.to_text g) with
+      | Error err ->
+          QCheck2.Test.fail_reportf "printed graph rejected: %s"
+            (Ccs.Error.to_string err)
+      | Ok g2 -> graphs_equal g g2)
 
 let test_dot_output () =
   let g = Ccs.Generators.uniform_pipeline ~n:3 ~state:5 () in
@@ -118,6 +203,15 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
           Alcotest.test_case "error line numbers" `Quick
             test_error_carries_line;
+          Alcotest.test_case "malformed headers" `Quick test_malformed_headers;
+          Alcotest.test_case "duplicate modules" `Quick test_duplicate_modules;
+          Alcotest.test_case "unknown endpoints" `Quick test_unknown_endpoints;
+          Alcotest.test_case "bad rates and delays" `Quick
+            test_bad_rates_and_delays;
+          Alcotest.test_case "truncated input" `Quick test_truncated_input;
+          Alcotest.test_case "deadlock cycle structured" `Quick
+            test_deadlock_cycle_structured;
           Alcotest.test_case "dot output" `Quick test_dot_output;
         ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
     ]
