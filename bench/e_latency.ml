@@ -32,6 +32,19 @@ let e17 () =
         let result, lat =
           Ccs.Runner.run_with_latency ~graph:g ~cache ~plan ~outputs:8192 ()
         in
+        if Json.enabled () then
+          Json.point
+            [
+              ("kind", Json.String "latency");
+              ("graph", Json.String (G.name g));
+              ("plan", Json.String plan.Ccs.Plan.name);
+              ("m", Json.Int m);
+              ("b", Json.Int b);
+              ( "misses_per_input",
+                Json.Float result.Ccs.Runner.misses_per_input );
+              ("max_backlog", Json.Int lat.Ccs.Runner.max_inputs_behind);
+              ("mean_backlog", Json.Float lat.Ccs.Runner.mean_inputs_behind);
+            ];
         [
           plan.Ccs.Plan.name;
           f result.Ccs.Runner.misses_per_input;

@@ -32,6 +32,19 @@ let e16 () =
           }
         in
         let r = Ccs.Multi_machine.run g a spec assign ~t ~batches:6 cfg in
+        if Json.enabled () then
+          Json.point
+            [
+              ("kind", Json.String "multiprocessor");
+              ("graph", Json.String (G.name g));
+              ("processors", Json.Int processors);
+              ("m", Json.Int m);
+              ("b", Json.Int b);
+              ("imbalance", Json.Float (Ccs.Assign.imbalance assign));
+              ("total_misses", Json.Int r.Ccs.Multi_machine.total_misses);
+              ("makespan", Json.Float r.Ccs.Multi_machine.makespan);
+              ("speedup", Json.Float r.Ccs.Multi_machine.speedup);
+            ];
         [
           string_of_int processors;
           f (Ccs.Assign.imbalance assign);

@@ -25,6 +25,7 @@ let e1 () =
         let predicted =
           Ccs.Analysis.partition_cost_prediction spec a ~b ~t:m
         in
+        record_bound ~label:(Printf.sprintf "lemma4-M%d" m) predicted;
         [
           string_of_int m;
           string_of_int (Ccs.Spec.num_components spec);
@@ -50,6 +51,7 @@ let e2 () =
   let a = R.analyze_exn g in
   let m = 512 and b = 16 in
   let lb = Ccs.Analysis.pipeline_lower_bound g a ~m ~b in
+  record_bound ~label:"theorem3-segment-bound" lb;
   note "lower bound: %s misses/input (M=%d B=%d, total state %d)" (f lb) m b
     (G.total_state g);
   let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in

@@ -71,6 +71,17 @@ let e14 () =
           Ccs.Cache.Opt.block_trace ~block_words:b (Ccs.Machine.trace machine)
         in
         let opt = Ccs.Cache.Opt.misses ~block_capacity:(m / b) blocks in
+        if Json.enabled () then
+          Json.point
+            [
+              ("kind", Json.String "opt_vs_lru");
+              ("workload", Json.String name);
+              ("m", Json.Int m);
+              ("b", Json.Int b);
+              ("accesses", Json.Int (Array.length blocks));
+              ("opt_misses", Json.Int opt);
+              ("lru_misses", Json.Int lru);
+            ];
         [
           name;
           string_of_int (Array.length blocks);

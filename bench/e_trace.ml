@@ -52,6 +52,20 @@ let e18 () =
   let curve_rows =
     List.map2
       (fun (c, pm) (_, nm) ->
+        if Json.enabled () then
+          Json.point
+            [
+              ("kind", Json.String "miss_curve");
+              ("graph", Json.String (G.name g));
+              ("capacity_blocks", Json.Int c);
+              ("b", Json.Int b);
+              ( "partitioned_miss_rate",
+                Json.Float
+                  (float_of_int pm /. float_of_int (Array.length part_d)) );
+              ( "naive_miss_rate",
+                Json.Float
+                  (float_of_int nm /. float_of_int (Array.length naive_d)) );
+            ];
         [
           Printf.sprintf "%d blocks (%dw)" c (c * b);
           f (float_of_int pm /. float_of_int (Array.length part_d));

@@ -1,0 +1,131 @@
+(* Machine-readable benchmark output (see EXPERIMENTS.md, "JSON output").
+
+   A dependency-free JSON value type plus a process-global collector: the
+   harness opens a run with [enable], each experiment is bracketed by
+   [start_experiment]/[finish_experiment], and helpers sprinkled through
+   the experiment code call [point] to attach structured records (simulated
+   data points, predicted bounds, micro-benchmark timings) to the current
+   experiment.  [write] serializes everything to the requested file. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of value list
+  | Obj of (string * value) list
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      (* JSON has no NaN/inf literals; map them to null. *)
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.12g" f)
+      else Buffer.add_string buf "null"
+  | String s -> escape buf s
+  | List vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf v)
+        vs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 4096 in
+  emit buf v;
+  Buffer.contents buf
+
+(* --- collector ---------------------------------------------------------- *)
+
+type experiment = {
+  id : string;
+  description : string;
+  mutable records : value list; (* reversed *)
+  mutable wall_s : float;
+  mutable cpu_s : float;
+}
+
+let output_path : string option ref = ref None
+let finished : experiment list ref = ref [] (* reversed *)
+let current : experiment option ref = ref None
+
+let enable path = output_path := Some path
+let enabled () = !output_path <> None
+
+let start_experiment ~id description =
+  if enabled () then
+    current := Some { id; description; records = []; wall_s = 0.; cpu_s = 0. }
+
+let point fields =
+  match !current with
+  | Some e when enabled () -> e.records <- Obj fields :: e.records
+  | _ -> ()
+
+let finish_experiment ~wall_s ~cpu_s =
+  match !current with
+  | Some e ->
+      e.wall_s <- wall_s;
+      e.cpu_s <- cpu_s;
+      finished := e :: !finished;
+      current := None
+  | None -> ()
+
+let experiment_value e =
+  Obj
+    [
+      ("experiment", String e.id);
+      ("description", String e.description);
+      ("wall_s", Float e.wall_s);
+      ("cpu_s", Float e.cpu_s);
+      ("records", List (List.rev e.records));
+    ]
+
+let write ~argv =
+  match !output_path with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Obj
+          [
+            ("schema_version", Int 1);
+            ("generated_by", String "bench/main.exe");
+            ("argv", List (List.map (fun a -> String a) argv));
+            ("unix_time", Float (Unix.gettimeofday ()));
+            ("experiments", List (List.rev_map experiment_value !finished));
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\n(JSON written to %s)\n" path

@@ -6,7 +6,13 @@
 
    Run everything:        dune exec bench/main.exe
    Run one experiment:    dune exec bench/main.exe -- E7
-   Skip micro-benches:    dune exec bench/main.exe -- --no-micro *)
+   Skip micro-benches:    dune exec bench/main.exe -- --no-micro
+   CI smoke subset:       dune exec bench/main.exe -- --quick
+   Machine-readable run:  dune exec bench/main.exe -- --json BENCH_2026-08-07.json
+
+   With [--json FILE] every experiment appends structured records
+   (simulated data points, predicted bounds, micro-benchmark timings) plus
+   its wall/CPU time to FILE; see EXPERIMENTS.md for the schema. *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -30,27 +36,84 @@ let experiments : (string * string * (unit -> unit)) list =
     ("E18", "reuse-distance profiles", E_trace.e18);
   ]
 
+(* Sub-second experiments plus the micro-benchmarks: the CI smoke set. *)
+let quick_ids = [ "E1"; "E4"; "E5"; "E7"; "E9"; "E13"; "E15"; "E18"; "E12" ]
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--json FILE] [--quick] [--no-micro] [EXPERIMENT...]\n\
+     available experiments:\n";
+  List.iter
+    (fun (id, desc, _) -> Printf.eprintf "  %-4s %s\n" id desc)
+    experiments
+
+type opts = {
+  ids : string list;
+  json : string option;
+  quick : bool;
+  no_micro : bool;
+}
+
+let parse_args args =
+  let rec go acc = function
+    | [] -> { acc with ids = List.rev acc.ids }
+    | "--json" :: file :: rest -> go { acc with json = Some file } rest
+    | [ "--json" ] ->
+        Printf.eprintf "error: --json requires a FILE argument\n";
+        usage ();
+        exit 2
+    | "--quick" :: rest -> go { acc with quick = true } rest
+    | "--no-micro" :: rest -> go { acc with no_micro = true } rest
+    | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
+        Printf.eprintf "error: unknown flag %s\n" flag;
+        usage ();
+        exit 2
+    | id :: rest -> go { acc with ids = id :: acc.ids } rest
+  in
+  go { ids = []; json = None; quick = false; no_micro = false } args
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let no_micro = List.mem "--no-micro" args in
-  let wanted = List.filter (fun a -> a <> "--no-micro") args in
-  let to_run =
-    match wanted with
-    | [] ->
-        List.filter (fun (id, _, _) -> not (no_micro && id = "E12")) experiments
-    | ids ->
-        List.filter (fun (id, _, _) -> List.mem id ids) experiments
+  let opts = parse_args args in
+  (* Validate every requested id up front: one unknown id fails the whole
+     invocation (previously `main.exe E7 E99` silently dropped E99). *)
+  let unknown =
+    List.filter
+      (fun id -> not (List.exists (fun (i, _, _) -> i = id) experiments))
+      opts.ids
   in
-  if to_run = [] then begin
-    Printf.eprintf "unknown experiment id; available:\n";
-    List.iter
-      (fun (id, desc, _) -> Printf.eprintf "  %-4s %s\n" id desc)
-      experiments;
+  if unknown <> [] then begin
+    List.iter (fun id -> Printf.eprintf "error: unknown experiment %s\n" id)
+      unknown;
+    usage ();
     exit 1
   end;
+  let to_run =
+    match opts.ids with
+    | [] ->
+        let base =
+          if opts.quick then quick_ids
+          else List.map (fun (i, _, _) -> i) experiments
+        in
+        let base =
+          if opts.no_micro then List.filter (( <> ) "E12") base else base
+        in
+        List.filter (fun (id, _, _) -> List.mem id base) experiments
+    | ids -> List.filter (fun (id, _, _) -> List.mem id ids) experiments
+  in
+  (match opts.json with Some file -> Json.enable file | None -> ());
   Printf.printf
     "Cache-Conscious Scheduling of Streaming Applications (SPAA'12) — \
      experiment harness\n";
   let t0 = Sys.time () in
-  List.iter (fun (_, _, run) -> run ()) to_run;
-  Printf.printf "\n(total CPU time: %.1fs)\n" (Sys.time () -. t0)
+  List.iter
+    (fun (id, desc, run) ->
+      Json.start_experiment ~id desc;
+      let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+      run ();
+      Json.finish_experiment
+        ~wall_s:(Unix.gettimeofday () -. w0)
+        ~cpu_s:(Sys.time () -. c0))
+    to_run;
+  Printf.printf "\n(total CPU time: %.1fs)\n" (Sys.time () -. t0);
+  Json.write ~argv:args

@@ -118,7 +118,7 @@ let run () =
   in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
+  let estimates =
     Hashtbl.fold
       (fun name result acc ->
         let ns =
@@ -126,9 +126,25 @@ let run () =
           | Some [ est ] -> est
           | _ -> Float.nan
         in
-        [ name; Ccs.Table.fmt_float ns; Ccs.Table.fmt_float (ns /. 1e6) ]
-        :: acc)
+        (name, ns) :: acc)
       results []
     |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      Json.point
+        [
+          ("kind", Json.String "micro");
+          ("name", Json.String name);
+          ("ns_per_run", Json.Float ns);
+          ( "ops_per_sec",
+            Json.Float (if ns > 0. then 1e9 /. ns else Float.nan) );
+        ])
+    estimates;
+  let rows =
+    List.map
+      (fun (name, ns) ->
+        [ name; Ccs.Table.fmt_float ns; Ccs.Table.fmt_float (ns /. 1e6) ])
+      estimates
   in
   Ccs.Table.print ~header:[ "benchmark"; "ns/run"; "ms/run" ] ~rows

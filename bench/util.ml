@@ -8,12 +8,44 @@ let section id title =
 
 let note fmt = Printf.kfprintf (fun _ -> print_newline ()) stdout fmt
 
+(* Attach a structured data point for the simulated run to the active
+   --json experiment (no-op otherwise). *)
+let record_run g (cache : Ccs.Cache.config) (r : Ccs.Runner.result) =
+  if Json.enabled () then
+    Json.point
+      [
+        ("kind", Json.String "simulation");
+        ("graph", Json.String (G.name g));
+        ("plan", Json.String r.Ccs.Runner.plan_name);
+        ("m", Json.Int cache.Ccs.Cache.size_words);
+        ("b", Json.Int cache.Ccs.Cache.block_words);
+        ("inputs", Json.Int r.Ccs.Runner.inputs);
+        ("outputs", Json.Int r.Ccs.Runner.outputs);
+        ("accesses", Json.Int r.Ccs.Runner.accesses);
+        ("misses", Json.Int r.Ccs.Runner.misses);
+        ("misses_per_input", Json.Float r.Ccs.Runner.misses_per_input);
+        ("buffer_words", Json.Int r.Ccs.Runner.buffer_words);
+      ]
+
+(* Attach a predicted (theorem) bound in misses/input for comparison
+   against the simulated points of the same experiment. *)
+let record_bound ~label value =
+  if Json.enabled () then
+    Json.point
+      [
+        ("kind", Json.String "predicted_bound");
+        ("label", Json.String label);
+        ("misses_per_input", Json.Float value);
+      ]
+
 let run_mpi g cache plan outputs =
   let r, _ = Ccs.Runner.run ~graph:g ~cache ~plan ~outputs () in
+  record_run g cache r;
   r.Ccs.Runner.misses_per_input
 
 let run_result g cache plan outputs =
   let r, _ = Ccs.Runner.run ~graph:g ~cache ~plan ~outputs () in
+  record_run g cache r;
   r
 
 let f = Ccs.Table.fmt_float

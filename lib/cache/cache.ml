@@ -31,9 +31,19 @@ let make_engine cfg nblocks =
   | Set_associative ways ->
       if ways < 1 then invalid_arg "Cache.create: ways must be >= 1";
       let ways = min ways nblocks in
-      let nsets = max 1 (nblocks / ways) in
+      (* Round the set count up and shrink the last set, so the modeled
+         capacity is exactly [nblocks] even when [ways] does not divide it
+         (33 blocks / 4 ways -> 9 sets, the last holding 1 block). *)
+      let nsets = (nblocks + ways - 1) / ways in
+      let set_capacity s =
+        if s = nsets - 1 then nblocks - ((nsets - 1) * ways) else ways
+      in
       Sets
-        { sets = Array.init nsets (fun _ -> Lru.create ~capacity:ways); nsets }
+        {
+          sets =
+            Array.init nsets (fun s -> Lru.create ~capacity:(set_capacity s));
+          nsets;
+        }
 
 let create cfg =
   let nblocks = max 1 (cfg.size_words / cfg.block_words) in
@@ -51,22 +61,25 @@ let size_words t = t.cfg.size_words
 let block_words t = t.cfg.block_words
 let num_blocks t = t.nblocks
 
+let num_sets t = match t.engine with Full _ -> 1 | Sets { nsets; _ } -> nsets
+
+let engine_capacity t =
+  match t.engine with
+  | Full lru -> Lru.capacity lru
+  | Sets { sets; _ } ->
+      Array.fold_left (fun acc s -> acc + Lru.capacity s) 0 sets
+
 let block_of t addr = addr / t.cfg.block_words
 
 let touch_block t blk =
   t.accesses <- t.accesses + 1;
-  let result =
+  let hit =
     match t.engine with
-    | Full lru -> Lru.touch lru blk
-    | Sets { sets; nsets } -> Lru.touch sets.(blk mod nsets) blk
+    | Full lru -> Lru.touch_hit lru blk
+    | Sets { sets; nsets } -> Lru.touch_hit sets.(blk mod nsets) blk
   in
-  match result with
-  | `Hit ->
-      t.hits <- t.hits + 1;
-      true
-  | `Miss _ ->
-      t.misses <- t.misses + 1;
-      false
+  if hit then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
+  hit
 
 let touch t addr = touch_block t (block_of t addr)
 
@@ -164,7 +177,9 @@ module Opt = struct
       end
   end
 
-  let misses ~block_capacity trace =
+  type stats = { misses : int; peak_heap : int }
+
+  let misses_stats ~block_capacity trace =
     if block_capacity < 1 then
       invalid_arg "Cache.Opt.misses: capacity must be >= 1";
     let n = Array.length trace in
@@ -181,10 +196,11 @@ module Opt = struct
     (* resident: block -> current next-use index (for stale detection) *)
     let heap = Heap.create () in
     let miss_count = ref 0 in
+    let peak_heap = ref 0 in
     for i = 0 to n - 1 do
       let blk = trace.(i) in
       (match Hashtbl.find_opt resident blk with
-      | Some _ -> () (* hit *)
+      | Some _ -> () (* hit: only the next-use refresh below *)
       | None ->
           incr miss_count;
           if Hashtbl.length resident >= block_capacity then begin
@@ -200,16 +216,18 @@ module Opt = struct
                   | _ -> evict ())
             in
             evict ()
-          end;
-          Hashtbl.replace resident blk next.(i);
-          Heap.push heap (next.(i), blk));
-      (* Whether hit or miss, the block's next use advances. *)
-      if Hashtbl.mem resident blk then begin
-        Hashtbl.replace resident blk next.(i);
-        Heap.push heap (next.(i), blk)
-      end
+          end);
+      (* Whether hit or miss, [blk] is now resident and its next use
+         advances: exactly one heap entry per access, so the heap never
+         outgrows the trace. *)
+      Hashtbl.replace resident blk next.(i);
+      Heap.push heap (next.(i), blk);
+      if heap.Heap.len > !peak_heap then peak_heap := heap.Heap.len
     done;
-    !miss_count
+    { misses = !miss_count; peak_heap = !peak_heap }
+
+  let misses ~block_capacity trace =
+    (misses_stats ~block_capacity trace).misses
 
   let block_trace ~block_words trace =
     if block_words <= 0 then

@@ -39,9 +39,24 @@ val block_words : t -> int
 val num_blocks : t -> int
 (** Capacity in blocks: [size_words / block_words]. *)
 
+val num_sets : t -> int
+(** Number of replacement sets: [1] for fully-associative LRU, [nblocks]
+    for direct-mapped, [ceil (nblocks / ways)] for set-associative. *)
+
+val engine_capacity : t -> int
+(** Total modeled capacity in blocks, summed over all sets.  Always equals
+    {!num_blocks}, whatever the policy — set-associative configs whose way
+    count does not divide the block count shrink their last set rather than
+    dropping capacity. *)
+
 val touch : t -> int -> bool
 (** [touch t addr] simulates an access to word address [addr]; returns
     [true] on hit.  Statistics are updated. *)
+
+val touch_block : t -> int -> bool
+(** [touch_block t blk] is [touch t (blk * block_words t)]: an access by
+    block id rather than word address.  This is the allocation-free hot
+    path used by the machine simulator. *)
 
 val touch_range : t -> addr:int -> len:int -> unit
 (** Touch [len] consecutive words starting at [addr] (a streaming read or
@@ -68,6 +83,14 @@ module Opt : sig
   (** [misses ~block_capacity trace] is the number of misses OPT incurs on
       the given sequence of {e block} ids with a cache of [block_capacity]
       blocks, starting empty.  Runs in O(n log n). *)
+
+  type stats = { misses : int; peak_heap : int }
+  (** [peak_heap] is the lazy-deletion heap's high-water mark — at most one
+      entry per access, so it is bounded by the trace length. *)
+
+  val misses_stats : block_capacity:int -> int array -> stats
+  (** Like {!misses}, also reporting the internal heap's peak size (for
+      regression tests on the lazy-deletion bookkeeping). *)
 
   val block_trace : block_words:int -> int array -> int array
   (** Map a word-address trace to its block-id trace. *)

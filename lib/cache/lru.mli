@@ -1,8 +1,10 @@
 (** O(1) LRU set over integer keys.
 
-    An intrusive doubly-linked recency list plus a hash table.  Used as the
-    replacement engine of the fully-associative cache; exposed separately so
-    its invariants can be property-tested on their own. *)
+    An intrusive doubly-linked recency list threaded through preallocated
+    int arrays, plus an open-addressed key->slot table — no per-access
+    allocation on the {!touch_hit} fast path.  Used as the replacement
+    engine of the fully-associative cache; exposed separately so its
+    invariants can be property-tested on their own. *)
 
 type t
 
@@ -22,6 +24,11 @@ val touch : t -> int -> [ `Hit | `Miss of int option ]
     inserted and the result is [`Miss evicted], where [evicted] is the
     least-recently-used key removed to make room (or [None] if the set was
     not yet full). *)
+
+val touch_hit : t -> int -> bool
+(** [touch_hit t k] is [touch t k = `Hit] but allocation-free: it performs
+    the same recency update and (on miss) insertion/eviction, returning
+    only whether the access hit.  This is the simulation hot path. *)
 
 val remove : t -> int -> bool
 (** [remove t k] deletes [k]; returns whether it was present. *)

@@ -19,6 +19,12 @@ type t = {
   cache : Cache.t;
   states : Layout.region array;
   chans : chan array;
+  (* Firing-loop specialization: per-node edge ids and per-edge rates as
+     flat int arrays, so [fire] walks no lists and allocates nothing. *)
+  in_edges : int array array;
+  out_edges : int array array;
+  pop_rate : int array;
+  push_rate : int array;
   fire_count : int array;
   mutable total_fires : int;
   source : Graph.node option;
@@ -63,11 +69,16 @@ let create ?(align_to_block = true) ?(record_trace = false) ~graph ~cache
         })
   in
   let single = function [ v ] -> Some v | _ -> None in
+  let n = Graph.num_nodes graph in
   {
     graph;
     cache = Cache.create cache;
     states;
     chans;
+    in_edges = Array.init n (fun v -> Array.of_list (Graph.in_edges graph v));
+    out_edges = Array.init n (fun v -> Array.of_list (Graph.out_edges graph v));
+    pop_rate = Array.init m (fun e -> Graph.pop graph e);
+    push_rate = Array.init m (fun e -> Graph.push graph e);
     fire_count = Array.make (Graph.num_nodes graph) 0;
     total_fires = 0;
     source = single (Graph.sources graph);
@@ -115,16 +126,22 @@ let deadlocked t =
 (* All touches are block-granular: within one firing, touching each block of
    a contiguous span once produces exactly the same sequence of distinct
    blocks (hence the same misses under any demand replacement policy) as
-   touching every word, at a fraction of the simulation cost. *)
+   touching every word, at a fraction of the simulation cost.  Blocks are
+   touched by id (no per-word address arithmetic, no allocation). *)
 let touch_span t addr len =
   if len > 0 then begin
     let b = Cache.block_words t.cache in
     let first = addr / b and last = (addr + len - 1) / b in
-    for blk = first to last do
-      let a = blk * b in
-      (match t.recorder with Some r -> Intvec.push r a | None -> ());
-      ignore (Cache.touch t.cache a)
-    done
+    match t.recorder with
+    | None ->
+        for blk = first to last do
+          ignore (Cache.touch_block t.cache blk)
+        done
+    | Some r ->
+        for blk = first to last do
+          Intvec.push r (blk * b);
+          ignore (Cache.touch_block t.cache blk)
+        done
   end
 
 (* Touch [k] logical ring-buffer slots starting at absolute index [pos]:
@@ -140,35 +157,55 @@ let touch_ring t (region : Layout.region) pos k =
     end
   end
 
+(* Allocation-free firing-rule check; [fireable_reason] reproduces the
+   verdict with a diagnostic when this returns [false]. *)
+let fireable_fast t v =
+  let ins = t.in_edges.(v) and outs = t.out_edges.(v) in
+  let ok = ref true in
+  for i = 0 to Array.length ins - 1 do
+    let e = Array.unsafe_get ins i in
+    let c = t.chans.(e) in
+    if c.tail - c.head < t.pop_rate.(e) then ok := false
+  done;
+  for i = 0 to Array.length outs - 1 do
+    let e = Array.unsafe_get outs i in
+    let c = t.chans.(e) in
+    if c.capacity - (c.tail - c.head) < t.push_rate.(e) then ok := false
+  done;
+  !ok
+
 let fire t v =
   (match t.fire_budget with
   | Some budget when t.total_fires >= budget -> raise (Budget_exceeded { budget })
   | _ -> ());
-  (match fireable_reason t v with
-  | Some reason -> raise (Not_fireable { node = v; reason })
-  | None -> ());
-  let g = t.graph in
+  if not (fireable_fast t v) then begin
+    match fireable_reason t v with
+    | Some reason -> raise (Not_fireable { node = v; reason })
+    | None -> assert false
+  end;
   (* Load the module's entire state. *)
   let st = t.states.(v) in
   touch_span t st.Layout.base st.Layout.length;
   (* Consume inputs. *)
-  List.iter
-    (fun e ->
-      let c = t.chans.(e) in
-      let k = Graph.pop g e in
-      touch_ring t c.region c.head k;
-      c.head <- c.head + k;
-      c.consumed_total <- c.consumed_total + k)
-    (Graph.in_edges g v);
+  let ins = t.in_edges.(v) in
+  for i = 0 to Array.length ins - 1 do
+    let e = Array.unsafe_get ins i in
+    let c = t.chans.(e) in
+    let k = t.pop_rate.(e) in
+    touch_ring t c.region c.head k;
+    c.head <- c.head + k;
+    c.consumed_total <- c.consumed_total + k
+  done;
   (* Produce outputs. *)
-  List.iter
-    (fun e ->
-      let c = t.chans.(e) in
-      let k = Graph.push g e in
-      touch_ring t c.region c.tail k;
-      c.tail <- c.tail + k;
-      c.produced_total <- c.produced_total + k)
-    (Graph.out_edges g v);
+  let outs = t.out_edges.(v) in
+  for i = 0 to Array.length outs - 1 do
+    let e = Array.unsafe_get outs i in
+    let c = t.chans.(e) in
+    let k = t.push_rate.(e) in
+    touch_ring t c.region c.tail k;
+    c.tail <- c.tail + k;
+    c.produced_total <- c.produced_total + k
+  done;
   t.fire_count.(v) <- t.fire_count.(v) + 1;
   t.total_fires <- t.total_fires + 1;
   match t.fire_hook with Some hook -> hook v | None -> ()

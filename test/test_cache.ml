@@ -98,6 +98,43 @@ let test_direct_mapped_conflict () =
   ignore (C.touch c' 0);
   Alcotest.(check int) "no conflict in LRU" 2 (C.misses c')
 
+let test_set_assoc_capacity_non_dividing () =
+  (* Regression: when [ways] does not divide [nblocks], the set count used
+     to round *down*, silently dropping up to [ways-1] blocks of modeled
+     capacity (33 blocks / 4 ways modeled 32 — and 3 blocks / 2 ways
+     modeled 2 in a single set).  The last set now shrinks instead, so the
+     total modeled capacity is exactly [nblocks]. *)
+  List.iter
+    (fun (nblocks, ways) ->
+      let c =
+        C.create
+          (C.config ~policy:(C.Set_associative ways)
+             ~size_words:(nblocks * 8) ~block_words:8 ())
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "capacity %d blocks / %d ways" nblocks ways)
+        nblocks (C.engine_capacity c);
+      Alcotest.(check int)
+        (Printf.sprintf "sets %d blocks / %d ways" nblocks ways)
+        ((nblocks + ways - 1) / ways)
+        (C.num_sets c))
+    [ (33, 4); (3, 2); (5, 2); (7, 3); (8, 4); (1, 4) ]
+
+let test_set_assoc_no_lost_way () =
+  (* Behavioral form of the same bug: 3 blocks, 2-way.  The rounded-down
+     engine had one 2-way set for all three blocks and thrashed; with the
+     full 3 blocks of capacity the working set {0,1,2} fits (blocks 0,2 in
+     set 0, block 1 in the shrunken set 1) and only cold-misses. *)
+  let c =
+    C.create
+      (C.config ~policy:(C.Set_associative 2) ~size_words:24 ~block_words:8 ())
+  in
+  for _ = 1 to 5 do
+    List.iter (fun a -> ignore (C.touch c a)) [ 0; 8; 16 ]
+  done;
+  Alcotest.(check int) "only cold misses" 3 (C.misses c);
+  Alcotest.(check int) "rest hit" 12 (C.hits c)
+
 let test_set_associative () =
   (* 4 blocks, 2-way: 2 sets.  Blocks 0,2,4 all map to set 0; 2-way holds
      two of them. *)
@@ -152,6 +189,32 @@ let test_block_trace () =
   Alcotest.(check (array int)) "word->block" [| 0; 0; 1; 2 |]
     (C.Opt.block_trace ~block_words:8 [| 0; 7; 8; 23 |])
 
+let test_opt_heap_bounded () =
+  (* Regression: the miss path used to push its heap entry twice (once in
+     the insert branch, once in the unconditional post-access update), so
+     an all-miss trace grew the heap to 2n.  Exactly one push per access
+     bounds the peak by the trace length. *)
+  let all_miss = Array.init 500 Fun.id in
+  let s = C.Opt.misses_stats ~block_capacity:4 all_miss in
+  Alcotest.(check int) "all cold" 500 s.C.Opt.misses;
+  Alcotest.(check bool)
+    (Printf.sprintf "peak heap %d <= 500 accesses" s.C.Opt.peak_heap)
+    true
+    (s.C.Opt.peak_heap <= 500);
+  (* A hit-heavy trace must respect the same bound. *)
+  let cyclic = Array.init 600 (fun i -> i mod 3) in
+  let s = C.Opt.misses_stats ~block_capacity:4 cyclic in
+  Alcotest.(check int) "3 cold misses" 3 s.C.Opt.misses;
+  Alcotest.(check bool) "peak heap bounded" true (s.C.Opt.peak_heap <= 600)
+
+let prop_opt_heap_bounded =
+  QCheck2.Test.make ~name:"OPT heap length <= accesses" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 6) (array_size (int_range 1 400) (int_range 0 12)))
+    (fun (cap, blocks) ->
+      let s = C.Opt.misses_stats ~block_capacity:cap blocks in
+      s.C.Opt.peak_heap <= Array.length blocks)
+
 let prop_opt_lower_bounds_lru =
   (* Belady is optimal: for any trace, OPT <= LRU at equal capacity. *)
   QCheck2.Test.make ~name:"OPT <= LRU on random traces" ~count:200
@@ -193,6 +256,10 @@ let () =
           Alcotest.test_case "direct-mapped conflicts" `Quick
             test_direct_mapped_conflict;
           Alcotest.test_case "set-associative" `Quick test_set_associative;
+          Alcotest.test_case "set-assoc capacity (ways does not divide)"
+            `Quick test_set_assoc_capacity_non_dividing;
+          Alcotest.test_case "set-assoc no lost way" `Quick
+            test_set_assoc_no_lost_way;
         ] );
       ( "opt",
         [
@@ -201,8 +268,13 @@ let () =
           Alcotest.test_case "all distinct" `Quick test_opt_all_distinct;
           Alcotest.test_case "repeated single" `Quick test_opt_repeated_single;
           Alcotest.test_case "block trace" `Quick test_block_trace;
+          Alcotest.test_case "heap bounded" `Quick test_opt_heap_bounded;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_opt_lower_bounds_lru; prop_lru_augmented_competitive ] );
+          [
+            prop_opt_lower_bounds_lru;
+            prop_lru_augmented_competitive;
+            prop_opt_heap_bounded;
+          ] );
     ]

@@ -107,6 +107,104 @@ let prop_matches_model =
           actual = expected && L.to_list_mru_first l = !model)
         keys)
 
+(* Differential test of the array-based implementation against the naive
+   model: long seeded random traces, checked access by access for identical
+   hit/miss/eviction results and identical recency order, across the
+   capacities named in the regression checklist (1, 2, 7, 64). *)
+
+let lcg seed =
+  let state = ref (seed lxor 0x5DEECE66D) in
+  fun bound ->
+    state := ((!state * 0x2545F4914F6CDD1D) + 0x14057B7EF767814F) land max_int;
+    !state mod bound
+
+let test_differential_vs_model () =
+  List.iter
+    (fun capacity ->
+      List.iter
+        (fun seed ->
+          let rand = lcg ((capacity * 7919) + seed) in
+          (* Keys from a range ~3x capacity: a healthy mix of hits,
+             cold misses and evicting misses. *)
+          let key_bound = max 2 (3 * capacity) in
+          let l = L.create ~capacity in
+          let model = ref [] in
+          for step = 1 to 2000 do
+            let k = rand key_bound in
+            let expected, m' = model_touch !model capacity k in
+            model := m';
+            let actual = L.touch l k in
+            if actual <> expected then
+              Alcotest.failf "capacity=%d seed=%d step=%d: result mismatch"
+                capacity seed step;
+            if L.size l <> List.length !model then
+              Alcotest.failf "capacity=%d seed=%d step=%d: size mismatch"
+                capacity seed step
+          done;
+          Alcotest.(check (list int))
+            (Printf.sprintf "capacity=%d seed=%d final recency order" capacity
+               seed)
+            !model (L.to_list_mru_first l))
+        [ 1; 2; 3 ])
+    [ 1; 2; 7; 64 ]
+
+let test_touch_hit_agrees_with_touch () =
+  (* The allocation-free fast path must be observationally identical to
+     [touch] modulo the eviction payload. *)
+  List.iter
+    (fun capacity ->
+      let rand = lcg (capacity + 17) in
+      let a = L.create ~capacity and b = L.create ~capacity in
+      for step = 1 to 2000 do
+        let k = rand (max 2 (3 * capacity)) in
+        let ha = L.touch_hit a k in
+        let hb = match L.touch b k with `Hit -> true | `Miss _ -> false in
+        if ha <> hb then
+          Alcotest.failf "capacity=%d step=%d: touch_hit disagrees" capacity
+            step
+      done;
+      Alcotest.(check (list int))
+        (Printf.sprintf "capacity=%d same recency order" capacity)
+        (L.to_list_mru_first b) (L.to_list_mru_first a))
+    [ 1; 2; 7; 64 ]
+
+let test_negative_and_zero_keys () =
+  (* The open-addressed table must not reserve any key value. *)
+  let l = L.create ~capacity:3 in
+  List.iter (fun k -> ignore (L.touch l k)) [ 0; -1; min_int ];
+  Alcotest.(check (list int)) "all present" [ min_int; -1; 0 ]
+    (L.to_list_mru_first l);
+  (match L.touch l 5 with
+  | `Miss (Some 0) -> ()
+  | _ -> Alcotest.fail "0 was LRU");
+  Alcotest.(check bool) "min_int member" true (L.mem l min_int);
+  Alcotest.(check bool) "removed" true (L.remove l min_int);
+  Alcotest.(check bool) "gone" false (L.mem l min_int)
+
+let test_remove_interleaved () =
+  (* remove must recycle slots correctly: hammer touch/remove cycles well
+     past capacity so every slot goes through the free list repeatedly. *)
+  let capacity = 7 in
+  let l = L.create ~capacity in
+  let rand = lcg 42 in
+  let model = ref [] in
+  for step = 1 to 3000 do
+    let k = rand 20 in
+    if rand 4 = 0 then begin
+      let expected = List.mem k !model in
+      model := List.filter (fun x -> x <> k) !model;
+      if L.remove l k <> expected then
+        Alcotest.failf "step=%d: remove mismatch" step
+    end
+    else begin
+      let expected, m' = model_touch !model capacity k in
+      model := m';
+      if L.touch l k <> expected then
+        Alcotest.failf "step=%d: touch mismatch" step
+    end
+  done;
+  Alcotest.(check (list int)) "final order" !model (L.to_list_mru_first l)
+
 let prop_size_bounded =
   QCheck2.Test.make ~name:"size never exceeds capacity" ~count:300
     QCheck2.Gen.(
@@ -132,6 +230,17 @@ let () =
           Alcotest.test_case "remove" `Quick test_remove;
           Alcotest.test_case "clear" `Quick test_clear;
           Alcotest.test_case "capacity one" `Quick test_capacity_one;
+          Alcotest.test_case "negative and zero keys" `Quick
+            test_negative_and_zero_keys;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "seeded traces vs model (cap 1,2,7,64)" `Quick
+            test_differential_vs_model;
+          Alcotest.test_case "touch_hit agrees with touch" `Quick
+            test_touch_hit_agrees_with_touch;
+          Alcotest.test_case "remove interleaved" `Quick
+            test_remove_interleaved;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
