@@ -76,11 +76,14 @@ type experiment = {
 }
 
 let output_path : string option ref = ref None
+let trace_path : string option ref = ref None
 let finished : experiment list ref = ref [] (* reversed *)
 let current : experiment option ref = ref None
 
 let enable path = output_path := Some path
 let enabled () = !output_path <> None
+
+let set_trace_file path = trace_path := Some path
 
 let start_experiment ~id description =
   if enabled () then
@@ -117,10 +120,14 @@ let write ~argv =
       let doc =
         Obj
           [
-            ("schema_version", Int 1);
+            (* v2: adds the top-level "trace_file" pointer (null unless the
+               run exported a Chrome trace via --trace). *)
+            ("schema_version", Int 2);
             ("generated_by", String "bench/main.exe");
             ("argv", List (List.map (fun a -> String a) argv));
             ("unix_time", Float (Unix.gettimeofday ()));
+            ( "trace_file",
+              match !trace_path with Some p -> String p | None -> Null );
             ("experiments", List (List.rev_map experiment_value !finished));
           ]
       in

@@ -34,14 +34,17 @@ let experiments : (string * string * (unit -> unit)) list =
     ("E16", "multiprocessor placement", E_multi.e16);
     ("E17", "latency cost of cache efficiency", E_latency.e17);
     ("E18", "reuse-distance profiles", E_trace.e18);
+    ("E19", "attributed profiling (Lemmas 4/8)", E_profile.e19);
   ]
 
 (* Sub-second experiments plus the micro-benchmarks: the CI smoke set. *)
-let quick_ids = [ "E1"; "E4"; "E5"; "E7"; "E9"; "E13"; "E15"; "E18"; "E12" ]
+let quick_ids =
+  [ "E1"; "E4"; "E5"; "E7"; "E9"; "E13"; "E15"; "E18"; "E19"; "E12" ]
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--json FILE] [--quick] [--no-micro] [EXPERIMENT...]\n\
+    "usage: main.exe [--json FILE] [--trace FILE] [--quick] [--no-micro] \
+     [EXPERIMENT...]\n\
      available experiments:\n";
   List.iter
     (fun (id, desc, _) -> Printf.eprintf "  %-4s %s\n" id desc)
@@ -50,6 +53,7 @@ let usage () =
 type opts = {
   ids : string list;
   json : string option;
+  trace : string option;
   quick : bool;
   no_micro : bool;
 }
@@ -62,6 +66,11 @@ let parse_args args =
         Printf.eprintf "error: --json requires a FILE argument\n";
         usage ();
         exit 2
+    | "--trace" :: file :: rest -> go { acc with trace = Some file } rest
+    | [ "--trace" ] ->
+        Printf.eprintf "error: --trace requires a FILE argument\n";
+        usage ();
+        exit 2
     | "--quick" :: rest -> go { acc with quick = true } rest
     | "--no-micro" :: rest -> go { acc with no_micro = true } rest
     | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
@@ -70,7 +79,8 @@ let parse_args args =
         exit 2
     | id :: rest -> go { acc with ids = id :: acc.ids } rest
   in
-  go { ids = []; json = None; quick = false; no_micro = false } args
+  go { ids = []; json = None; trace = None; quick = false; no_micro = false }
+    args
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -102,6 +112,16 @@ let () =
     | ids -> List.filter (fun (id, _, _) -> List.mem id ids) experiments
   in
   (match opts.json with Some file -> Json.enable file | None -> ());
+  (match opts.trace with
+  | Some file ->
+      E_profile.trace_file := Some file;
+      Json.set_trace_file file;
+      (* --trace implies the experiment that produces it. *)
+      if opts.ids <> [] && not (List.mem "E19" opts.ids) then begin
+        Printf.eprintf "error: --trace requires experiment E19 to run\n";
+        exit 2
+      end
+  | None -> ());
   Printf.printf
     "Cache-Conscious Scheduling of Streaming Applications (SPAA'12) — \
      experiment harness\n";

@@ -4,6 +4,8 @@
      info      - parse a graph and print rates, gains and buffer analysis
      partition - compute and print a partition
      run       - schedule and simulate, printing cache statistics
+     profile   - attributed run: per-entity misses, per-component table,
+                 optional Chrome trace-event JSON
      compare   - run the full scheduler roster head-to-head
      apps      - list the built-in application suite
      multi     - processor-placement sweep (the paper's future work)
@@ -310,6 +312,78 @@ let run_cmd =
       const run $ graph_args $ cache_words_arg $ block_words_arg $ outputs_arg
       $ inject_seed $ inject_count)
 
+(* --- profile --------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run graph m b outputs trace_out top =
+    with_graph graph @@ fun g ->
+    let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
+    let choice = Ccs.Auto.plan ~dynamic:false g cfg in
+    let plan = choice.Ccs.Auto.plan in
+    let profile =
+      Ccs.Profile.run
+        ~events:(trace_out <> None)
+        ~graph:g
+        ~cache:(Ccs.Config.cache_config cfg)
+        ~plan ~outputs ()
+    in
+    Format.printf "%a@." Ccs.Runner.pp_result profile.Ccs.Profile.result;
+    let rec take k = function
+      | x :: rest when k > 0 -> x :: take (k - 1) rest
+      | _ -> []
+    in
+    let rows = take top (Ccs.Profile.per_entity profile) in
+    Ccs.Table.print
+      ~header:[ "entity"; "accesses"; "misses" ]
+      ~rows:
+        (List.map
+           (fun (label, accesses, misses) ->
+             [ label; string_of_int accesses; string_of_int misses ])
+           rows);
+    Printf.printf "attributed misses: %d of %d\n"
+      (Ccs.Profile.attributed_misses profile)
+      profile.Ccs.Profile.result.Ccs.Runner.misses;
+    let table =
+      Ccs.Profile.component_table profile choice.Ccs.Auto.partition
+        ~t:choice.Ccs.Auto.batch
+    in
+    Format.printf "%a@." Ccs.Profile.pp_table table;
+    match trace_out with
+    | None -> ()
+    | Some path ->
+        Ccs.Trace_export.write ~path
+          (Ccs.Profile.chrome ~process_name:"ccsched" profile);
+        let tr = Option.get profile.Ccs.Profile.tracer in
+        Printf.printf
+          "wrote %s (%d events, %d dropped); load it in Perfetto or \
+           chrome://tracing\n"
+          path (Ccs.Tracer.length tr) (Ccs.Tracer.dropped tr)
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Also record fire/load/evict events and write them as Chrome \
+             trace-event JSON to $(docv).")
+  in
+  let top =
+    Arg.(
+      value & opt int 16
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Show the N heaviest entities (by misses).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the partitioned schedule with per-entity miss attribution: \
+          heaviest entities, predicted-vs-measured per-component misses \
+          (Lemmas 4/8), and optionally a Chrome trace.")
+    Term.(
+      const run $ graph_args $ cache_words_arg $ block_words_arg $ outputs_arg
+      $ trace_out $ top)
+
 (* --- compare --------------------------------------------------------------- *)
 
 let compare_cmd =
@@ -480,14 +554,16 @@ let () =
   let status =
     (* Last-resort containment: no subcommand may escape with an uncaught
        exception on malformed input — everything becomes a one-line
-       diagnostic and a nonzero exit. *)
+       diagnostic and a nonzero exit.  [~catch:false] keeps Cmdliner from
+       intercepting exceptions first (its handler prints a multi-line
+       "internal error" report and exits 125). *)
     try
-      Cmd.eval
+      Cmd.eval ~catch:false
         (Cmd.group (Cmd.info "ccsched" ~version:"1.0.0" ~doc)
            [
-             check_cmd; info_cmd; partition_cmd; run_cmd; compare_cmd;
-             apps_cmd; multi_cmd; trace_cmd; codegen_cmd; fuse_cmd;
-             normalize_cmd; dot_cmd;
+             check_cmd; info_cmd; partition_cmd; run_cmd; profile_cmd;
+             compare_cmd; apps_cmd; multi_cmd; trace_cmd; codegen_cmd;
+             fuse_cmd; normalize_cmd; dot_cmd;
            ])
     with
     | Ccs.Error.Error e ->
@@ -502,5 +578,8 @@ let () =
     | Sys_error msg ->
         prerr_endline ("ccsched: i/o error: " ^ msg);
         1
+    | exn ->
+        prerr_endline ("ccsched: internal error: " ^ Printexc.to_string exn);
+        125
   in
   exit status

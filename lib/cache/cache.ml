@@ -81,6 +81,25 @@ let touch_block t blk =
   if hit then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
   hit
 
+(* Traced variant for the observability layer: same statistics, same
+   replacement decisions, but reports the evicted victim (or -1) so the
+   tracer can emit evict events.  Uses [Lru.touch], whose option result
+   allocates — acceptable off the default path. *)
+let touch_block_traced t blk =
+  t.accesses <- t.accesses + 1;
+  let engine =
+    match t.engine with
+    | Full lru -> lru
+    | Sets { sets; nsets } -> sets.(blk mod nsets)
+  in
+  match Lru.touch engine blk with
+  | `Hit ->
+      t.hits <- t.hits + 1;
+      (true, -1)
+  | `Miss evicted ->
+      t.misses <- t.misses + 1;
+      (false, Option.value evicted ~default:(-1))
+
 let touch t addr = touch_block t (block_of t addr)
 
 let touch_range t ~addr ~len =

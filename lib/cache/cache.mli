@@ -58,6 +58,12 @@ val touch_block : t -> int -> bool
     block id rather than word address.  This is the allocation-free hot
     path used by the machine simulator. *)
 
+val touch_block_traced : t -> int -> bool * int
+(** [touch_block_traced t blk] is {!touch_block} that additionally reports
+    the block evicted to make room ([-1] when the access hit or no
+    eviction was needed).  Slightly slower than {!touch_block}; used only
+    when a tracer is attached. *)
+
 val touch_range : t -> addr:int -> len:int -> unit
 (** Touch [len] consecutive words starting at [addr] (a streaming read or
     write of a whole region). *)

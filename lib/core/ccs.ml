@@ -49,6 +49,11 @@ module Trace_analysis = Ccs_cache.Trace_analysis
 module Machine = Ccs_exec.Machine
 module Fault = Ccs_exec.Fault
 
+(* Observability: per-entity miss attribution and event tracing *)
+module Counters = Ccs_obs.Counters
+module Tracer = Ccs_obs.Tracer
+module Trace_export = Ccs_obs.Trace_export
+
 (* Partitioning *)
 module Spec = Ccs_partition.Spec
 module Pipeline_partition = Ccs_partition.Pipeline
@@ -66,6 +71,7 @@ module Partitioned = Ccs_sched.Partitioned
 module Analysis = Ccs_sched.Analysis
 module Runner = Ccs_sched.Runner
 module Watchdog = Ccs_sched.Watchdog
+module Profile = Ccs_sched.Profile
 
 (* High-level API *)
 module Config = Config

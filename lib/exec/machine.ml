@@ -1,6 +1,8 @@
 module Graph = Ccs_sdf.Graph
 module Cache = Ccs_cache.Cache
 module Layout = Ccs_cache.Layout
+module Counters = Ccs_obs.Counters
+module Tracer = Ccs_obs.Tracer
 
 exception Not_fireable of { node : Graph.node; reason : string }
 exception Budget_exceeded of { budget : int }
@@ -31,15 +33,32 @@ type t = {
   sink : Graph.node option;
   space_words : int;
   recorder : Intvec.t option;
+  (* Observability: per-entity miss attribution and event tracing.  Both
+     are [None] by default and the hot path tests for that once per span,
+     so a machine without observers runs the exact seed code path. *)
+  counters : Counters.t option;
+  tracer : Tracer.t option;
+  observed : bool; (* [counters <> None || tracer <> None], precomputed *)
+  num_nodes : int; (* entity id of buffer e is [num_nodes + e] *)
   mutable fire_hook : (Graph.node -> unit) option;
   mutable fire_budget : int option;
 }
 
-let create ?(align_to_block = true) ?(record_trace = false) ~graph ~cache
-    ~capacities () =
+let create ?(align_to_block = true) ?(record_trace = false) ?counters ?tracer
+    ~graph ~cache ~capacities () =
   let m = Graph.num_edges graph in
   if Array.length capacities <> m then
     invalid_arg "Machine.create: capacities length mismatch";
+  (match counters with
+  | Some c
+    when Counters.entities c <> Graph.num_nodes graph + m ->
+      invalid_arg
+        (Printf.sprintf
+           "Machine.create: counters sized for %d entities, need %d \
+            (num_nodes + num_edges)"
+           (Counters.entities c)
+           (Graph.num_nodes graph + m))
+  | _ -> ());
   let align = if align_to_block then cache.Cache.block_words else 1 in
   let layout = Layout.create ~align () in
   let states =
@@ -85,6 +104,10 @@ let create ?(align_to_block = true) ?(record_trace = false) ~graph ~cache
     sink = single (Graph.sinks graph);
     space_words = Layout.size layout;
     recorder = (if record_trace then Some (Intvec.create ()) else None);
+    counters;
+    tracer;
+    observed = counters <> None || tracer <> None;
+    num_nodes = n;
     fire_hook = None;
     fire_budget = None;
   }
@@ -128,32 +151,62 @@ let deadlocked t =
    blocks (hence the same misses under any demand replacement policy) as
    touching every word, at a fraction of the simulation cost.  Blocks are
    touched by id (no per-word address arithmetic, no allocation). *)
-let touch_span t addr len =
+(* Instrumented per-block touch: attribute the hit/miss to [owner] and,
+   when tracing, advance the logical clock and emit load/evict events.
+   Lives off the fast path — [touch_span] only enters here when at least
+   one observer is attached. *)
+let touch_block_observed t owner blk =
+  match t.tracer with
+  | None ->
+      let hit = Cache.touch_block t.cache blk in
+      (match t.counters with
+      | Some c -> Counters.record c owner ~hit
+      | None -> ())
+  | Some tr ->
+      let hit, victim = Cache.touch_block_traced t.cache blk in
+      (match t.counters with
+      | Some c -> Counters.record c owner ~hit
+      | None -> ());
+      Tracer.advance tr 1;
+      if not hit then begin
+        Tracer.load tr ~owner ~block:blk;
+        if victim >= 0 then Tracer.evict tr ~owner ~block:victim
+      end
+
+let touch_span t owner addr len =
   if len > 0 then begin
     let b = Cache.block_words t.cache in
     let first = addr / b and last = (addr + len - 1) / b in
-    match t.recorder with
-    | None ->
-        for blk = first to last do
-          ignore (Cache.touch_block t.cache blk)
-        done
-    | Some r ->
-        for blk = first to last do
-          Intvec.push r (blk * b);
-          ignore (Cache.touch_block t.cache blk)
-        done
+    if t.observed then
+      for blk = first to last do
+        (match t.recorder with
+        | Some r -> Intvec.push r (blk * b)
+        | None -> ());
+        touch_block_observed t owner blk
+      done
+    else
+      match t.recorder with
+      | None ->
+          for blk = first to last do
+            ignore (Cache.touch_block t.cache blk)
+          done
+      | Some r ->
+          for blk = first to last do
+            Intvec.push r (blk * b);
+            ignore (Cache.touch_block t.cache blk)
+          done
   end
 
 (* Touch [k] logical ring-buffer slots starting at absolute index [pos]:
    at most two contiguous spans (wrap-around). *)
-let touch_ring t (region : Layout.region) pos k =
+let touch_ring t owner (region : Layout.region) pos k =
   if k > 0 then begin
     let len = region.Layout.length in
     let start = pos mod len in
-    if start + k <= len then touch_span t (region.Layout.base + start) k
+    if start + k <= len then touch_span t owner (region.Layout.base + start) k
     else begin
-      touch_span t (region.Layout.base + start) (len - start);
-      touch_span t region.Layout.base (k - (len - start))
+      touch_span t owner (region.Layout.base + start) (len - start);
+      touch_span t owner region.Layout.base (k - (len - start))
     end
   end
 
@@ -179,20 +232,26 @@ let fire t v =
   | Some budget when t.total_fires >= budget -> raise (Budget_exceeded { budget })
   | _ -> ());
   if not (fireable_fast t v) then begin
+    (match t.tracer with Some tr -> Tracer.stall tr ~node:v | None -> ());
     match fireable_reason t v with
     | Some reason -> raise (Not_fireable { node = v; reason })
     | None -> assert false
   end;
+  let fire_ev =
+    match t.tracer with
+    | Some tr -> Tracer.begin_fire tr ~node:v
+    | None -> -1
+  in
   (* Load the module's entire state. *)
   let st = t.states.(v) in
-  touch_span t st.Layout.base st.Layout.length;
+  touch_span t v st.Layout.base st.Layout.length;
   (* Consume inputs. *)
   let ins = t.in_edges.(v) in
   for i = 0 to Array.length ins - 1 do
     let e = Array.unsafe_get ins i in
     let c = t.chans.(e) in
     let k = t.pop_rate.(e) in
-    touch_ring t c.region c.head k;
+    touch_ring t (t.num_nodes + e) c.region c.head k;
     c.head <- c.head + k;
     c.consumed_total <- c.consumed_total + k
   done;
@@ -202,12 +261,13 @@ let fire t v =
     let e = Array.unsafe_get outs i in
     let c = t.chans.(e) in
     let k = t.push_rate.(e) in
-    touch_ring t c.region c.tail k;
+    touch_ring t (t.num_nodes + e) c.region c.tail k;
     c.tail <- c.tail + k;
     c.produced_total <- c.produced_total + k
   done;
   t.fire_count.(v) <- t.fire_count.(v) + 1;
   t.total_fires <- t.total_fires + 1;
+  (match t.tracer with Some tr -> Tracer.end_fire tr fire_ev | None -> ());
   match t.fire_hook with Some hook -> hook v | None -> ()
 
 let set_fire_hook t hook = t.fire_hook <- hook
@@ -271,3 +331,15 @@ let snapshot t =
 let address_space_words t = t.space_words
 let state_region t v = t.states.(v)
 let buffer_region t e = t.chans.(e).region
+
+(* --- observability ------------------------------------------------------- *)
+
+let num_entities t = t.num_nodes + Array.length t.chans
+let entity_of_state _t v = v
+let entity_of_buffer t e = t.num_nodes + e
+let counters t = t.counters
+let tracer t = t.tracer
+
+let entity_label t i =
+  if i < t.num_nodes then Graph.node_name t.graph i
+  else Graph.edge_name t.graph (i - t.num_nodes)

@@ -25,6 +25,8 @@ exception Budget_exceeded of { budget : int }
 val create :
   ?align_to_block:bool ->
   ?record_trace:bool ->
+  ?counters:Ccs_obs.Counters.t ->
+  ?tracer:Ccs_obs.Tracer.t ->
   graph:Ccs_sdf.Graph.t ->
   cache:Ccs_cache.Cache.config ->
   capacities:int array ->
@@ -35,7 +37,16 @@ val create :
     tokens and must be at least [max (push e) (pop e)] (checked).  With
     [align_to_block] (default [true]) every region starts on a block
     boundary.  With [record_trace] every touched word address is recorded
-    (see {!trace}). *)
+    (see {!trace}).
+
+    [counters], sized [num_nodes + num_edges] (checked), attributes every
+    cache access and miss to its owning entity — module state [v] is
+    entity [v], channel buffer [e] is entity [num_nodes + e] — so
+    per-entity misses sum exactly to {!misses}.  [tracer] additionally
+    logs fire/load/evict/stall events with a logical clock that ticks once
+    per simulated cache access.  Both default to absent, in which case the
+    firing path is byte-for-byte the uninstrumented one (no extra work, no
+    allocation). *)
 
 val graph : t -> Ccs_sdf.Graph.t
 val cache : t -> Ccs_cache.Cache.t
@@ -116,3 +127,21 @@ val address_space_words : t -> int
 
 val state_region : t -> Ccs_sdf.Graph.node -> Ccs_cache.Layout.region
 val buffer_region : t -> Ccs_sdf.Graph.edge -> Ccs_cache.Layout.region
+
+(** {2 Observability}
+
+    Entity ids for the attribution counters: module state [v] is entity
+    [v]; channel buffer [e] is entity [num_nodes + e]. *)
+
+val num_entities : t -> int
+(** [num_nodes + num_edges] — the size {!create}'s [counters] must have. *)
+
+val entity_of_state : t -> Ccs_sdf.Graph.node -> int
+val entity_of_buffer : t -> Ccs_sdf.Graph.edge -> int
+
+val entity_label : t -> int -> string
+(** The module or channel name behind an entity id (diagnostics, trace
+    export). *)
+
+val counters : t -> Ccs_obs.Counters.t option
+val tracer : t -> Ccs_obs.Tracer.t option

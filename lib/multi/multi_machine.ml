@@ -1,8 +1,11 @@
 module Graph = Ccs_sdf.Graph
 module Rates = Ccs_sdf.Rates
+module E = Ccs_sdf.Error
 module Spec = Ccs_partition.Spec
 module Cache = Ccs_cache.Cache
 module Layout = Ccs_cache.Layout
+module Counters = Ccs_obs.Counters
+module Tracer = Ccs_obs.Tracer
 
 type config = {
   processors : int;
@@ -27,25 +30,44 @@ type chan = {
   mutable tail : int;
 }
 
-let run g a spec assign ~t ~batches cfg =
+let run_plan ?counters ?tracer g a spec assign ~plan ~batches cfg =
+  ignore a;
   if cfg.processors <> assign.Assign.processors then
     invalid_arg "Multi_machine.run: assignment processor count mismatch";
-  let plan = Ccs_sched.Partitioned.batch g a spec ~t in
+  (* The placement simulator replays a static batch schedule; a dynamic
+     (aperiodic) plan has no period to replay, which is a caller error of
+     the structured kind, not an [assert false]. *)
   let period =
     match plan.Ccs_sched.Plan.period with
     | Some p -> p
-    | None -> assert false
+    | None ->
+        E.fail
+          (E.Plan_invalid
+             {
+               plan = plan.Ccs_sched.Plan.name;
+               reason =
+                 "plan is aperiodic (no static period); Multi_machine \
+                  replays periodic batch schedules only";
+             })
   in
   let capacities = plan.Ccs_sched.Plan.capacities in
+  let n = Graph.num_nodes g in
+  let m = Graph.num_edges g in
+  (match counters with
+  | Some c when Counters.entities c <> n + m ->
+      invalid_arg
+        (Printf.sprintf
+           "Multi_machine.run_plan: counters sized for %d entities, need %d"
+           (Counters.entities c) (n + m))
+  | _ -> ());
   (* Shared address space, same layout discipline as Machine. *)
   let block = cfg.cache.Cache.block_words in
   let layout = Layout.create ~align:block () in
   let states =
-    Array.init (Graph.num_nodes g) (fun v ->
-        Layout.alloc layout ~len:(Graph.state g v))
+    Array.init n (fun v -> Layout.alloc layout ~len:(Graph.state g v))
   in
   let chans =
-    Array.init (Graph.num_edges g) (fun e ->
+    Array.init m (fun e ->
         {
           region = Layout.alloc ~align:1 layout ~len:capacities.(e);
           head = 0;
@@ -57,22 +79,50 @@ let run g a spec assign ~t ~batches cfg =
   let work = Array.make cfg.processors 0. in
   let uni_work = ref 0. in
   let proc_of_node v = assign.Assign.processor_of_component.(Spec.component_of spec v) in
-  let touch_span cache addr len =
+  (* Attribution covers the parallel run (the per-processor caches); the
+     uniprocessor shadow run is the speedup baseline and stays
+     unobserved. *)
+  let touch_observed cache owner blk =
+    match tracer with
+    | None ->
+        let hit = Cache.touch_block cache blk in
+        (match counters with
+        | Some c -> Counters.record c owner ~hit
+        | None -> ())
+    | Some tr ->
+        let hit, victim = Cache.touch_block_traced cache blk in
+        (match counters with
+        | Some c -> Counters.record c owner ~hit
+        | None -> ());
+        Tracer.advance tr 1;
+        if not hit then begin
+          Tracer.load tr ~owner ~block:blk;
+          if victim >= 0 then Tracer.evict tr ~owner ~block:victim
+        end
+  in
+  let touch_span ?owner cache addr len =
     if len > 0 then begin
       let first = addr / block and last = (addr + len - 1) / block in
-      for blk = first to last do
-        ignore (Cache.touch cache (blk * block))
-      done
+      match owner with
+      | None ->
+          for blk = first to last do
+            ignore (Cache.touch_block cache blk)
+          done
+      | Some o ->
+          for blk = first to last do
+            touch_observed cache o blk
+          done
     end
   in
-  let touch_ring cache (region : Layout.region) pos k =
+  let touch_ring ?owner cache (region : Layout.region) pos k =
     if k > 0 then begin
       let len = region.Layout.length in
       let start = pos mod len in
-      if start + k <= len then touch_span cache (region.Layout.base + start) k
+      if start + k <= len then
+        touch_span ?owner cache (region.Layout.base + start) k
       else begin
-        touch_span cache (region.Layout.base + start) (len - start);
-        touch_span cache region.Layout.base (k - (len - start))
+        touch_span ?owner cache (region.Layout.base + start) (len - start);
+        touch_span ?owner cache region.Layout.base (k - (len - start))
       end
     end
   in
@@ -81,16 +131,19 @@ let run g a spec assign ~t ~batches cfg =
   let fire v =
     let p = proc_of_node v in
     let cache = caches.(p) in
+    let fire_ev =
+      match tracer with Some tr -> Tracer.begin_fire tr ~node:v | None -> -1
+    in
     let words = ref 0 in
     let st = states.(v) in
-    touch_span cache st.Layout.base st.Layout.length;
+    touch_span ~owner:v cache st.Layout.base st.Layout.length;
     touch_span uni_cache st.Layout.base st.Layout.length;
     words := !words + st.Layout.length;
     List.iter
       (fun e ->
         let c = chans.(e) in
         let k = Graph.pop g e in
-        touch_ring cache c.region c.head k;
+        touch_ring ~owner:(n + e) cache c.region c.head k;
         touch_ring uni_cache c.region c.head k;
         c.head <- c.head + k;
         words := !words + k)
@@ -99,13 +152,14 @@ let run g a spec assign ~t ~batches cfg =
       (fun e ->
         let c = chans.(e) in
         let k = Graph.push g e in
-        touch_ring cache c.region c.tail k;
+        touch_ring ~owner:(n + e) cache c.region c.tail k;
         touch_ring uni_cache c.region c.tail k;
         c.tail <- c.tail + k;
         words := !words + k)
       (Graph.out_edges g v);
     work.(p) <- work.(p) +. float_of_int !words;
     uni_work := !uni_work +. float_of_int !words;
+    (match tracer with Some tr -> Tracer.end_fire tr fire_ev | None -> ());
     if v = source then incr inputs
   in
   for _ = 1 to batches do
@@ -134,3 +188,7 @@ let run g a spec assign ~t ~batches cfg =
     total_misses = Array.fold_left ( + ) 0 per_processor_misses;
     inputs = !inputs;
   }
+
+let run ?counters ?tracer g a spec assign ~t ~batches cfg =
+  let plan = Ccs_sched.Partitioned.batch g a spec ~t in
+  run_plan ?counters ?tracer g a spec assign ~plan ~batches cfg

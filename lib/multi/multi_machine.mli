@@ -41,6 +41,8 @@ type result = {
 }
 
 val run :
+  ?counters:Ccs_obs.Counters.t ->
+  ?tracer:Ccs_obs.Tracer.t ->
   Ccs_sdf.Graph.t ->
   Ccs_sdf.Rates.analysis ->
   Ccs_partition.Spec.t ->
@@ -50,5 +52,31 @@ val run :
   config ->
   result
 (** Execute [batches] batches of [t] inputs under the placement.
+
+    [counters], sized [num_nodes + num_edges] (checked), attributes the
+    parallel run's per-processor cache traffic to owning entities with the
+    same encoding as {!Ccs_exec.Machine}: module state [v] is entity [v],
+    channel buffer [e] is entity [num_nodes + e].  [tracer] logs
+    fire/load/evict events against the private caches.  The uniprocessor
+    shadow run (the speedup baseline) is never attributed or traced.
+
     @raise Invalid_argument if [t] is not a granularity multiple or the
     partition is not well-ordered. *)
+
+val run_plan :
+  ?counters:Ccs_obs.Counters.t ->
+  ?tracer:Ccs_obs.Tracer.t ->
+  Ccs_sdf.Graph.t ->
+  Ccs_sdf.Rates.analysis ->
+  Ccs_partition.Spec.t ->
+  Assign.t ->
+  plan:Ccs_sched.Plan.t ->
+  batches:int ->
+  config ->
+  result
+(** Like {!run} but replays an explicit plan instead of building the batch
+    plan internally.
+
+    @raise Ccs_sdf.Error.Error with [Plan_invalid] if the plan is
+    aperiodic ([period = None]): the multiprocessor simulator replays
+    static periodic schedules only. *)

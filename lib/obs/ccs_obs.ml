@@ -1,0 +1,11 @@
+(** Observability primitives for the simulated machines: per-entity miss
+    attribution ({!Counters}), schedule-event tracing with logical
+    timestamps ({!Tracer}), and Chrome [trace_event] / summary writers
+    ({!Trace_export}).  Dependency-free by design — the execution layers
+    ([Ccs_exec.Machine], [Ccs_multi.Multi_machine], [Ccs_runtime.Engine])
+    accept these as optional attachments and pay nothing when they are
+    absent. *)
+
+module Counters = Counters
+module Tracer = Tracer
+module Trace_export = Trace_export

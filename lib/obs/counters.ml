@@ -1,0 +1,20 @@
+type t = { accesses : int array; misses : int array }
+
+let create ~entities =
+  if entities < 0 then invalid_arg "Counters.create: entities must be >= 0";
+  { accesses = Array.make entities 0; misses = Array.make entities 0 }
+
+let entities t = Array.length t.accesses
+
+let record t i ~hit =
+  t.accesses.(i) <- t.accesses.(i) + 1;
+  if not hit then t.misses.(i) <- t.misses.(i) + 1
+
+let accesses t i = t.accesses.(i)
+let misses t i = t.misses.(i)
+let total_accesses t = Array.fold_left ( + ) 0 t.accesses
+let total_misses t = Array.fold_left ( + ) 0 t.misses
+
+let reset t =
+  Array.fill t.accesses 0 (Array.length t.accesses) 0;
+  Array.fill t.misses 0 (Array.length t.misses) 0

@@ -1,0 +1,107 @@
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* One trace_event object.  [extra] is pre-rendered JSON fields (with a
+   leading comma) appended verbatim — every caller builds them from ints
+   and escaped strings below. *)
+let event buf ~first ~name ~cat ~ph ~ts ~tid ~extra =
+  if not first then Buffer.add_char buf ',';
+  Buffer.add_string buf "\n{\"name\":";
+  escape buf name;
+  Buffer.add_string buf ",\"cat\":\"";
+  Buffer.add_string buf cat;
+  Buffer.add_string buf "\",\"ph\":\"";
+  Buffer.add_string buf ph;
+  Buffer.add_string buf "\",\"pid\":0,\"tid\":";
+  Buffer.add_string buf (string_of_int tid);
+  Buffer.add_string buf ",\"ts\":";
+  Buffer.add_string buf (string_of_int ts);
+  Buffer.add_string buf extra;
+  Buffer.add_char buf '}'
+
+let metadata buf ~first ~name ~tid ~value =
+  if not first then Buffer.add_char buf ',';
+  Buffer.add_string buf "\n{\"name\":\"";
+  Buffer.add_string buf name;
+  Buffer.add_string buf "\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+  Buffer.add_string buf (string_of_int tid);
+  Buffer.add_string buf ",\"ts\":0,\"args\":{\"name\":";
+  escape buf value;
+  Buffer.add_string buf "}}"
+
+let chrome ?(process_name = "ccs simulated machine") ?(thread_names = [])
+    ?(summary = []) ~label ~tid tracer =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  metadata buf ~first:!first ~name:"process_name" ~tid:0 ~value:process_name;
+  first := false;
+  List.iter
+    (fun (t, name) -> metadata buf ~first:false ~name:"thread_name" ~tid:t ~value:name)
+    thread_names;
+  Tracer.iter tracer ~f:(fun (e : Tracer.event) ->
+      (match e.Tracer.kind with
+      | Tracer.Fire ->
+          event buf ~first:false ~name:(label e.Tracer.id) ~cat:"fire" ~ph:"X"
+            ~ts:e.Tracer.ts ~tid:(tid e.Tracer.id)
+            ~extra:(Printf.sprintf ",\"dur\":%d" e.Tracer.arg)
+      | Tracer.Load ->
+          event buf ~first:false ~name:(label e.Tracer.id) ~cat:"load" ~ph:"i"
+            ~ts:e.Tracer.ts ~tid:(tid e.Tracer.id)
+            ~extra:
+              (Printf.sprintf ",\"s\":\"t\",\"args\":{\"block\":%d}"
+                 e.Tracer.arg)
+      | Tracer.Evict ->
+          event buf ~first:false ~name:(label e.Tracer.id) ~cat:"evict"
+            ~ph:"i" ~ts:e.Tracer.ts ~tid:(tid e.Tracer.id)
+            ~extra:
+              (Printf.sprintf ",\"s\":\"t\",\"args\":{\"victim\":%d}"
+                 e.Tracer.arg)
+      | Tracer.Stall ->
+          event buf ~first:false ~name:(label e.Tracer.id) ~cat:"stall"
+            ~ph:"i" ~ts:e.Tracer.ts ~tid:(tid e.Tracer.id)
+            ~extra:",\"s\":\"t\""));
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\",\"ccs\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      escape buf k;
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int v))
+    (("events", Tracer.length tracer)
+    :: ("dropped_events", Tracer.dropped tracer)
+    :: summary);
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let write ~path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc doc;
+      output_char oc '\n')
+
+let entity_summary counters ~label =
+  let rows = ref [] in
+  for i = Counters.entities counters - 1 downto 0 do
+    let a = Counters.accesses counters i in
+    if a > 0 then rows := (label i, a, Counters.misses counters i) :: !rows
+  done;
+  List.sort
+    (fun (_, a1, m1) (_, a2, m2) ->
+      if m1 <> m2 then compare m2 m1 else compare a2 a1)
+    !rows

@@ -1,0 +1,81 @@
+type kind = Fire | Load | Evict | Stall
+
+type event = { kind : kind; ts : int; id : int; arg : int }
+
+(* Packed storage: each event is 4 consecutive ints (kind, ts, id, arg) in
+   one growable array — appending allocates only on doubling. *)
+type t = {
+  mutable data : int array;
+  mutable len : int; (* events stored *)
+  mutable clock : int;
+  mutable dropped : int;
+  limit : int;
+}
+
+let create ?(limit = 1_000_000) () =
+  if limit < 0 then invalid_arg "Tracer.create: limit must be >= 0";
+  { data = Array.make 256 0; len = 0; clock = 0; dropped = 0; limit }
+
+let clock t = t.clock
+let advance t k = t.clock <- t.clock + k
+
+let kind_to_int = function Fire -> 0 | Load -> 1 | Evict -> 2 | Stall -> 3
+let kind_of_int = function
+  | 0 -> Fire
+  | 1 -> Load
+  | 2 -> Evict
+  | _ -> Stall
+
+let push t kind ~ts ~id ~arg =
+  if t.len >= t.limit then t.dropped <- t.dropped + 1
+  else begin
+    let need = 4 * (t.len + 1) in
+    if need > Array.length t.data then begin
+      let bigger = Array.make (2 * Array.length t.data) 0 in
+      Array.blit t.data 0 bigger 0 (4 * t.len);
+      t.data <- bigger
+    end;
+    let o = 4 * t.len in
+    t.data.(o) <- kind_to_int kind;
+    t.data.(o + 1) <- ts;
+    t.data.(o + 2) <- id;
+    t.data.(o + 3) <- arg;
+    t.len <- t.len + 1
+  end
+
+let begin_fire t ~node =
+  if t.len >= t.limit then begin
+    t.dropped <- t.dropped + 1;
+    -1
+  end
+  else begin
+    push t Fire ~ts:t.clock ~id:node ~arg:0;
+    t.len - 1
+  end
+
+let end_fire t handle =
+  if handle >= 0 then begin
+    let o = 4 * handle in
+    t.data.(o + 3) <- t.clock - t.data.(o + 1)
+  end
+let load t ~owner ~block = push t Load ~ts:t.clock ~id:owner ~arg:block
+let evict t ~owner ~block = push t Evict ~ts:t.clock ~id:owner ~arg:block
+let stall t ~node = push t Stall ~ts:t.clock ~id:node ~arg:0
+
+let length t = t.len
+let dropped t = t.dropped
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Tracer.get: out of range";
+  let o = 4 * i in
+  {
+    kind = kind_of_int t.data.(o);
+    ts = t.data.(o + 1);
+    id = t.data.(o + 2);
+    arg = t.data.(o + 3);
+  }
+
+let iter t ~f =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done

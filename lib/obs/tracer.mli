@@ -1,0 +1,59 @@
+(** Schedule-event tracing with logical timestamps.
+
+    A tracer is an append-only in-memory event log.  Time is {e logical}:
+    the clock is advanced by the instrumented machine once per simulated
+    cache access, so timestamps are directly comparable to the paper's
+    cost model (one unit per block touch) and are monotone by construction.
+
+    Events are stored packed (four ints per event) in a growable flat
+    array: no per-event allocation, and nothing at all happens when no
+    tracer is attached.  A capacity limit bounds memory on long runs; once
+    reached, further events are counted in {!dropped} but not stored. *)
+
+type kind =
+  | Fire  (** A module fired: [id] = node, [arg] = duration in accesses. *)
+  | Load  (** A cache miss: [id] = owning entity, [arg] = block id. *)
+  | Evict
+      (** A block was evicted to serve a load: [id] = entity whose access
+          caused the eviction, [arg] = victim block id. *)
+  | Stall
+      (** A firing was attempted but the firing rule failed: [id] = node,
+          [arg] = 0. *)
+
+type event = { kind : kind; ts : int; id : int; arg : int }
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** [limit] (default [1_000_000]) caps the number of {e stored} events.
+    @raise Invalid_argument if [limit < 0]. *)
+
+val clock : t -> int
+(** Current logical time (number of {!advance} ticks so far). *)
+
+val advance : t -> int -> unit
+(** Advance the logical clock by [k] accesses. *)
+
+val begin_fire : t -> node:int -> int
+(** Append a [Fire] event for [node] at the current logical time, duration
+    still zero; returns a handle for {!end_fire} ([-1] if the event was
+    dropped).  Emitting the event {e before} the firing's touches keeps the
+    log sorted by timestamp. *)
+
+val end_fire : t -> int -> unit
+(** Patch the [Fire] event's duration to the accesses elapsed since its
+    {!begin_fire}.  A [-1] handle is ignored. *)
+
+val load : t -> owner:int -> block:int -> unit
+val evict : t -> owner:int -> block:int -> unit
+val stall : t -> node:int -> unit
+
+val length : t -> int
+(** Stored events. *)
+
+val dropped : t -> int
+(** Events discarded after the limit was reached. *)
+
+val get : t -> int -> event
+val iter : t -> f:(event -> unit) -> unit
+(** In emission order; timestamps are non-decreasing. *)

@@ -78,10 +78,13 @@ let init_states program =
              });
       st)
 
-let create_unsafe ?(record_trace = false) ?(validate = false) ~program ~cache
-    ~capacities () =
+let create_unsafe ?(record_trace = false) ?(validate = false) ?counters ?tracer
+    ~program ~cache ~capacities () =
   let g = Program.graph program in
-  let machine = Machine.create ~record_trace ~graph:g ~cache ~capacities () in
+  let machine =
+    Machine.create ~record_trace ?counters ?tracer ~graph:g ~cache ~capacities
+      ()
+  in
   let t =
     {
       program;
@@ -101,15 +104,19 @@ let create_unsafe ?(record_trace = false) ?(validate = false) ~program ~cache
   Machine.set_fire_hook machine (Some (move_data t));
   t
 
-let create ?record_trace ?validate ~program ~cache ~capacities () =
-  try create_unsafe ?record_trace ?validate ~program ~cache ~capacities ()
+let create ?record_trace ?validate ?counters ?tracer ~program ~cache
+    ~capacities () =
+  try
+    create_unsafe ?record_trace ?validate ?counters ?tracer ~program ~cache
+      ~capacities ()
   with E.Error (E.Fault { node; detail; _ }) ->
     invalid_arg (Printf.sprintf "Engine.create: %s: %s" node detail)
 
-let create_checked ?record_trace ?(validate = true) ~program ~cache ~capacities
-    () =
+let create_checked ?record_trace ?(validate = true) ?counters ?tracer ~program
+    ~cache ~capacities () =
   E.protect (fun () ->
-      create_unsafe ?record_trace ~validate ~program ~cache ~capacities ())
+      create_unsafe ?record_trace ~validate ?counters ?tracer ~program ~cache
+        ~capacities ())
 
 let machine t = t.machine
 let fire t v = Machine.fire t.machine v
@@ -145,8 +152,9 @@ let run_plan_checked ?budget t plan ~outputs =
     | Error e -> Result.error e
     | Ok () -> Ok (result_of_run t plan)
 
-let of_plan ?record_trace ?validate ~program ~cache ~plan () =
-  create ?record_trace ?validate ~program ~cache
+let of_plan ?record_trace ?validate ?counters ?tracer ~program ~cache ~plan ()
+    =
+  create ?record_trace ?validate ?counters ?tracer ~program ~cache
     ~capacities:plan.Ccs_sched.Plan.capacities ()
 
 let state t v = t.states.(v)

@@ -24,6 +24,8 @@ type t
 val create :
   ?record_trace:bool ->
   ?validate:bool ->
+  ?counters:Ccs_obs.Counters.t ->
+  ?tracer:Ccs_obs.Tracer.t ->
   program:Program.t ->
   cache:Ccs_cache.Cache.config ->
   capacities:int array ->
@@ -31,13 +33,17 @@ val create :
   t
 (** With [validate] (default [false]) every firing's outputs are checked
     for non-finite tokens; a violation raises
-    [Ccs_sdf.Error.Error (Fault _)].
+    [Ccs_sdf.Error.Error (Fault _)].  [counters]/[tracer] are handed to
+    the underlying {!Ccs_exec.Machine.create} for per-entity miss
+    attribution and event tracing.
     @raise Invalid_argument if some kernel's [init] returns state of the
     wrong length. *)
 
 val create_checked :
   ?record_trace:bool ->
   ?validate:bool ->
+  ?counters:Ccs_obs.Counters.t ->
+  ?tracer:Ccs_obs.Tracer.t ->
   program:Program.t ->
   cache:Ccs_cache.Cache.config ->
   capacities:int array ->
@@ -77,6 +83,8 @@ val run_plan_checked :
 val of_plan :
   ?record_trace:bool ->
   ?validate:bool ->
+  ?counters:Ccs_obs.Counters.t ->
+  ?tracer:Ccs_obs.Tracer.t ->
   program:Program.t ->
   cache:Ccs_cache.Cache.config ->
   plan:Ccs_sched.Plan.t ->

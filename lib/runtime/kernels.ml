@@ -119,14 +119,25 @@ let sbox ~table_words =
     Array.init table_words (fun i ->
         float_of_int ((i * 2654435761) land 0xFFFF) /. 65536.)
   in
+  (* Total float -> table index map.  The obvious
+     [abs (int_of_float scaled) mod table_words] is not: [int_of_float] on
+     NaN or out-of-range floats is unspecified, and [abs min_int] is still
+     negative, so a hostile token read out of bounds.  Clamp to the exactly
+     representable int range first, then reduce to a non-negative
+     residue. *)
+  let index_of x =
+    let scaled = x *. float_of_int table_words in
+    if Float.is_nan scaled then 0
+    else if scaled >= 1073741823. then 1073741823 mod table_words
+    else if scaled <= -1073741824. then
+      (-1073741824 mod table_words + table_words) mod table_words
+    else
+      let r = int_of_float scaled mod table_words in
+      if r < 0 then r + table_words else r
+  in
   Kernel.make ~init ~state_words:table_words (fun ~state ~inputs ~outputs ->
       Array.iteri
-        (fun i x ->
-          let idx =
-            abs (int_of_float (x *. float_of_int table_words))
-            mod table_words
-          in
-          outputs.(0).(i) <- state.(idx))
+        (fun i x -> outputs.(0).(i) <- state.(index_of x))
         inputs.(0))
 
 let duplicate ~state_words =

@@ -11,3 +11,4 @@ module Partitioned = Partitioned
 module Analysis = Analysis
 module Runner = Runner
 module Watchdog = Watchdog
+module Profile = Profile

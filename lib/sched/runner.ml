@@ -12,9 +12,10 @@ type result = {
   address_space_words : int;
 }
 
-let run ?(record_trace = false) ~graph ~cache ~plan ~outputs () =
+let run ?(record_trace = false) ?counters ?tracer ~graph ~cache ~plan ~outputs
+    () =
   let machine =
-    Machine.create ~record_trace ~graph ~cache
+    Machine.create ~record_trace ?counters ?tracer ~graph ~cache
       ~capacities:plan.Plan.capacities ()
   in
   plan.Plan.drive machine ~target_outputs:outputs;

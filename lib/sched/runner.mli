@@ -13,6 +13,8 @@ type result = {
 
 val run :
   ?record_trace:bool ->
+  ?counters:Ccs_obs.Counters.t ->
+  ?tracer:Ccs_obs.Tracer.t ->
   graph:Ccs_sdf.Graph.t ->
   cache:Ccs_cache.Cache.config ->
   plan:Plan.t ->
@@ -21,7 +23,9 @@ val run :
   result * Ccs_exec.Machine.t
 (** Build a machine with the plan's capacities, drive it until the sink has
     fired at least [outputs] times, and return the measured result along
-    with the machine (for inspecting the cache or trace). *)
+    with the machine (for inspecting the cache or trace).  [counters] and
+    [tracer] are handed to {!Ccs_exec.Machine.create} for per-entity miss
+    attribution and event tracing; see also {!Profile.run}. *)
 
 val pp_result : Format.formatter -> result -> unit
 

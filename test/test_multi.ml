@@ -122,6 +122,81 @@ let test_work_conserved_across_processors () =
   in
   Alcotest.(check (float 1e-6)) "same total work" (total r1) (total r4)
 
+let test_aperiodic_plan_structured_error () =
+  (* Regression: an aperiodic (dynamic) plan used to trip [assert false]
+     deep in the run loop; it must come back as a structured
+     [Plan_invalid] naming the plan. *)
+  let g, a, spec = setup () in
+  let assign = Ccs.Assign.lpt g a spec ~processors:2 in
+  let cfg =
+    {
+      Ccs.Multi_machine.processors = 2;
+      cache = Ccs.Cache.config ~size_words:256 ~block_words:16 ();
+      miss_penalty = 16.;
+    }
+  in
+  let plan = Ccs.Partitioned.pipeline_dynamic g a spec ~m_tokens:64 in
+  match
+    Ccs.Multi_machine.run_plan g a spec assign ~plan ~batches:1 cfg
+  with
+  | _ -> Alcotest.fail "aperiodic plan must be rejected"
+  | exception Ccs.Error.Error (Ccs.Error.Plan_invalid { plan = name; _ }) ->
+      Alcotest.(check string) "names the plan" plan.Ccs.Plan.name name
+
+let test_multi_attribution_sums () =
+  let g, a, spec = setup () in
+  let assign = Ccs.Assign.lpt g a spec ~processors:3 in
+  let cfg =
+    {
+      Ccs.Multi_machine.processors = 3;
+      cache = Ccs.Cache.config ~size_words:256 ~block_words:16 ();
+      miss_penalty = 16.;
+    }
+  in
+  let counters =
+    Ccs.Counters.create ~entities:(G.num_nodes g + G.num_edges g)
+  in
+  let tracer = Ccs.Tracer.create () in
+  let r =
+    Ccs.Multi_machine.run ~counters ~tracer g a spec assign
+      ~t:(R.granularity g a ~at_least:256)
+      ~batches:4 cfg
+  in
+  (* Every private-cache miss has exactly one owner; the uniprocessor
+     shadow run is unobserved, so the counters match the parallel total. *)
+  Alcotest.(check int) "attributed = total misses"
+    r.Ccs.Multi_machine.total_misses
+    (Ccs.Counters.total_misses counters);
+  let loads = ref 0 in
+  Ccs.Tracer.iter tracer ~f:(fun e ->
+      if e.Ccs.Tracer.kind = Ccs.Tracer.Load then incr loads);
+  Alcotest.(check int) "load events = total misses"
+    r.Ccs.Multi_machine.total_misses !loads
+
+let test_multi_observers_leave_result_unchanged () =
+  let g, a, spec = setup () in
+  let plain = run_multi g a spec ~processors:4 in
+  let counters =
+    Ccs.Counters.create ~entities:(G.num_nodes g + G.num_edges g)
+  in
+  let assign = Ccs.Assign.lpt g a spec ~processors:4 in
+  let cfg =
+    {
+      Ccs.Multi_machine.processors = 4;
+      cache = Ccs.Cache.config ~size_words:256 ~block_words:16 ();
+      miss_penalty = 16.;
+    }
+  in
+  let observed =
+    Ccs.Multi_machine.run ~counters g a spec assign
+      ~t:(R.granularity g a ~at_least:256)
+      ~batches:4 cfg
+  in
+  Alcotest.(check int) "same misses" plain.Ccs.Multi_machine.total_misses
+    observed.Ccs.Multi_machine.total_misses;
+  Alcotest.(check (float 1e-9)) "same makespan"
+    plain.Ccs.Multi_machine.makespan observed.Ccs.Multi_machine.makespan
+
 let () =
   Alcotest.run "multi"
     [
@@ -148,5 +223,11 @@ let () =
             test_mismatched_processors_rejected;
           Alcotest.test_case "work conserved" `Quick
             test_work_conserved_across_processors;
+          Alcotest.test_case "aperiodic plan rejected" `Quick
+            test_aperiodic_plan_structured_error;
+          Alcotest.test_case "attribution sums" `Quick
+            test_multi_attribution_sums;
+          Alcotest.test_case "observers unobtrusive" `Quick
+            test_multi_observers_leave_result_unchanged;
         ] );
     ]

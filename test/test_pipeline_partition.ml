@@ -202,6 +202,41 @@ let test_dp_exhaustive_check () =
       expected (S.bandwidth dp_sp a)
   done
 
+let test_greedy_10k_stage_pipeline () =
+  (* Regression for [of_cuts]'s quadratic rescans: segmenting a 10k-stage
+     chain with hundreds of cuts must be fast (O(n + cuts)) and yield a
+     well-formed contiguous segmentation. *)
+  let n = 10_000 in
+  let g = Ccs.Generators.uniform_pipeline ~n ~state:64 () in
+  let a = R.analyze_exn g in
+  let spec = P.greedy g a ~m:256 in
+  let k = S.num_components spec in
+  Alcotest.(check bool)
+    (Printf.sprintf "many components (%d)" k)
+    true (k > 100);
+  (* Segments are contiguous along the chain: component ids along the
+     chain order are non-decreasing and cover 0..k-1. *)
+  let assignment = S.assignment spec in
+  let last = ref (-1) in
+  Array.iter
+    (fun v ->
+      let c = assignment.(v) in
+      Alcotest.(check bool) "contiguous segment ids" true
+        (c = !last || c = !last + 1);
+      last := c)
+    (Ccs.Graph.topological_order g);
+  Alcotest.(check int) "ids cover 0..k-1" (k - 1) !last;
+  (* Theorem 5's guarantee: cuts land at gain-minimizing edges inside each
+     >2m window, so every component spans at most a constant number of
+     windows — O(m) state, here generously 8m + the tail absorption. *)
+  for c = 0 to k - 1 do
+    let s = S.component_state spec c in
+    Alcotest.(check bool)
+      (Printf.sprintf "segment %d state %d is O(m)" c s)
+      true
+      (s <= 8 * 256)
+  done
+
 let () =
   Alcotest.run "pipeline-partition"
     [
@@ -225,5 +260,7 @@ let () =
           Alcotest.test_case "dp infeasible" `Quick test_dp_infeasible;
           Alcotest.test_case "dp vs brute force" `Quick
             test_dp_exhaustive_check;
+          Alcotest.test_case "greedy 10k-stage pipeline" `Quick
+            test_greedy_10k_stage_pipeline;
         ] );
     ]

@@ -273,12 +273,61 @@ let test_fm_path () =
   let mx = Array.fold_left Float.max neg_infinity averaged in
   Alcotest.(check bool) "modulation visible" true (mx -. mn > 0.1 *. mx)
 
+let test_sbox_hostile_inputs () =
+  (* Regression: the table index used [abs (int_of_float (x * n))], which
+     is unspecified for NaN and out-of-range floats and negative for
+     [min_int] — a hostile token could read out of bounds.  Every float,
+     however pathological, must map inside the table. *)
+  let table_words = 64 in
+  let k = Ccs.Kernels.sbox ~table_words in
+  let state = k.Ccs.Kernel.init () in
+  Alcotest.(check int) "table arity" table_words (Array.length state);
+  let hostile =
+    [|
+      Float.nan;
+      Float.infinity;
+      Float.neg_infinity;
+      1e308;
+      -1e308;
+      4.611686018427388e18 (* ~ float max_int *);
+      -4.611686018427388e18;
+      -0.999999;
+      -0.;
+      0.;
+      0.5;
+      1.0;
+      -1.0;
+      Float.min_float;
+      -.Float.min_float;
+    |]
+  in
+  let outputs = [| Array.make (Array.length hostile) Float.nan |] in
+  k.Ccs.Kernel.fire ~state ~inputs:[| hostile |] ~outputs;
+  Array.iteri
+    (fun i y ->
+      Alcotest.(check bool)
+        (Printf.sprintf "output %d is a table entry" i)
+        true
+        (Array.exists (fun s -> s = y) state))
+    outputs.(0);
+  (* NaN maps to slot 0; in-range values hit the expected slot. *)
+  Alcotest.(check (float 0.)) "nan -> slot 0" state.(0)
+    (let o = [| Array.make 1 0. |] in
+     k.Ccs.Kernel.fire ~state ~inputs:[| [| Float.nan |] |] ~outputs:o;
+     o.(0).(0));
+  Alcotest.(check (float 0.)) "0.5 -> slot n/2" state.(table_words / 2)
+    (let o = [| Array.make 1 0. |] in
+     k.Ccs.Kernel.fire ~state ~inputs:[| [| 0.5 |] |] ~outputs:o;
+     o.(0).(0))
+
 let () =
   Alcotest.run "runtime"
     [
       ( "kernels",
         [
           Alcotest.test_case "identity/gain" `Quick test_identity_gain;
+          Alcotest.test_case "sbox hostile floats" `Quick
+            test_sbox_hostile_inputs;
           Alcotest.test_case "adder/dup/split" `Quick
             test_adder_duplicate_split;
           Alcotest.test_case "compare-exchange" `Quick test_compare_exchange;
