@@ -35,6 +35,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("E17", "latency cost of cache efficiency", E_latency.e17);
     ("E18", "reuse-distance profiles", E_trace.e18);
     ("E19", "attributed profiling (Lemmas 4/8)", E_profile.e19);
+    ("E20", "checkpoint overhead vs interval", E_checkpoint.e20);
   ]
 
 (* Sub-second experiments plus the micro-benchmarks: the CI smoke set. *)

@@ -251,7 +251,8 @@ let partition_cmd =
 (* --- run ------------------------------------------------------------------ *)
 
 let run_cmd =
-  let run graph m b outputs inject_seed inject_count =
+  let run graph m b outputs inject_seed inject_count checkpoint resume interval
+      kill_after =
     with_graph graph @@ fun g ->
     let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
     let choice = Ccs.Auto.plan g cfg in
@@ -259,8 +260,38 @@ let run_cmd =
     Printf.printf "partition: %d components; batch T=%d\n"
       (Ccs.Spec.num_components choice.Ccs.Auto.partition)
       choice.Ccs.Auto.batch;
-    match inject_seed with
-    | None ->
+    match (inject_seed, checkpoint) with
+    | Some _, Some _ ->
+        or_die
+          (Error
+             "--inject-seed runs the data-carrying engine, which has no \
+              checkpoint support; drop --checkpoint/--resume/--kill-after")
+    | _, None when resume || kill_after <> None ->
+        or_die (Error "--resume and --kill-after require --checkpoint DIR")
+    | None, Some dir -> (
+        (* Supervised, crash-safe run: epoch-aligned execution with periodic
+           checkpoints; --resume restores the newest one.  --kill-after N
+           aborts the process right after epoch N's completion (and any
+           checkpoint write), simulating a crash for the CI resume-smoke
+           test. *)
+        let supervisor_config =
+          { Ccs.Supervisor.default_config with checkpoint_every = interval }
+        in
+        let on_epoch =
+          Option.map
+            (fun n ~epoch ~machine:_ -> if epoch >= n then exit 137)
+            kill_after
+        in
+        match
+          Ccs.Supervisor.run ~config:supervisor_config ~checkpoint_dir:dir
+            ~resume ?on_epoch ~graph:g
+            ~cache:(Ccs.Config.cache_config cfg)
+            ~plan ~outputs ()
+        with
+        | Error e -> or_die (Error (Ccs.Error.to_string e))
+        | Ok report ->
+            Format.printf "%a@." Ccs.Supervisor.pp_report report)
+    | None, None ->
         let result, machine =
           Ccs.Runner.run ~graph:g ~cache:(Ccs.Config.cache_config cfg) ~plan
             ~outputs ()
@@ -268,7 +299,7 @@ let run_cmd =
         Format.printf "%a@." Ccs.Runner.pp_result result;
         Format.printf "cache: %a@." Ccs.Cache.pp_stats
           (Ccs.Machine.cache machine)
-    | Some seed ->
+    | Some seed, None ->
         (* Fault drill: run real kernels with an injected fault plan; a
            triggered fault is contained and reported, with nonzero exit. *)
         let fault = Ccs.Fault.plan ~seed ~count:inject_count g in
@@ -306,11 +337,46 @@ let run_cmd =
       & info [ "inject-count" ] ~docv:"N"
           ~doc:"Number of fault sites to draw (with --inject-seed).")
   in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"DIR"
+          ~doc:
+            "Run under the crash-safe supervisor, writing checkpoints to \
+             $(docv) (created if missing).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Restore the newest checkpoint in the --checkpoint directory \
+             before running; the resumed run reports exactly what an \
+             uninterrupted run would.")
+  in
+  let interval =
+    Arg.(
+      value & opt int Ccs.Supervisor.default_config.Ccs.Supervisor.checkpoint_every
+      & info [ "interval" ] ~docv:"K"
+          ~doc:"Checkpoint every K epochs (with --checkpoint).")
+  in
+  let kill_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after" ] ~docv:"N"
+          ~doc:
+            "Exit with status 137 right after epoch N completes (and its \
+             checkpoint, if due, is written) — simulates a crash for resume \
+             testing.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Schedule with the partitioned scheduler and simulate.")
     Term.(
       const run $ graph_args $ cache_words_arg $ block_words_arg $ outputs_arg
-      $ inject_seed $ inject_count)
+      $ inject_seed $ inject_count $ checkpoint $ resume $ interval
+      $ kill_after)
 
 (* --- profile --------------------------------------------------------------- *)
 

@@ -60,6 +60,7 @@ let create cfg =
 let size_words t = t.cfg.size_words
 let block_words t = t.cfg.block_words
 let num_blocks t = t.nblocks
+let config_of t = t.cfg
 
 let num_sets t = match t.engine with Full _ -> 1 | Sets { nsets; _ } -> nsets
 
@@ -132,6 +133,48 @@ let reset_stats t =
   t.hits <- 0;
   t.misses <- 0;
   t.flushes <- 0
+
+(* --- persistence ---------------------------------------------------------
+
+   Everything that influences a future access is the per-set recency order
+   plus the statistics counters; the hash-table layout inside each [Lru] is
+   a lookup index with no bearing on replacement, so dumping recency lists
+   and re-touching them restores bit-identical behavior. *)
+
+type persisted = {
+  p_accesses : int;
+  p_hits : int;
+  p_misses : int;
+  p_flushes : int;
+  p_sets : int array array; (* per replacement set, MRU first *)
+}
+
+let engine_sets t =
+  match t.engine with Full lru -> [| lru |] | Sets { sets; _ } -> sets
+
+let persist t =
+  {
+    p_accesses = t.accesses;
+    p_hits = t.hits;
+    p_misses = t.misses;
+    p_flushes = t.flushes;
+    p_sets =
+      Array.map
+        (fun lru -> Array.of_list (Lru.to_list_mru_first lru))
+        (engine_sets t);
+  }
+
+let restore t p =
+  let sets = engine_sets t in
+  if Array.length p.p_sets <> Array.length sets then
+    invalid_arg
+      (Printf.sprintf "Cache.restore: %d sets persisted, engine has %d"
+         (Array.length p.p_sets) (Array.length sets));
+  Array.iteri (fun i keys -> Lru.restore_mru_first sets.(i) keys) p.p_sets;
+  t.accesses <- p.p_accesses;
+  t.hits <- p.p_hits;
+  t.misses <- p.p_misses;
+  t.flushes <- p.p_flushes
 
 let pp_stats fmt t =
   Format.fprintf fmt

@@ -82,6 +82,28 @@ val reset_stats : t -> unit
 
 val pp_stats : Format.formatter -> t -> unit
 
+val config_of : t -> config
+(** The configuration this cache was created from. *)
+
+type persisted = {
+  p_accesses : int;
+  p_hits : int;
+  p_misses : int;
+  p_flushes : int;
+  p_sets : int array array;  (** Per replacement set, MRU first. *)
+}
+(** A cache's complete replacement-relevant state: statistics plus every
+    set's recency order.  A cache restored from this behaves bit-identically
+    to the one it was dumped from on any future access sequence. *)
+
+val persist : t -> persisted
+
+val restore : t -> persisted -> unit
+(** Load a {!persisted} dump into a cache built from the {e same} config.
+    @raise Invalid_argument if the set structure does not match (different
+    config) or a set dump is oversized/duplicated (corrupt data that got
+    past the file checksum). *)
+
 (** Offline clairvoyant replacement (Belady's OPT), for calibrating how far
     LRU is from the ideal cache the theorems assume. *)
 module Opt : sig

@@ -198,6 +198,22 @@ let clear t =
   t.free <- 0;
   t.size <- 0
 
+(* Rebuild exactly the recency order of a previously-dumped set: clear, then
+   re-touch keys oldest-first so the head of [keys] ends up most recent.
+   Duplicate keys would silently shrink the set, so they are rejected —
+   restored state must be bit-identical, not merely plausible. *)
+let restore_mru_first t keys =
+  let n = Array.length keys in
+  if n > t.capacity then
+    invalid_arg
+      (Printf.sprintf "Lru.restore_mru_first: %d keys exceed capacity %d" n
+         t.capacity);
+  clear t;
+  for i = n - 1 downto 0 do
+    if not (touch_hit t keys.(i)) then ()
+    else invalid_arg "Lru.restore_mru_first: duplicate key"
+  done
+
 let to_list_mru_first t =
   let rec go acc s =
     if s < 0 then List.rev acc else go (t.key.(s) :: acc) t.next.(s)

@@ -36,4 +36,13 @@ val remove : t -> int -> bool
 val clear : t -> unit
 
 val to_list_mru_first : t -> int list
-(** Keys in recency order, most recent first (for tests). *)
+(** Keys in recency order, most recent first (for tests and
+    checkpointing). *)
+
+val restore_mru_first : t -> int array -> unit
+(** [restore_mru_first t keys] clears [t] and reloads it so its recency
+    order is exactly [keys] (most recent first) — the inverse of
+    {!to_list_mru_first}.  Future replacement decisions are then
+    bit-identical to the set the keys were dumped from.
+    @raise Invalid_argument if [keys] exceeds capacity or holds
+    duplicates. *)

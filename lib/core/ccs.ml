@@ -28,6 +28,7 @@
 (* Structured errors and validation *)
 module Error = Ccs_sdf.Error
 module Validate = Ccs_sdf.Validate
+module Binio = Ccs_sdf.Binio
 module Check = Check
 
 (* SDF substrate *)
@@ -48,6 +49,7 @@ module Trace_analysis = Ccs_cache.Trace_analysis
 (* Execution *)
 module Machine = Ccs_exec.Machine
 module Fault = Ccs_exec.Fault
+module Checkpoint = Ccs_exec.Checkpoint
 
 (* Observability: per-entity miss attribution and event tracing *)
 module Counters = Ccs_obs.Counters
@@ -71,6 +73,7 @@ module Partitioned = Ccs_sched.Partitioned
 module Analysis = Ccs_sched.Analysis
 module Runner = Ccs_sched.Runner
 module Watchdog = Ccs_sched.Watchdog
+module Supervisor = Ccs_sched.Supervisor
 module Profile = Ccs_sched.Profile
 
 (* High-level API *)

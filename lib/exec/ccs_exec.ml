@@ -3,3 +3,4 @@
 module Intvec = Intvec
 module Machine = Machine
 module Fault = Fault
+module Checkpoint = Checkpoint

@@ -1,0 +1,251 @@
+module E = Ccs_sdf.Error
+module Binio = Ccs_sdf.Binio
+module Graph = Ccs_sdf.Graph
+module Cache = Ccs_cache.Cache
+module Counters = Ccs_obs.Counters
+module Tracer = Ccs_obs.Tracer
+
+let magic = "CCSCKPT1"
+let version = 1
+
+type t = {
+  graph_digest : string;
+  plan_name : string;
+  epoch : int;
+  cache_config : Cache.config;
+  capacities : int array;
+  machine : Machine.persisted;
+  cache : Cache.persisted;
+  counters : (int array * int array) option;
+  tracer : (int * int) option; (* logical clock, dropped-event count *)
+}
+
+let graph_digest g = Digest.to_hex (Digest.string (Ccs_sdf.Serial.to_text g))
+
+let capture ~plan_name ~epoch machine =
+  let g = Machine.graph machine in
+  let cache = Machine.cache machine in
+  {
+    graph_digest = graph_digest g;
+    plan_name;
+    epoch;
+    cache_config = Cache.config_of cache;
+    capacities =
+      Array.init
+        (Graph.num_edges g)
+        (fun e -> Machine.capacity machine e);
+    machine = Machine.persist machine;
+    cache = Cache.persist cache;
+    counters = Option.map Counters.dump (Machine.counters machine);
+    tracer =
+      Option.map
+        (fun tr -> (Tracer.clock tr, Tracer.dropped tr))
+        (Machine.tracer machine);
+  }
+
+(* --- wire format ---------------------------------------------------------- *)
+
+let policy_tag = function
+  | Cache.Lru -> (0, 0)
+  | Cache.Set_associative ways -> (1, ways)
+  | Cache.Direct_mapped -> (2, 0)
+
+let policy_of_tag ~path tag ways =
+  match tag with
+  | 0 -> Cache.Lru
+  | 1 -> Cache.Set_associative ways
+  | 2 -> Cache.Direct_mapped
+  | _ ->
+      E.fail
+        (E.Checkpoint_corrupt
+           { path; reason = Printf.sprintf "unknown cache policy tag %d" tag })
+
+let encode t =
+  let w = Binio.W.create () in
+  Binio.W.string w t.graph_digest;
+  Binio.W.string w t.plan_name;
+  Binio.W.int w t.epoch;
+  Binio.W.int w t.cache_config.Cache.size_words;
+  Binio.W.int w t.cache_config.Cache.block_words;
+  let tag, ways = policy_tag t.cache_config.Cache.policy in
+  Binio.W.int w tag;
+  Binio.W.int w ways;
+  Binio.W.int_array w t.capacities;
+  Binio.W.int_array w t.machine.Machine.p_fire_count;
+  Binio.W.int w t.machine.Machine.p_total_fires;
+  Binio.W.int_array w t.machine.Machine.p_heads;
+  Binio.W.int_array w t.machine.Machine.p_tails;
+  Binio.W.int_array w t.machine.Machine.p_consumed;
+  Binio.W.int_array w t.machine.Machine.p_produced;
+  (match t.machine.Machine.p_budget with
+  | None -> Binio.W.int w 0
+  | Some b ->
+      Binio.W.int w 1;
+      Binio.W.int w b);
+  Binio.W.int w t.cache.Cache.p_accesses;
+  Binio.W.int w t.cache.Cache.p_hits;
+  Binio.W.int w t.cache.Cache.p_misses;
+  Binio.W.int w t.cache.Cache.p_flushes;
+  Binio.W.int w (Array.length t.cache.Cache.p_sets);
+  Array.iter (Binio.W.int_array w) t.cache.Cache.p_sets;
+  (match t.counters with
+  | None -> Binio.W.int w 0
+  | Some (accesses, misses) ->
+      Binio.W.int w 1;
+      Binio.W.int_array w accesses;
+      Binio.W.int_array w misses);
+  (match t.tracer with
+  | None -> Binio.W.int w 0
+  | Some (clock, dropped) ->
+      Binio.W.int w 1;
+      Binio.W.int w clock;
+      Binio.W.int w dropped);
+  Binio.W.contents w
+
+let decode ~path payload =
+  let r = Binio.R.of_string ~path payload in
+  let graph_digest = Binio.R.string r in
+  let plan_name = Binio.R.string r in
+  let epoch = Binio.R.int r in
+  let size_words = Binio.R.int r in
+  let block_words = Binio.R.int r in
+  let tag = Binio.R.int r in
+  let ways = Binio.R.int r in
+  let policy = policy_of_tag ~path tag ways in
+  let cache_config =
+    try Cache.config ~policy ~size_words ~block_words ()
+    with Invalid_argument msg ->
+      E.fail (E.Checkpoint_corrupt { path; reason = msg })
+  in
+  let capacities = Binio.R.int_array r in
+  let p_fire_count = Binio.R.int_array r in
+  let p_total_fires = Binio.R.int r in
+  let p_heads = Binio.R.int_array r in
+  let p_tails = Binio.R.int_array r in
+  let p_consumed = Binio.R.int_array r in
+  let p_produced = Binio.R.int_array r in
+  let p_budget =
+    match Binio.R.int r with 0 -> None | _ -> Some (Binio.R.int r)
+  in
+  let p_accesses = Binio.R.int r in
+  let p_hits = Binio.R.int r in
+  let p_misses = Binio.R.int r in
+  let p_flushes = Binio.R.int r in
+  let num_sets = Binio.R.int r in
+  if num_sets < 0 || num_sets > String.length payload then
+    E.fail
+      (E.Checkpoint_corrupt
+         { path; reason = Printf.sprintf "implausible set count %d" num_sets });
+  let p_sets = Array.init num_sets (fun _ -> Binio.R.int_array r) in
+  let counters =
+    match Binio.R.int r with
+    | 0 -> None
+    | _ ->
+        let accesses = Binio.R.int_array r in
+        let misses = Binio.R.int_array r in
+        Some (accesses, misses)
+  in
+  let tracer =
+    match Binio.R.int r with
+    | 0 -> None
+    | _ ->
+        let clock = Binio.R.int r in
+        let dropped = Binio.R.int r in
+        Some (clock, dropped)
+  in
+  Binio.R.expect_end r;
+  {
+    graph_digest;
+    plan_name;
+    epoch;
+    cache_config;
+    capacities;
+    machine =
+      {
+        Machine.p_fire_count;
+        p_total_fires;
+        p_heads;
+        p_tails;
+        p_consumed;
+        p_produced;
+        p_budget;
+      };
+    cache = { Cache.p_accesses; p_hits; p_misses; p_flushes; p_sets };
+    counters;
+    tracer;
+  }
+
+let save ~path t = Binio.write_file ~path ~magic ~version (encode t)
+
+let load ~path =
+  match Binio.read_file ~path ~magic ~version () with
+  | Error e -> Error e
+  | Ok payload -> E.protect (fun () -> decode ~path payload)
+
+(* --- validation + restore ------------------------------------------------- *)
+
+let pp_policy = function
+  | Cache.Lru -> "lru"
+  | Cache.Set_associative ways -> Printf.sprintf "set-associative/%d" ways
+  | Cache.Direct_mapped -> "direct-mapped"
+
+let pp_config c =
+  Printf.sprintf "%dw/%db/%s" c.Cache.size_words c.Cache.block_words
+    (pp_policy c.Cache.policy)
+
+let mismatch ~path ~field ~expected ~found =
+  Error (E.Checkpoint_mismatch { path; field; expected; found })
+
+let validate ~path t machine =
+  let g = Machine.graph machine in
+  let digest = graph_digest g in
+  if t.graph_digest <> digest then
+    mismatch ~path ~field:"graph" ~expected:t.graph_digest ~found:digest
+  else
+    let cfg = Cache.config_of (Machine.cache machine) in
+    if t.cache_config <> cfg then
+      mismatch ~path ~field:"cache" ~expected:(pp_config t.cache_config)
+        ~found:(pp_config cfg)
+    else
+      let capacities =
+        Array.init (Graph.num_edges g) (fun e -> Machine.capacity machine e)
+      in
+      if t.capacities <> capacities then
+        mismatch ~path ~field:"capacities"
+          ~expected:
+            (String.concat ","
+               (Array.to_list (Array.map string_of_int t.capacities)))
+          ~found:
+            (String.concat ","
+               (Array.to_list (Array.map string_of_int capacities)))
+      else
+        match (t.counters, Machine.counters machine) with
+        | Some (accesses, _), Some c
+          when Array.length accesses <> Counters.entities c ->
+            mismatch ~path ~field:"counters"
+              ~expected:(string_of_int (Array.length accesses))
+              ~found:(string_of_int (Counters.entities c))
+        | _ -> Ok ()
+
+let restore ~path t machine =
+  match validate ~path t machine with
+  | Error e -> Error e
+  | Ok () ->
+      E.protect (fun () ->
+          (try
+             Machine.restore machine t.machine;
+             Cache.restore (Machine.cache machine) t.cache
+           with Invalid_argument msg ->
+             E.fail (E.Checkpoint_corrupt { path; reason = msg }));
+          (match (t.counters, Machine.counters machine) with
+          | Some (accesses, misses), Some c -> Counters.load c ~accesses ~misses
+          | None, Some c -> Counters.reset c
+          | _, None -> ());
+          match (t.tracer, Machine.tracer machine) with
+          | Some (clock, dropped), Some tr -> Tracer.restore tr ~clock ~dropped
+          | _, _ -> ())
+
+let load_into ~path machine =
+  match load ~path with
+  | Error e -> Error e
+  | Ok t -> ( match restore ~path t machine with Error e -> Error e | Ok () -> Ok t)

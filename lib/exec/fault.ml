@@ -23,17 +23,32 @@ let rng seed =
 let plan ?(classes = all_classes) ?(horizon = 64) ~seed ~count graph =
   if classes = [] then invalid_arg "Fault.plan: empty class list";
   if horizon <= 0 then invalid_arg "Fault.plan: horizon must be positive";
-  let next = rng seed in
+  if count < 0 then invalid_arg "Fault.plan: count must be >= 0";
   let n = Graph.num_nodes graph in
+  (* An empty graph has no module to fault — and would divide by zero in
+     the RNG's modulus below.  Same structured error the validators use. *)
+  if n = 0 && count > 0 then E.fail E.Empty_graph;
+  if count > n * horizon then
+    invalid_arg
+      (Printf.sprintf
+         "Fault.plan: %d sites cannot be distinct over %d modules x %d \
+          firings"
+         count n horizon);
+  let next = rng seed in
   let classes = Array.of_list classes in
-  let sites =
-    List.init count (fun _ ->
-        {
-          node = next n;
-          fault = classes.(next (Array.length classes));
-          at_fire = next horizon;
-        })
+  (* Draw sites without (node, at_fire) collisions: a duplicate draw would
+     silently shrink the plan below [count], since only the first fault at
+     a site can ever trigger. *)
+  let seen = Hashtbl.create (2 * count) in
+  let rec draw () =
+    let node = next n and at_fire = next horizon in
+    if Hashtbl.mem seen (node, at_fire) then draw ()
+    else begin
+      Hashtbl.add seen (node, at_fire) ();
+      { node; fault = classes.(next (Array.length classes)); at_fire }
+    end
   in
+  let sites = List.init count (fun _ -> draw ()) in
   { graph; sites }
 
 let of_sites graph sites = { graph; sites }

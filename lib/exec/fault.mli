@@ -34,9 +34,15 @@ val plan :
   count:int ->
   Ccs_sdf.Graph.t ->
   t
-(** [plan ~seed ~count g] draws [count] fault sites over [g]'s modules,
-    fault classes drawn from [classes] (default {!all_classes}) and firing
-    indices below [horizon] (default 64).  Deterministic in [seed]. *)
+(** [plan ~seed ~count g] draws [count] {e distinct} (module, firing) fault
+    sites over [g]'s modules, fault classes drawn from [classes] (default
+    {!all_classes}) and firing indices below [horizon] (default 64).
+    Deterministic in [seed]; colliding draws are redrawn so the plan always
+    carries exactly [count] triggerable sites.
+    @raise Ccs_sdf.Error.Error with [Empty_graph] if [g] has no modules
+    (and [count > 0]).
+    @raise Invalid_argument if [count] exceeds the [modules x horizon]
+    site space, or on empty [classes] / non-positive [horizon]. *)
 
 val of_sites : Ccs_sdf.Graph.t -> site list -> t
 (** Hand-built plan, for tests that need a fault at an exact site. *)

@@ -146,6 +146,38 @@ let can_fire t v = fireable_reason t v = None
 let deadlocked t =
   List.for_all (fun v -> not (can_fire t v)) (Graph.nodes t.graph)
 
+let source_inputs t =
+  match t.source with Some s -> t.fire_count.(s) | None -> 0
+
+let sink_outputs t =
+  match t.sink with Some s -> t.fire_count.(s) | None -> 0
+
+let snapshot t =
+  let g = t.graph in
+  let module E = Ccs_sdf.Error in
+  {
+    E.fired = t.total_fires;
+    inputs = source_inputs t;
+    outputs = sink_outputs t;
+    channels =
+      List.map
+        (fun e ->
+          {
+            E.chan = Graph.edge_name g e;
+            edge = e;
+            occupied = tokens t e;
+            capacity = t.chans.(e).capacity;
+          })
+        (Graph.edges g);
+    blocked =
+      List.filter_map
+        (fun v ->
+          Option.map
+            (fun reason -> { E.node = Graph.node_name g v; reason })
+            (fireable_reason t v))
+        (Graph.nodes g);
+  }
+
 (* All touches are block-granular: within one firing, touching each block of
    a contiguous span once produces exactly the same sequence of distinct
    blocks (hence the same misses under any demand replacement policy) as
@@ -235,7 +267,23 @@ let fire t v =
     (match t.tracer with Some tr -> Tracer.stall tr ~node:v | None -> ());
     match fireable_reason t v with
     | Some reason -> raise (Not_fireable { node = v; reason })
-    | None -> assert false
+    | None ->
+        (* The allocation-free check and the diagnostic re-check disagree:
+           an internal invariant is broken (e.g. a channel mutated behind
+           the machine's back).  Surface a structured error with the full
+           machine state instead of dying on an assert. *)
+        let module E = Ccs_sdf.Error in
+        E.fail
+          (E.Deadlocked
+             {
+               plan = "machine";
+               detail =
+                 Printf.sprintf
+                   "internal invariant violation: module %s fails the fast \
+                    firing-rule check but no obstruction can be diagnosed"
+                   (Graph.node_name t.graph v);
+               snapshot = snapshot t;
+             })
   end;
   let fire_ev =
     match t.tracer with
@@ -284,12 +332,6 @@ let total_fires t = t.total_fires
 let consumed t e = t.chans.(e).consumed_total
 let produced t e = t.chans.(e).produced_total
 
-let source_inputs t =
-  match t.source with Some s -> t.fire_count.(s) | None -> 0
-
-let sink_outputs t =
-  match t.sink with Some s -> t.fire_count.(s) | None -> 0
-
 let misses t = Cache.misses t.cache
 
 let misses_per_input t =
@@ -301,32 +343,6 @@ let trace t =
   match t.recorder with
   | Some r -> Intvec.to_array r
   | None -> invalid_arg "Machine.trace: machine created without record_trace"
-
-let snapshot t =
-  let g = t.graph in
-  let module E = Ccs_sdf.Error in
-  {
-    E.fired = t.total_fires;
-    inputs = source_inputs t;
-    outputs = sink_outputs t;
-    channels =
-      List.map
-        (fun e ->
-          {
-            E.chan = Graph.edge_name g e;
-            edge = e;
-            occupied = tokens t e;
-            capacity = t.chans.(e).capacity;
-          })
-        (Graph.edges g);
-    blocked =
-      List.filter_map
-        (fun v ->
-          Option.map
-            (fun reason -> { E.node = Graph.node_name g v; reason })
-            (fireable_reason t v))
-        (Graph.nodes g);
-  }
 
 let address_space_words t = t.space_words
 let state_region t v = t.states.(v)
@@ -343,3 +359,57 @@ let tracer t = t.tracer
 let entity_label t i =
   if i < t.num_nodes then Graph.node_name t.graph i
   else Graph.edge_name t.graph (i - t.num_nodes)
+
+let fire_budget t = t.fire_budget
+
+(* --- checkpoint persistence ---------------------------------------------- *)
+
+type persisted = {
+  p_fire_count : int array;
+  p_total_fires : int;
+  p_heads : int array;
+  p_tails : int array;
+  p_consumed : int array;
+  p_produced : int array;
+  p_budget : int option;
+}
+
+let persist t =
+  let n = Array.length t.chans in
+  {
+    p_fire_count = Array.copy t.fire_count;
+    p_total_fires = t.total_fires;
+    p_heads = Array.init n (fun e -> t.chans.(e).head);
+    p_tails = Array.init n (fun e -> t.chans.(e).tail);
+    p_consumed = Array.init n (fun e -> t.chans.(e).consumed_total);
+    p_produced = Array.init n (fun e -> t.chans.(e).produced_total);
+    p_budget = t.fire_budget;
+  }
+
+let restore t p =
+  let n = Array.length t.chans in
+  if
+    Array.length p.p_fire_count <> Array.length t.fire_count
+    || Array.length p.p_heads <> n
+    || Array.length p.p_tails <> n
+    || Array.length p.p_consumed <> n
+    || Array.length p.p_produced <> n
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Machine.restore: state for %d nodes / %d channels does not fit a \
+          machine with %d nodes / %d channels"
+         (Array.length p.p_fire_count)
+         (Array.length p.p_heads)
+         (Array.length t.fire_count)
+         n);
+  Array.blit p.p_fire_count 0 t.fire_count 0 (Array.length t.fire_count);
+  t.total_fires <- p.p_total_fires;
+  for e = 0 to n - 1 do
+    let c = t.chans.(e) in
+    c.head <- p.p_heads.(e);
+    c.tail <- p.p_tails.(e);
+    c.consumed_total <- p.p_consumed.(e);
+    c.produced_total <- p.p_produced.(e)
+  done;
+  t.fire_budget <- p.p_budget

@@ -145,3 +145,33 @@ val entity_label : t -> int -> string
 
 val counters : t -> Ccs_obs.Counters.t option
 val tracer : t -> Ccs_obs.Tracer.t option
+
+val fire_budget : t -> int option
+(** The currently installed firing cap, if any (see {!set_fire_budget}). *)
+
+(** {2 Checkpoint persistence}
+
+    The execution-relevant mutable state of a machine — firing counts,
+    absolute channel head/tail cursors, cumulative channel traffic, and the
+    firing budget.  Cache recency state and attribution counters live in
+    {!Ccs_cache.Cache.persist} and {!Ccs_obs.Counters.dump}; together the
+    three capture everything needed to resume a run bit-identically. *)
+
+type persisted = {
+  p_fire_count : int array;
+  p_total_fires : int;
+  p_heads : int array;
+  p_tails : int array;
+  p_consumed : int array;
+  p_produced : int array;
+  p_budget : int option;
+}
+
+val persist : t -> persisted
+(** Copy out the machine's mutable execution state. *)
+
+val restore : t -> persisted -> unit
+(** Overwrite the machine's execution state with a previous {!persist}.
+    The machine must have been built from the same graph (same node and
+    channel counts).
+    @raise Invalid_argument on a shape mismatch. *)

@@ -1,6 +1,7 @@
 module Graph = Ccs_sdf.Graph
 module Rates = Ccs_sdf.Rates
 module E = Ccs_sdf.Error
+module Binio = Ccs_sdf.Binio
 module Spec = Ccs_partition.Spec
 module Cache = Ccs_cache.Cache
 module Layout = Ccs_cache.Layout
@@ -30,8 +31,25 @@ type chan = {
   mutable tail : int;
 }
 
-let run_plan ?counters ?tracer g a spec assign ~plan ~batches cfg =
-  ignore a;
+type session = {
+  graph : Graph.t;
+  cfg : config;
+  plan_name : string;
+  period : Ccs_sched.Schedule.t;
+  capacities : int array;
+  chans : chan array;
+  caches : Cache.t array;
+  uni_cache : Cache.t;
+  work : float array;
+  mutable uni_work : float;
+  mutable inputs : int;
+  mutable batches_done : int;
+  counters : Counters.t option;
+  tracer : Tracer.t option;
+  fire : Graph.node -> unit;
+}
+
+let create_session ?counters ?tracer g _a spec assign ~plan cfg =
   if cfg.processors <> assign.Assign.processors then
     invalid_arg "Multi_machine.run: assignment processor count mismatch";
   (* The placement simulator replays a static batch schedule; a dynamic
@@ -77,8 +95,9 @@ let run_plan ?counters ?tracer g a spec assign ~plan ~batches cfg =
   let caches = Array.init cfg.processors (fun _ -> Cache.create cfg.cache) in
   let uni_cache = Cache.create cfg.cache in
   let work = Array.make cfg.processors 0. in
-  let uni_work = ref 0. in
-  let proc_of_node v = assign.Assign.processor_of_component.(Spec.component_of spec v) in
+  let proc_of_node v =
+    assign.Assign.processor_of_component.(Spec.component_of spec v)
+  in
   (* Attribution covers the parallel run (the per-processor caches); the
      uniprocessor shadow run is the speedup baseline and stays
      unobserved. *)
@@ -126,9 +145,26 @@ let run_plan ?counters ?tracer g a spec assign ~plan ~batches cfg =
       end
     end
   in
-  let inputs = ref 0 in
   let source = Graph.source g in
-  let fire v =
+  let rec session =
+    {
+      graph = g;
+      cfg;
+      plan_name = plan.Ccs_sched.Plan.name;
+      period;
+      capacities;
+      chans;
+      caches;
+      uni_cache;
+      work;
+      uni_work = 0.;
+      inputs = 0;
+      batches_done = 0;
+      counters;
+      tracer;
+      fire = (fun v -> fire v);
+    }
+  and fire v =
     let p = proc_of_node v in
     let cache = caches.(p) in
     let fire_ev =
@@ -158,36 +194,222 @@ let run_plan ?counters ?tracer g a spec assign ~plan ~batches cfg =
         words := !words + k)
       (Graph.out_edges g v);
     work.(p) <- work.(p) +. float_of_int !words;
-    uni_work := !uni_work +. float_of_int !words;
+    session.uni_work <- session.uni_work +. float_of_int !words;
     (match tracer with Some tr -> Tracer.end_fire tr fire_ev | None -> ());
-    if v = source then incr inputs
+    if v = source then session.inputs <- session.inputs + 1
   in
-  for _ = 1 to batches do
-    Ccs_sched.Schedule.iter period ~f:fire
+  session
+
+let run_batches session k =
+  for _ = 1 to k do
+    Ccs_sched.Schedule.iter session.period ~f:session.fire
   done;
-  let per_processor_misses = Array.map Cache.misses caches in
-  let per_input x = x /. float_of_int (max 1 !inputs) in
+  session.batches_done <- session.batches_done + k
+
+let batches_done session = session.batches_done
+
+let result session =
+  let per_processor_misses = Array.map Cache.misses session.caches in
+  let per_input x = x /. float_of_int (max 1 session.inputs) in
   let per_processor_time =
     Array.mapi
       (fun p w ->
-        per_input (w +. (cfg.miss_penalty *. float_of_int per_processor_misses.(p))))
-      work
+        per_input
+          (w
+          +. session.cfg.miss_penalty
+             *. float_of_int per_processor_misses.(p)))
+      session.work
   in
   let makespan = Array.fold_left Float.max 0. per_processor_time in
   let uniprocessor_time =
     per_input
-      (!uni_work +. (cfg.miss_penalty *. float_of_int (Cache.misses uni_cache)))
+      (session.uni_work
+      +. session.cfg.miss_penalty
+         *. float_of_int (Cache.misses session.uni_cache))
   in
   {
     per_processor_misses;
-    per_processor_work = Array.map per_input work;
+    per_processor_work = Array.map per_input session.work;
     per_processor_time;
     makespan;
     uniprocessor_time;
     speedup = (if makespan = 0. then 1. else uniprocessor_time /. makespan);
     total_misses = Array.fold_left ( + ) 0 per_processor_misses;
-    inputs = !inputs;
+    inputs = session.inputs;
   }
+
+(* --- session snapshots ----------------------------------------------------- *)
+
+let magic = "CCSMSNAP"
+let version = 1
+
+let graph_digest g = Digest.to_hex (Digest.string (Ccs_sdf.Serial.to_text g))
+
+let policy_tag = function
+  | Cache.Lru -> (0, 0)
+  | Cache.Set_associative ways -> (1, ways)
+  | Cache.Direct_mapped -> (2, 0)
+
+let encode_cache w (p : Cache.persisted) =
+  Binio.W.int w p.Cache.p_accesses;
+  Binio.W.int w p.Cache.p_hits;
+  Binio.W.int w p.Cache.p_misses;
+  Binio.W.int w p.Cache.p_flushes;
+  Binio.W.int w (Array.length p.Cache.p_sets);
+  Array.iter (Binio.W.int_array w) p.Cache.p_sets
+
+let decode_cache ~path r =
+  let p_accesses = Binio.R.int r in
+  let p_hits = Binio.R.int r in
+  let p_misses = Binio.R.int r in
+  let p_flushes = Binio.R.int r in
+  let num_sets = Binio.R.int r in
+  if num_sets < 0 || num_sets > 1 lsl 30 then
+    E.fail
+      (E.Checkpoint_corrupt
+         { path; reason = Printf.sprintf "implausible set count %d" num_sets });
+  let p_sets = Array.init num_sets (fun _ -> Binio.R.int_array r) in
+  { Cache.p_accesses; p_hits; p_misses; p_flushes; p_sets }
+
+let save_session ~path session =
+  let w = Binio.W.create () in
+  Binio.W.string w (graph_digest session.graph);
+  Binio.W.string w session.plan_name;
+  Binio.W.int w session.cfg.processors;
+  Binio.W.float w session.cfg.miss_penalty;
+  Binio.W.int w session.cfg.cache.Cache.size_words;
+  Binio.W.int w session.cfg.cache.Cache.block_words;
+  let tag, ways = policy_tag session.cfg.cache.Cache.policy in
+  Binio.W.int w tag;
+  Binio.W.int w ways;
+  Binio.W.int_array w session.capacities;
+  Binio.W.int w session.batches_done;
+  Binio.W.int w session.inputs;
+  Binio.W.float w session.uni_work;
+  Binio.W.float_array w session.work;
+  Binio.W.int_array w (Array.map (fun c -> c.head) session.chans);
+  Binio.W.int_array w (Array.map (fun c -> c.tail) session.chans);
+  Binio.W.int w (Array.length session.caches);
+  Array.iter (fun c -> encode_cache w (Cache.persist c)) session.caches;
+  encode_cache w (Cache.persist session.uni_cache);
+  (match session.counters with
+  | None -> Binio.W.int w 0
+  | Some c ->
+      let accesses, misses = Counters.dump c in
+      Binio.W.int w 1;
+      Binio.W.int_array w accesses;
+      Binio.W.int_array w misses);
+  (match session.tracer with
+  | None -> Binio.W.int w 0
+  | Some tr ->
+      Binio.W.int w 1;
+      Binio.W.int w (Tracer.clock tr);
+      Binio.W.int w (Tracer.dropped tr));
+  Binio.write_file ~path ~magic ~version (Binio.W.contents w)
+
+let mismatch ~path ~field ~expected ~found =
+  E.fail (E.Checkpoint_mismatch { path; field; expected; found })
+
+let check ~path ~field ~expected ~found pp =
+  if expected <> found then
+    mismatch ~path ~field ~expected:(pp expected) ~found:(pp found)
+
+let load_session ~path session =
+  match Binio.read_file ~path ~magic ~version () with
+  | Error e -> Error e
+  | Ok payload ->
+      E.protect (fun () ->
+          let r = Binio.R.of_string ~path payload in
+          check ~path ~field:"graph"
+            ~expected:(Binio.R.string r)
+            ~found:(graph_digest session.graph) Fun.id;
+          check ~path ~field:"plan"
+            ~expected:(Binio.R.string r)
+            ~found:session.plan_name Fun.id;
+          check ~path ~field:"processors" ~expected:(Binio.R.int r)
+            ~found:session.cfg.processors string_of_int;
+          check ~path ~field:"miss_penalty" ~expected:(Binio.R.float r)
+            ~found:session.cfg.miss_penalty string_of_float;
+          check ~path ~field:"cache.size_words" ~expected:(Binio.R.int r)
+            ~found:session.cfg.cache.Cache.size_words string_of_int;
+          check ~path ~field:"cache.block_words" ~expected:(Binio.R.int r)
+            ~found:session.cfg.cache.Cache.block_words string_of_int;
+          let tag, ways = policy_tag session.cfg.cache.Cache.policy in
+          check ~path ~field:"cache.policy" ~expected:(Binio.R.int r)
+            ~found:tag string_of_int;
+          check ~path ~field:"cache.ways" ~expected:(Binio.R.int r) ~found:ways
+            string_of_int;
+          let capacities = Binio.R.int_array r in
+          if capacities <> session.capacities then
+            mismatch ~path ~field:"capacities"
+              ~expected:
+                (String.concat ","
+                   (Array.to_list (Array.map string_of_int capacities)))
+              ~found:
+                (String.concat ","
+                   (Array.to_list (Array.map string_of_int session.capacities)));
+          session.batches_done <- Binio.R.int r;
+          session.inputs <- Binio.R.int r;
+          session.uni_work <- Binio.R.float r;
+          let work = Binio.R.float_array r in
+          if Array.length work <> Array.length session.work then
+            mismatch ~path ~field:"work"
+              ~expected:(string_of_int (Array.length work))
+              ~found:(string_of_int (Array.length session.work));
+          Array.blit work 0 session.work 0 (Array.length work);
+          let heads = Binio.R.int_array r in
+          let tails = Binio.R.int_array r in
+          if
+            Array.length heads <> Array.length session.chans
+            || Array.length tails <> Array.length session.chans
+          then
+            mismatch ~path ~field:"channels"
+              ~expected:(string_of_int (Array.length heads))
+              ~found:(string_of_int (Array.length session.chans));
+          Array.iteri
+            (fun e c ->
+              c.head <- heads.(e);
+              c.tail <- tails.(e))
+            session.chans;
+          let num_caches = Binio.R.int r in
+          if num_caches <> Array.length session.caches then
+            mismatch ~path ~field:"caches"
+              ~expected:(string_of_int num_caches)
+              ~found:(string_of_int (Array.length session.caches));
+          let restore_cache cache =
+            let p = decode_cache ~path r in
+            try Cache.restore cache p
+            with Invalid_argument msg ->
+              E.fail (E.Checkpoint_corrupt { path; reason = msg })
+          in
+          Array.iter restore_cache session.caches;
+          restore_cache session.uni_cache;
+          (match (Binio.R.int r, session.counters) with
+          | 0, Some c -> Counters.reset c
+          | 0, None -> ()
+          | _, c ->
+              let accesses = Binio.R.int_array r in
+              let misses = Binio.R.int_array r in
+              Option.iter
+                (fun c ->
+                  try Counters.load c ~accesses ~misses
+                  with Invalid_argument msg ->
+                    E.fail (E.Checkpoint_corrupt { path; reason = msg }))
+                c);
+          (match (Binio.R.int r, session.tracer) with
+          | 0, _ -> ()
+          | _, tr ->
+              let clock = Binio.R.int r in
+              let dropped = Binio.R.int r in
+              Option.iter (fun tr -> Tracer.restore tr ~clock ~dropped) tr);
+          Binio.R.expect_end r)
+
+(* --- one-shot wrappers ----------------------------------------------------- *)
+
+let run_plan ?counters ?tracer g a spec assign ~plan ~batches cfg =
+  let session = create_session ?counters ?tracer g a spec assign ~plan cfg in
+  run_batches session batches;
+  result session
 
 let run ?counters ?tracer g a spec assign ~t ~batches cfg =
   let plan = Ccs_sched.Partitioned.batch g a spec ~t in

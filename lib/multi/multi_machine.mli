@@ -40,6 +40,53 @@ type result = {
   inputs : int;
 }
 
+type session
+(** An in-flight multiprocessor run: the shared layout, per-processor
+    caches, channel cursors and work accounting.  Sessions decouple
+    construction from execution so a run can be advanced in batch
+    increments, snapshotted with {!save_session}, and resumed with
+    {!load_session} — the multiprocessor counterpart of
+    {!Ccs_exec.Checkpoint}. *)
+
+val create_session :
+  ?counters:Ccs_obs.Counters.t ->
+  ?tracer:Ccs_obs.Tracer.t ->
+  Ccs_sdf.Graph.t ->
+  Ccs_sdf.Rates.analysis ->
+  Ccs_partition.Spec.t ->
+  Assign.t ->
+  plan:Ccs_sched.Plan.t ->
+  config ->
+  session
+(** Lay out the shared address space and fresh caches for [plan]; nothing
+    is executed yet.
+    @raise Ccs_sdf.Error.Error with [Plan_invalid] if the plan is
+    aperiodic. *)
+
+val run_batches : session -> int -> unit
+(** Execute that many further batches (one period each) of the session's
+    schedule. *)
+
+val batches_done : session -> int
+
+val result : session -> result
+(** The result as of the batches executed so far. *)
+
+val save_session : path:string -> session -> unit
+(** Snapshot the session's complete mutable state — channel cursors, every
+    private cache's recency order and statistics, the uniprocessor shadow
+    cache, work accounting, and attached counters/tracer — to a framed,
+    checksummed file (magic ["CCSMSNAP"]), atomically.
+    @raise Sys_error on I/O failure. *)
+
+val load_session :
+  path:string -> session -> (unit, Ccs_sdf.Error.t) Stdlib.result
+(** Restore a {!save_session} snapshot into a freshly created session of
+    the {e same} graph, plan, configuration and capacities; afterwards
+    {!run_batches} continues bit-identically to the run that was saved.
+    Errors: [Io], [Checkpoint_corrupt], [Checkpoint_version], and
+    [Checkpoint_mismatch] when the snapshot belongs to a different setup. *)
+
 val run :
   ?counters:Ccs_obs.Counters.t ->
   ?tracer:Ccs_obs.Tracer.t ->

@@ -18,3 +18,17 @@ let total_misses t = Array.fold_left ( + ) 0 t.misses
 let reset t =
   Array.fill t.accesses 0 (Array.length t.accesses) 0;
   Array.fill t.misses 0 (Array.length t.misses) 0
+
+let dump t = (Array.copy t.accesses, Array.copy t.misses)
+
+let load t ~accesses ~misses =
+  if
+    Array.length accesses <> Array.length t.accesses
+    || Array.length misses <> Array.length t.misses
+  then
+    invalid_arg
+      (Printf.sprintf "Counters.load: %d/%d entries for %d entities"
+         (Array.length accesses) (Array.length misses)
+         (Array.length t.accesses));
+  Array.blit accesses 0 t.accesses 0 (Array.length accesses);
+  Array.blit misses 0 t.misses 0 (Array.length misses)

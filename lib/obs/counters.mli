@@ -34,3 +34,10 @@ val total_misses : t -> int
     counters for the attribution-soundness check. *)
 
 val reset : t -> unit
+
+val dump : t -> int array * int array
+(** Copies of the (accesses, misses) arrays, for checkpointing. *)
+
+val load : t -> accesses:int array -> misses:int array -> unit
+(** Overwrite the counters with a previous {!dump}.
+    @raise Invalid_argument on an entity-count mismatch. *)

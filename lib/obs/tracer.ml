@@ -19,6 +19,16 @@ let create ?(limit = 1_000_000) () =
 let clock t = t.clock
 let advance t k = t.clock <- t.clock + k
 
+(* Checkpoint support: a resumed run must restart the logical clock (and
+   the drop count) where the checkpointed run left them, so post-resume
+   timestamps continue the same timeline.  Events themselves are a bounded
+   diagnostic ring and are not persisted. *)
+let restore t ~clock ~dropped =
+  if clock < 0 || dropped < 0 then
+    invalid_arg "Tracer.restore: negative clock or drop count";
+  t.clock <- clock;
+  t.dropped <- dropped
+
 let kind_to_int = function Fire -> 0 | Load -> 1 | Evict -> 2 | Stall -> 3
 let kind_of_int = function
   | 0 -> Fire

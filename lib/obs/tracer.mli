@@ -34,6 +34,12 @@ val clock : t -> int
 val advance : t -> int -> unit
 (** Advance the logical clock by [k] accesses. *)
 
+val restore : t -> clock:int -> dropped:int -> unit
+(** Reset the logical clock and drop count to checkpointed values, so a
+    resumed run continues the same timeline.  Stored events are untouched
+    (they are a bounded diagnostic ring, not persistent state).
+    @raise Invalid_argument on negative values. *)
+
 val begin_fire : t -> node:int -> int
 (** Append a [Fire] event for [node] at the current logical time, duration
     still zero; returns a handle for {!end_fire} ([-1] if the event was

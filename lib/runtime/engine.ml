@@ -121,17 +121,7 @@ let create_checked ?record_trace ?(validate = true) ?counters ?tracer ~program
 let machine t = t.machine
 let fire t v = Machine.fire t.machine v
 
-let result_of_run t plan =
-  {
-    Ccs_sched.Runner.plan_name = plan.Ccs_sched.Plan.name;
-    inputs = Machine.source_inputs t.machine;
-    outputs = Machine.sink_outputs t.machine;
-    misses = Machine.misses t.machine;
-    accesses = Ccs_cache.Cache.accesses (Machine.cache t.machine);
-    misses_per_input = Machine.misses_per_input t.machine;
-    buffer_words = Ccs_sched.Plan.buffer_words plan;
-    address_space_words = Machine.address_space_words t.machine;
-  }
+let result_of_run t plan = Ccs_sched.Runner.result_of ~plan t.machine
 
 let run_plan t plan ~outputs =
   if plan.Ccs_sched.Plan.capacities <> t.capacities then

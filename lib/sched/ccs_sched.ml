@@ -11,4 +11,5 @@ module Partitioned = Partitioned
 module Analysis = Analysis
 module Runner = Runner
 module Watchdog = Watchdog
+module Supervisor = Supervisor
 module Profile = Profile

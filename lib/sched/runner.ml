@@ -12,6 +12,18 @@ type result = {
   address_space_words : int;
 }
 
+let result_of ~plan machine =
+  {
+    plan_name = plan.Plan.name;
+    inputs = Machine.source_inputs machine;
+    outputs = Machine.sink_outputs machine;
+    misses = Machine.misses machine;
+    accesses = Cache.accesses (Machine.cache machine);
+    misses_per_input = Machine.misses_per_input machine;
+    buffer_words = Plan.buffer_words plan;
+    address_space_words = Machine.address_space_words machine;
+  }
+
 let run ?(record_trace = false) ?counters ?tracer ~graph ~cache ~plan ~outputs
     () =
   let machine =
@@ -19,19 +31,7 @@ let run ?(record_trace = false) ?counters ?tracer ~graph ~cache ~plan ~outputs
       ~capacities:plan.Plan.capacities ()
   in
   plan.Plan.drive machine ~target_outputs:outputs;
-  let result =
-    {
-      plan_name = plan.Plan.name;
-      inputs = Machine.source_inputs machine;
-      outputs = Machine.sink_outputs machine;
-      misses = Machine.misses machine;
-      accesses = Cache.accesses (Machine.cache machine);
-      misses_per_input = Machine.misses_per_input machine;
-      buffer_words = Plan.buffer_words plan;
-      address_space_words = Machine.address_space_words machine;
-    }
-  in
-  (result, machine)
+  (result_of ~plan machine, machine)
 
 type latency = { max_inputs_behind : int; mean_inputs_behind : float }
 
@@ -61,18 +61,7 @@ let run_with_latency ~graph ~cache ~plan ~outputs () =
            incr samples
          end));
   plan.Plan.drive machine ~target_outputs:outputs;
-  let result =
-    {
-      plan_name = plan.Plan.name;
-      inputs = Machine.source_inputs machine;
-      outputs = Machine.sink_outputs machine;
-      misses = Machine.misses machine;
-      accesses = Cache.accesses (Machine.cache machine);
-      misses_per_input = Machine.misses_per_input machine;
-      buffer_words = Plan.buffer_words plan;
-      address_space_words = Machine.address_space_words machine;
-    }
-  in
+  let result = result_of ~plan machine in
   let latency =
     {
       max_inputs_behind = !max_behind;

@@ -11,6 +11,11 @@ type result = {
   address_space_words : int;  (** Whole simulated footprint. *)
 }
 
+val result_of : plan:Plan.t -> Ccs_exec.Machine.t -> result
+(** Read the result a machine would report for [plan] {e right now} —
+    shared by every driver that measures a machine (plain runs, the
+    watchdog, the supervisor, the data-carrying engine). *)
+
 val run :
   ?record_trace:bool ->
   ?counters:Ccs_obs.Counters.t ->

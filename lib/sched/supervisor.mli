@@ -1,0 +1,92 @@
+(** Crash-safe supervised execution of a plan.
+
+    The supervisor drives any {!Plan.t} in {e epochs} — batch-aligned
+    output quanta (one schedule period's worth of sink firings by default)
+    — and checkpoints the complete machine state every [checkpoint_every]
+    epochs through {!Ccs_exec.Checkpoint}.  Structured faults raised
+    during an epoch ({!Ccs_sdf.Error.Fault}, deadlocks, budget
+    exhaustion) are caught; the machine is rolled back to the last
+    checkpoint (or a pristine machine) and the epoch is retried under an
+    exponential {e logical-time} backoff.  A site that faults
+    deterministically — same site, same firing index, twice in a row — or
+    exhausts [max_retries] is {e quarantined}: the run stops with
+    {!Ccs_sdf.Error.Quarantined} carrying the site, firing index, attempt
+    count and the path of the last good checkpoint.
+
+    Determinism invariant (tested by a QCheck property over random graphs
+    and kill points): a run killed at any epoch and resumed with
+    [~resume:true] reports exactly the same miss counts, per-entity
+    attribution and sink outputs as an uninterrupted supervised run with
+    the same parameters.  Epoch targets are a pure function of
+    [(outputs, epoch_outputs)], so the resumed run replays the identical
+    firing sequence. *)
+
+type config = {
+  checkpoint_every : int;  (** Epochs between checkpoints (default 4). *)
+  max_retries : int;  (** Faults tolerated before quarantine (default 4). *)
+  backoff_base : int;
+      (** Logical delay unit; retry [k] adds [backoff_base * 2^(k-1)]
+          (default 1). *)
+  keep : int;  (** Checkpoint files retained on disk (default 2). *)
+}
+
+val default_config : config
+
+type report = {
+  result : Runner.result;
+  epochs : int;  (** Epochs the full run spans. *)
+  epoch_outputs : int;  (** Sink outputs per epoch. *)
+  checkpoints_written : int;
+  resumed_from : int option;  (** Epoch restored on [~resume:true]. *)
+  retries : int;  (** Faulted epochs re-executed. *)
+  logical_delay : int;  (** Total backoff charged, in logical units. *)
+}
+
+val run :
+  ?config:config ->
+  ?checkpoint_dir:string ->
+  ?resume:bool ->
+  ?epoch_outputs:int ->
+  ?counters:Ccs_obs.Counters.t ->
+  ?tracer:Ccs_obs.Tracer.t ->
+  ?prepare:(Ccs_exec.Machine.t -> unit) ->
+  ?on_epoch:(epoch:int -> machine:Ccs_exec.Machine.t -> unit) ->
+  graph:Ccs_sdf.Graph.t ->
+  cache:Ccs_cache.Cache.config ->
+  plan:Plan.t ->
+  outputs:int ->
+  unit ->
+  (report, Ccs_sdf.Error.t) result
+(** Drive [plan] to [outputs] sink firings under supervision.
+
+    [checkpoint_dir] enables checkpointing (the directory is created if
+    missing; the newest [config.keep] files are retained).  [resume]
+    restores the latest checkpoint in [checkpoint_dir] before running —
+    rejecting it with [Checkpoint_mismatch] if it belongs to a different
+    graph, cache configuration, capacity vector or plan — and is a no-op
+    when the directory has no checkpoints.  [prepare] runs on every fresh
+    machine (initial, and after each rollback) — the place to install fire
+    hooks such as fault injection.  [on_epoch] fires after each completed
+    epoch, {e after} any checkpoint write, so killing the process inside it
+    simulates a crash with the epoch's checkpoint already durable.
+
+    Errors: [Quarantined] (fault containment gave up), checkpoint errors
+    on resume, or any machine-construction error.
+    @raise Invalid_argument on non-positive [checkpoint_every], [keep] or
+    [epoch_outputs], or negative [max_retries]. *)
+
+val default_epoch_outputs : graph:Ccs_sdf.Graph.t -> plan:Plan.t -> int
+(** The epoch quantum [run] uses when [epoch_outputs] is omitted: sink
+    firings per schedule period for static plans, the sink's repetition
+    count otherwise, and [1] as a last resort. *)
+
+val epoch_target : outputs:int -> epoch_outputs:int -> int -> int
+(** The cumulative sink target of 0-based epoch [i] — exposed so tests and
+    reference runs can replay the exact epoch sequence. *)
+
+val num_epochs : outputs:int -> epoch_outputs:int -> int
+
+val latest_checkpoint : string -> (int * string) option
+(** The newest [(epoch, path)] checkpoint in a directory, if any. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -2,6 +2,21 @@ module Graph = Ccs_sdf.Graph
 module E = Ccs_sdf.Error
 module Machine = Ccs_exec.Machine
 
+(* Saturating arithmetic for the budget formula: with huge cache sizes or
+   output targets the products below overflow 63-bit ints and wrap to a
+   *negative* budget, which would make the very first firing "exceed" it.
+   Saturating at max_int keeps the budget semantics (an upper bound that a
+   legitimate run never reaches). *)
+let sat_add a b =
+  let s = a + b in
+  if a > 0 && b > 0 && s < 0 then max_int else s
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a then max_int else p
+
 (* A firing budget comfortably above any legitimate run: batch plans execute
    whole batches of T >= M source firings even for one output, so cover the
    target plus two batches' worth of periods, times a safety factor. *)
@@ -15,10 +30,17 @@ let default_budget g ~cache_words ~outputs =
         | [ s ] -> max 1 a.Ccs_sdf.Rates.repetition.(s)
         | _ -> 1
       in
-      let periods_for_target = (outputs + sink_rep - 1) / sink_rep in
-      let periods_per_batch = ((2 * cache_words) + per_period - 1) / per_period in
-      1024 + (8 * total_rep * (periods_for_target + (2 * periods_per_batch)))
-  | Error _ -> 1024 + (64 * (outputs + 1) * Graph.num_nodes g)
+      let periods_for_target = sat_add outputs (sink_rep - 1) / sink_rep in
+      let periods_per_batch =
+        sat_add (sat_mul 2 cache_words) (per_period - 1) / per_period
+      in
+      sat_add 1024
+        (sat_mul 8
+           (sat_mul total_rep
+              (sat_add periods_for_target (sat_mul 2 periods_per_batch))))
+  | Error _ ->
+      sat_add 1024
+        (sat_mul 64 (sat_mul (sat_add outputs 1) (Graph.num_nodes g)))
 
 let drive ?budget machine ~plan ~outputs =
   let g = Machine.graph machine in
@@ -89,16 +111,4 @@ let run ?budget ?record_trace ~graph ~cache ~plan ~outputs () =
   | Ok machine -> (
       match drive ?budget machine ~plan ~outputs with
       | Error e -> Result.error e
-      | Ok () ->
-          Ok
-            ( {
-                Runner.plan_name = plan.Plan.name;
-                inputs = Machine.source_inputs machine;
-                outputs = Machine.sink_outputs machine;
-                misses = Machine.misses machine;
-                accesses = Ccs_cache.Cache.accesses (Machine.cache machine);
-                misses_per_input = Machine.misses_per_input machine;
-                buffer_words = Plan.buffer_words plan;
-                address_space_words = Machine.address_space_words machine;
-              },
-              machine ))
+      | Ok () -> Ok (Runner.result_of ~plan machine, machine))

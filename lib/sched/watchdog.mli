@@ -14,7 +14,9 @@ val default_budget :
 (** The budget {!run} uses when none is given: a generous multiple of the
     firings a correct plan needs for [outputs] sink firings (covering whole
     batches of [T >= cache_words] source firings), or a node-count-based
-    fallback when rate analysis fails. *)
+    fallback when rate analysis fails.  The arithmetic saturates at
+    [max_int], so extreme [cache_words]/[outputs] yield a huge positive
+    budget rather than overflowing to a negative one. *)
 
 val drive :
   ?budget:int ->

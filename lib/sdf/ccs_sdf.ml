@@ -2,6 +2,7 @@
     workload generators, and serialization. *)
 
 module Error = Error
+module Binio = Binio
 module Rational = Rational
 module Graph = Graph
 module Validate = Validate

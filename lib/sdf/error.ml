@@ -68,6 +68,22 @@ type t =
   | Budget_exhausted of { plan : string; budget : int; snapshot : snapshot }
   | Fault of { node : string; fault : fault_class; detail : string }
   | Failure_msg of { context : string; reason : string }
+  | Checkpoint_corrupt of { path : string; reason : string }
+  | Checkpoint_version of { path : string; found : int; expected : int }
+  | Checkpoint_mismatch of {
+      path : string;
+      field : string;
+      expected : string;
+      found : string;
+    }
+  | Quarantined of {
+      plan : string;
+      site : string;
+      firing : int;
+      attempts : int;
+      checkpoint : string option;
+      cause : t;
+    }
 
 exception Error of t
 
@@ -107,6 +123,10 @@ let rec code = function
   | Budget_exhausted _ -> "budget-exhausted"
   | Fault { fault; _ } -> "fault-" ^ fault_class_to_string fault
   | Failure_msg _ -> "failure"
+  | Checkpoint_corrupt _ -> "checkpoint-corrupt"
+  | Checkpoint_version _ -> "checkpoint-version"
+  | Checkpoint_mismatch _ -> "checkpoint-mismatch"
+  | Quarantined _ -> "quarantined"
 
 let rec severity = function
   | At_line { err; _ } -> severity err
@@ -231,6 +251,26 @@ let rec pp fmt = function
         detail
   | Failure_msg { context; reason } ->
       Format.fprintf fmt "%s: %s" context reason
+  | Checkpoint_corrupt { path; reason } ->
+      Format.fprintf fmt "checkpoint %s is unusable: %s" path reason
+  | Checkpoint_version { path; found; expected } ->
+      Format.fprintf fmt
+        "checkpoint %s has format version %d; this build reads version %d"
+        path found expected
+  | Checkpoint_mismatch { path; field; expected; found } ->
+      Format.fprintf fmt
+        "checkpoint %s was taken under a different %s (checkpoint: %s, \
+         current: %s)"
+        path field found expected
+  | Quarantined { plan; site; firing; attempts; checkpoint; cause } ->
+      Format.fprintf fmt
+        "plan %s: site %s quarantined after %d attempt(s) — fault at firing \
+         %d%s@,caused by: %a"
+        plan site attempts firing
+        (match checkpoint with
+        | Some p -> Printf.sprintf " (replay from checkpoint %s)" p
+        | None -> " (no checkpoint available for replay)")
+        pp cause
 
 let to_string e = Format.asprintf "%a" pp e
 

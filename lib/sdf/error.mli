@@ -93,6 +93,32 @@ type t =
   | Fault of { node : string; fault : fault_class; detail : string }
   | Failure_msg of { context : string; reason : string }
       (** Wrapper for legacy string errors not yet given structure. *)
+  | Checkpoint_corrupt of { path : string; reason : string }
+      (** A checkpoint file that fails framing validation: bad magic,
+          truncation, checksum mismatch, or a malformed payload. *)
+  | Checkpoint_version of { path : string; found : int; expected : int }
+      (** A checkpoint written by an incompatible format version. *)
+  | Checkpoint_mismatch of {
+      path : string;
+      field : string;
+      expected : string;
+      found : string;
+    }
+      (** A structurally valid checkpoint taken under a different [field]
+          (graph, cache configuration, capacities, plan, observers) than
+          the run trying to resume from it. *)
+  | Quarantined of {
+      plan : string;
+      site : string;  (** Module/fault-class (or error code) that failed. *)
+      firing : int;  (** Machine firing count at the point of failure. *)
+      attempts : int;  (** Retries spent before giving up. *)
+      checkpoint : string option;
+          (** Last good checkpoint, for offline replay of the failure. *)
+      cause : t;
+    }
+      (** The supervisor's terminal verdict: a site faulted
+          deterministically (same site, same firing index, twice in a row)
+          or exhausted the retry budget. *)
 
 exception Error of t
 

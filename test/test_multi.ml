@@ -197,6 +197,118 @@ let test_multi_observers_leave_result_unchanged () =
   Alcotest.(check (float 1e-9)) "same makespan"
     plain.Ccs.Multi_machine.makespan observed.Ccs.Multi_machine.makespan
 
+(* --- session save/load ------------------------------------------------------ *)
+
+let session_setup ~processors =
+  let g, a, spec = setup () in
+  let assign = Ccs.Assign.lpt g a spec ~processors in
+  let cfg =
+    {
+      Ccs.Multi_machine.processors;
+      cache = Ccs.Cache.config ~size_words:256 ~block_words:16 ();
+      miss_penalty = 16.;
+    }
+  in
+  let plan =
+    Ccs.Partitioned.batch g a spec ~t:(R.granularity g a ~at_least:256)
+  in
+  (g, a, spec, assign, plan, cfg)
+
+let temp_snap () = Filename.temp_file "ccs-test-multi" ".ccsmsnap"
+
+let test_session_save_load_bit_identical () =
+  let g, a, spec, assign, plan, cfg = session_setup ~processors:3 in
+  (* Uninterrupted reference: 6 batches straight through. *)
+  let s_ref = Ccs.Multi_machine.create_session g a spec assign ~plan cfg in
+  Ccs.Multi_machine.run_batches s_ref 6;
+  let r_ref = Ccs.Multi_machine.result s_ref in
+  (* Killed + resumed: 2 batches, snapshot, fresh session, restore, 4 more. *)
+  let s1 = Ccs.Multi_machine.create_session g a spec assign ~plan cfg in
+  Ccs.Multi_machine.run_batches s1 2;
+  let path = temp_snap () in
+  Ccs.Multi_machine.save_session ~path s1;
+  let s2 = Ccs.Multi_machine.create_session g a spec assign ~plan cfg in
+  (match Ccs.Multi_machine.load_session ~path s2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("load failed: " ^ Ccs.Error.to_string e));
+  Alcotest.(check int) "batches restored" 2 (Ccs.Multi_machine.batches_done s2);
+  Ccs.Multi_machine.run_batches s2 4;
+  let r2 = Ccs.Multi_machine.result s2 in
+  Alcotest.(check int) "same total misses" r_ref.Ccs.Multi_machine.total_misses
+    r2.Ccs.Multi_machine.total_misses;
+  Alcotest.(check int) "same inputs" r_ref.Ccs.Multi_machine.inputs
+    r2.Ccs.Multi_machine.inputs;
+  Array.iteri
+    (fun p m ->
+      Alcotest.(check int)
+        (Printf.sprintf "processor %d misses" p)
+        m
+        r2.Ccs.Multi_machine.per_processor_misses.(p))
+    r_ref.Ccs.Multi_machine.per_processor_misses;
+  Alcotest.(check (float 1e-9)) "same makespan"
+    r_ref.Ccs.Multi_machine.makespan r2.Ccs.Multi_machine.makespan;
+  Sys.remove path
+
+let test_session_load_mismatch_rejected () =
+  let g, a, spec, assign, plan, cfg = session_setup ~processors:3 in
+  let s1 = Ccs.Multi_machine.create_session g a spec assign ~plan cfg in
+  Ccs.Multi_machine.run_batches s1 1;
+  let path = temp_snap () in
+  Ccs.Multi_machine.save_session ~path s1;
+  (* Same graph and plan, different processor count: must be refused. *)
+  let assign2 = Ccs.Assign.lpt g a spec ~processors:2 in
+  let cfg2 = { cfg with Ccs.Multi_machine.processors = 2 } in
+  let s2 = Ccs.Multi_machine.create_session g a spec assign2 ~plan cfg2 in
+  (match Ccs.Multi_machine.load_session ~path s2 with
+  | Ok () -> Alcotest.fail "processor-count mismatch accepted"
+  | Error (Ccs.Error.Checkpoint_mismatch { field; _ }) ->
+      Alcotest.(check string) "field" "processors" field
+  | Error e ->
+      Alcotest.fail ("expected Checkpoint_mismatch, got " ^ Ccs.Error.to_string e));
+  (* Different private cache size: also refused. *)
+  let cfg3 =
+    {
+      cfg with
+      Ccs.Multi_machine.cache =
+        Ccs.Cache.config ~size_words:512 ~block_words:16 ();
+    }
+  in
+  let s3 = Ccs.Multi_machine.create_session g a spec assign ~plan cfg3 in
+  (match Ccs.Multi_machine.load_session ~path s3 with
+  | Ok () -> Alcotest.fail "cache-config mismatch accepted"
+  | Error (Ccs.Error.Checkpoint_mismatch { field; _ }) ->
+      Alcotest.(check string) "field" "cache.size_words" field
+  | Error e ->
+      Alcotest.fail ("expected Checkpoint_mismatch, got " ^ Ccs.Error.to_string e));
+  Sys.remove path
+
+let test_session_restores_observers () =
+  let g, a, spec, assign, plan, cfg = session_setup ~processors:2 in
+  let entities = G.num_nodes g + G.num_edges g in
+  let c_ref = Ccs.Counters.create ~entities in
+  let s_ref =
+    Ccs.Multi_machine.create_session ~counters:c_ref g a spec assign ~plan cfg
+  in
+  Ccs.Multi_machine.run_batches s_ref 4;
+  let c1 = Ccs.Counters.create ~entities in
+  let s1 =
+    Ccs.Multi_machine.create_session ~counters:c1 g a spec assign ~plan cfg
+  in
+  Ccs.Multi_machine.run_batches s1 2;
+  let path = temp_snap () in
+  Ccs.Multi_machine.save_session ~path s1;
+  let c2 = Ccs.Counters.create ~entities in
+  let s2 =
+    Ccs.Multi_machine.create_session ~counters:c2 g a spec assign ~plan cfg
+  in
+  (match Ccs.Multi_machine.load_session ~path s2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("load failed: " ^ Ccs.Error.to_string e));
+  Ccs.Multi_machine.run_batches s2 2;
+  Alcotest.(check bool) "per-entity attribution identical" true
+    (Ccs.Counters.dump c_ref = Ccs.Counters.dump c2);
+  Sys.remove path
+
 let () =
   Alcotest.run "multi"
     [
@@ -229,5 +341,14 @@ let () =
             test_multi_attribution_sums;
           Alcotest.test_case "observers unobtrusive" `Quick
             test_multi_observers_leave_result_unchanged;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "save/load bit-identical" `Quick
+            test_session_save_load_bit_identical;
+          Alcotest.test_case "mismatch rejected" `Quick
+            test_session_load_mismatch_rejected;
+          Alcotest.test_case "observers restored" `Quick
+            test_session_restores_observers;
         ] );
     ]

@@ -97,6 +97,19 @@ let test_bad_capacity_structured () =
   | Error e -> Alcotest.(check string) "code" "failure" (E.code e)
   | Ok _ -> Alcotest.fail "undersized capacity accepted"
 
+let test_budget_saturates () =
+  (* Regression: with extreme cache sizes / output targets the budget
+     formula used to overflow to a negative value, making the very first
+     firing "exceed" it.  It must saturate at max_int instead. *)
+  let g = Ccs.Generators.uniform_pipeline ~n:4 ~state:8 () in
+  let b =
+    Ccs.Watchdog.default_budget g ~cache_words:(max_int / 2)
+      ~outputs:(max_int / 2)
+  in
+  Alcotest.(check bool) "budget positive" true (b > 0);
+  let b2 = Ccs.Watchdog.default_budget g ~cache_words:max_int ~outputs:max_int in
+  Alcotest.(check int) "fully saturated" max_int b2
+
 let test_watchdog_happy_path () =
   let g = Ccs.Generators.uniform_pipeline ~n:4 ~state:8 () in
   let cfg = Ccs.Config.make ~cache_words:256 ~block_words:16 () in
@@ -170,6 +183,45 @@ let test_fault_plan_deterministic () =
   Alcotest.(check bool) "same seed, same sites" true (sites 42 = sites 42);
   Alcotest.(check bool) "plan is nonempty" true (List.length (sites 42) = 4)
 
+let test_fault_plan_sites_distinct () =
+  (* Regression: colliding draws used to be kept silently, yielding plans
+     with fewer effective sites than requested.  Every (module, firing)
+     pair must now be unique, across many seeds. *)
+  let g = Ccs.Generators.uniform_pipeline ~n:3 ~state:8 () in
+  for seed = 0 to 49 do
+    let sites = Ccs.Fault.sites (Ccs.Fault.plan ~seed ~count:20 ~horizon:8 g) in
+    let keys =
+      List.map (fun s -> (s.Ccs.Fault.node, s.Ccs.Fault.at_fire)) sites
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "20 distinct sites (seed %d)" seed)
+      20
+      (List.length (List.sort_uniq compare keys))
+  done
+
+let test_fault_plan_empty_graph () =
+  (* Regression: drawing fault sites over a module-less graph used to crash
+     with Division_by_zero.  Builder.build refuses such graphs outright
+     (structured Empty_graph defect), and the guard inside Fault.plan keeps
+     the invariant even for graphs arriving by other routes. *)
+  (match G.Builder.build_result (G.Builder.create ~name:"empty" ()) with
+  | Ok _ -> Alcotest.fail "empty graph built"
+  | Error errs ->
+      Alcotest.(check bool) "Empty_graph among defects" true
+        (List.exists (fun e -> E.code e = "empty-graph") errs));
+  (* A zero-site plan is a fine no-op regardless of graph size. *)
+  let g = Ccs.Generators.uniform_pipeline ~n:2 ~state:8 () in
+  Alcotest.(check int) "count=0 is fine" 0
+    (List.length (Ccs.Fault.sites (Ccs.Fault.plan ~seed:7 ~count:0 g)))
+
+let test_fault_plan_over_capacity () =
+  (* More sites than the modules x horizon space can hold cannot all be
+     distinct; the request must be rejected up front, not spin forever. *)
+  let g = Ccs.Generators.uniform_pipeline ~n:2 ~state:8 () in
+  match Ccs.Fault.plan ~seed:1 ~count:7 ~horizon:3 g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "over-capacity site count accepted"
+
 let test_clean_program_unaffected () =
   (* An engine with validation on but no injected faults must behave
      exactly like the plain runner path. *)
@@ -196,6 +248,7 @@ let () =
             test_early_return_caught;
           Alcotest.test_case "bad capacity structured" `Quick
             test_bad_capacity_structured;
+          Alcotest.test_case "budget saturates" `Quick test_budget_saturates;
           Alcotest.test_case "happy path" `Quick test_watchdog_happy_path;
         ] );
       ( "fault containment",
@@ -207,6 +260,12 @@ let () =
             test_fault_bad_state_arity;
           Alcotest.test_case "seeded plan deterministic" `Quick
             test_fault_plan_deterministic;
+          Alcotest.test_case "seeded plan sites distinct" `Quick
+            test_fault_plan_sites_distinct;
+          Alcotest.test_case "empty graph rejected" `Quick
+            test_fault_plan_empty_graph;
+          Alcotest.test_case "over-capacity count rejected" `Quick
+            test_fault_plan_over_capacity;
           Alcotest.test_case "clean program unaffected" `Quick
             test_clean_program_unaffected;
         ] );
