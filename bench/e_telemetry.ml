@@ -1,0 +1,106 @@
+(* E21: telemetry overhead.  Every app in the suite runs the partitioned
+   schedule twice — bare, and with a metrics registry attached — and the
+   registry must be free in the quantities that matter: miss counts
+   bit-identical (the registry is pull-model; only the firings counter
+   lives on the hot path), the exported firings/miss series agreeing with
+   the machine's own accounting, and wall-clock overhead small (the
+   acceptance bar for the telemetry PR is < 5% mean on the suite). *)
+
+open Util
+
+let time_run f =
+  (* Best of 3, same discipline as E20: runs are sub-second, take the
+     minimum to shave scheduler noise. *)
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let e21 () =
+  section "E21-telemetry" "metrics-registry overhead (observability)";
+  let m = 2048 and b = 16 in
+  let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
+  let cache = Ccs.Config.cache_config cfg in
+  let outputs = 20_000 in
+  let overheads = ref [] in
+  let mismatches = ref 0 in
+  let rows =
+    List.map
+      (fun entry ->
+        let app = entry.Ccs_apps.Suite.name in
+        let g = entry.Ccs_apps.Suite.graph () in
+        let choice = Ccs.Auto.plan ~dynamic:false g cfg in
+        let plan = choice.Ccs.Auto.plan in
+        let (base, _), base_s =
+          time_run (fun () -> Ccs.Runner.run ~graph:g ~cache ~plan ~outputs ())
+        in
+        let base_misses = base.Ccs.Runner.misses in
+        let metrics = Ccs.Metrics.create () in
+        let (metered, machine), s =
+          time_run (fun () ->
+              Ccs.Metrics.reset metrics;
+              Ccs.Runner.run ~metrics ~graph:g ~cache ~plan ~outputs ())
+        in
+        let misses = metered.Ccs.Runner.misses in
+        let series name = Ccs.Metrics.value metrics name in
+        (* The registry must agree with the machine's own accounting:
+           firings are pushed on the hot path, cache series synced at run
+           end. *)
+        let exported_fires = Option.value ~default:(-1) (series "ccs_machine_fires_total") in
+        let exported_misses = Option.value ~default:(-1) (series "ccs_cache_misses") in
+        let consistent =
+          misses = base_misses
+          && exported_fires = Ccs.Machine.total_fires machine
+          && exported_misses = misses
+        in
+        if not consistent then incr mismatches;
+        let overhead_pct = 100. *. ratio (s -. base_s) base_s in
+        overheads := overhead_pct :: !overheads;
+        if Json.enabled () then
+          Json.point
+            [
+              ("kind", Json.String "telemetry_overhead");
+              ("graph", Json.String app);
+              ("m", Json.Int m);
+              ("b", Json.Int b);
+              ("outputs", Json.Int outputs);
+              ("misses", Json.Int misses);
+              ("misses_match", Json.Bool (misses = base_misses));
+              ("fires", Json.Int (Ccs.Machine.total_fires machine));
+              ("exported_fires", Json.Int exported_fires);
+              ("exported_misses", Json.Int exported_misses);
+              ("consistent", Json.Bool consistent);
+              ("series", Json.Int (Ccs.Metrics.num_series metrics));
+              ("baseline_seconds", Json.Float base_s);
+              ("seconds", Json.Float s);
+              ("overhead_pct", Json.Float overhead_pct);
+            ];
+        [
+          app;
+          string_of_int misses;
+          (if misses = base_misses then "yes" else "NO");
+          string_of_int exported_fires;
+          f (base_s *. 1e3);
+          Printf.sprintf "%s%%" (f overhead_pct);
+        ])
+      Ccs_apps.Suite.all
+  in
+  Ccs.Table.print
+    ~header:[ "app"; "misses"; "identical"; "fires"; "base ms"; "overhead" ]
+    ~rows;
+  let mean =
+    match !overheads with
+    | [] -> Float.nan
+    | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+  in
+  note "registry/machine disagreements: %d (must be 0)" !mismatches;
+  note
+    "mean overhead with a registry attached: %s%% (acceptance bar: < 5%%); \
+     attaching metrics never changes a single miss count"
+    (f mean)

@@ -131,8 +131,18 @@ let write ~argv =
             ("experiments", List (List.rev_map experiment_value !finished));
           ]
       in
-      let oc = open_out path in
-      output_string oc (to_string doc);
-      output_char oc '\n';
-      close_out oc;
+      (* Atomic write (tmp + rename): a crash mid-serialization cannot
+         leave a truncated document where the CI regression gate expects a
+         baseline. *)
+      let tmp = path ^ ".tmp" in
+      let oc = open_out tmp in
+      (try
+         output_string oc (to_string doc);
+         output_char oc '\n';
+         close_out oc
+       with exn ->
+         close_out_noerr oc;
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise exn);
+      Sys.rename tmp path;
       Printf.printf "\n(JSON written to %s)\n" path

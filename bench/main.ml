@@ -36,6 +36,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("E18", "reuse-distance profiles", E_trace.e18);
     ("E19", "attributed profiling (Lemmas 4/8)", E_profile.e19);
     ("E20", "checkpoint overhead vs interval", E_checkpoint.e20);
+    ("E21", "telemetry overhead", E_telemetry.e21);
   ]
 
 (* Sub-second experiments plus the micro-benchmarks: the CI smoke set. *)

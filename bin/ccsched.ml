@@ -94,6 +94,20 @@ let or_die = function
       prerr_endline ("ccsched: " ^ msg);
       exit 1
 
+(* Atomic file write (tmp + rename), same discipline as checkpoints and
+   trace exports: readers never observe a half-written snapshot. *)
+let write_atomic ~path doc =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc doc;
+     close_out oc
+   with exn ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise exn);
+  Sys.rename tmp path
+
 let with_graph graph f = f (or_die graph)
 
 let ints_of_string s =
@@ -252,7 +266,7 @@ let partition_cmd =
 
 let run_cmd =
   let run graph m b outputs inject_seed inject_count checkpoint resume interval
-      kill_after =
+      kill_after metrics_file log_file =
     with_graph graph @@ fun g ->
     let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
     let choice = Ccs.Auto.plan g cfg in
@@ -260,6 +274,26 @@ let run_cmd =
     Printf.printf "partition: %d components; batch T=%d\n"
       (Ccs.Spec.num_components choice.Ccs.Auto.partition)
       choice.Ccs.Auto.batch;
+    (* Telemetry attachments: a registry exported on completion (Prometheus
+       text for .prom paths, JSON otherwise) and a JSON-lines event log,
+       both written atomically. *)
+    let metrics = Option.map (fun _ -> Ccs.Metrics.create ()) metrics_file in
+    let log_buf = Option.map (fun _ -> Buffer.create 1024) log_file in
+    let log = Option.map (fun buf -> Ccs.Log.to_buffer buf) log_buf in
+    let finish () =
+      (match (metrics_file, metrics) with
+      | Some path, Some reg ->
+          let doc =
+            if Filename.check_suffix path ".prom" then
+              Ccs.Metrics.to_prometheus reg
+            else Ccs.Metrics.to_json_string reg ^ "\n"
+          in
+          write_atomic ~path doc
+      | _ -> ());
+      match (log_file, log_buf) with
+      | Some path, Some buf -> write_atomic ~path (Buffer.contents buf)
+      | _ -> ()
+    in
     match (inject_seed, checkpoint) with
     | Some _, Some _ ->
         or_die
@@ -284,18 +318,23 @@ let run_cmd =
         in
         match
           Ccs.Supervisor.run ~config:supervisor_config ~checkpoint_dir:dir
-            ~resume ?on_epoch ~graph:g
+            ~resume ?metrics ?log ?on_epoch ~graph:g
             ~cache:(Ccs.Config.cache_config cfg)
             ~plan ~outputs ()
         with
-        | Error e -> or_die (Error (Ccs.Error.to_string e))
+        | Error e ->
+            finish ();
+            or_die (Error (Ccs.Error.to_string e))
         | Ok report ->
+            finish ();
             Format.printf "%a@." Ccs.Supervisor.pp_report report)
     | None, None ->
         let result, machine =
-          Ccs.Runner.run ~graph:g ~cache:(Ccs.Config.cache_config cfg) ~plan
-            ~outputs ()
+          Ccs.Runner.run ?metrics ~graph:g
+            ~cache:(Ccs.Config.cache_config cfg)
+            ~plan ~outputs ()
         in
+        finish ();
         Format.printf "%a@." Ccs.Runner.pp_result result;
         Format.printf "cache: %a@." Ccs.Cache.pp_stats
           (Ccs.Machine.cache machine)
@@ -308,19 +347,39 @@ let run_cmd =
           Ccs.Program.inject fault
             (Ccs.Program.create g (Ccs.Kernels.autobind g))
         in
-        let engine =
-          or_die
-            (Result.map_error Ccs.Error.to_string
-               (Ccs.Engine.create_checked ~program
-                  ~cache:(Ccs.Config.cache_config cfg)
-                  ~capacities:plan.Ccs.Plan.capacities ()))
+        let r =
+          Result.bind
+            (Ccs.Engine.create_checked ?metrics ~program
+               ~cache:(Ccs.Config.cache_config cfg)
+               ~capacities:plan.Ccs.Plan.capacities ())
+            (fun engine -> Ccs.Engine.run_plan_checked engine plan ~outputs)
         in
-        let result =
-          or_die
-            (Result.map_error Ccs.Error.to_string
-               (Ccs.Engine.run_plan_checked engine plan ~outputs))
-        in
+        (* Export whatever was collected even when the drill trips — a
+           contained fault is the expected outcome here. *)
+        finish ();
+        let result = or_die (Result.map_error Ccs.Error.to_string r) in
         Format.printf "%a@." Ccs.Runner.pp_result result
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Collect runtime metrics (firings, cache statistics, and — \
+             under --checkpoint — supervisor/checkpoint/watchdog series) \
+             and write a snapshot to $(docv) on completion: Prometheus \
+             text format if $(docv) ends in .prom, JSON otherwise.")
+  in
+  let log_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Write structured JSON-lines lifecycle events (epochs, \
+             checkpoints, retries, rollbacks) to $(docv); only the \
+             supervised --checkpoint path emits events.")
   in
   let inject_seed =
     Arg.(
@@ -376,7 +435,55 @@ let run_cmd =
     Term.(
       const run $ graph_args $ cache_words_arg $ block_words_arg $ outputs_arg
       $ inject_seed $ inject_count $ checkpoint $ resume $ interval
-      $ kill_after)
+      $ kill_after $ metrics_file $ log_file)
+
+(* --- bench ------------------------------------------------------------------ *)
+
+let bench_cmd =
+  let diff_run old_path new_path tolerance =
+    match
+      Ccs.Bench_diff.diff_files ~tolerance_pct:tolerance ~old_path ~new_path ()
+    with
+    | Error msg -> or_die (Error msg)
+    | Ok report ->
+        Format.printf "%a@?" Ccs.Bench_diff.pp report;
+        if Ccs.Bench_diff.has_failures report then exit 1
+  in
+  let old_path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD" ~doc:"Baseline bench JSON document.")
+  in
+  let new_path =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Candidate bench JSON document.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 20.
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:
+            "Relative drift, in percent, a wall-clock/throughput field may \
+             show before a warning is issued.  Deterministic fields always \
+             require an exact match.")
+  in
+  let diff_cmd =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Diff two bench JSON documents: deterministic fields (miss \
+            counts, bounds, buffer sizes) must match exactly or the exit \
+            status is nonzero; timing fields only warn beyond --tolerance.  \
+            Experiments are paired by id, so a --quick run diffs cleanly \
+            against a full-run baseline.")
+      Term.(const diff_run $ old_path $ new_path $ tolerance)
+  in
+  Cmd.group
+    (Cmd.info "bench" ~doc:"Benchmark result tooling (regression diffing).")
+    [ diff_cmd ]
 
 (* --- profile --------------------------------------------------------------- *)
 
@@ -629,7 +736,7 @@ let () =
            [
              check_cmd; info_cmd; partition_cmd; run_cmd; profile_cmd;
              compare_cmd; apps_cmd; multi_cmd; trace_cmd; codegen_cmd;
-             fuse_cmd; normalize_cmd; dot_cmd;
+             fuse_cmd; normalize_cmd; dot_cmd; bench_cmd;
            ])
     with
     | Ccs.Error.Error e ->

@@ -20,6 +20,11 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable flushes : int;
+  (* Eviction counting is delegated to the per-set LRU engines (the only
+     place that knows a replacement displaced a block); this baseline
+     makes [reset_stats]/[restore] restart the reported count without a
+     hot-path cost. *)
+  mutable evict_base : int;
 }
 
 let make_engine cfg nblocks =
@@ -55,6 +60,7 @@ let create cfg =
     hits = 0;
     misses = 0;
     flushes = 0;
+    evict_base = 0;
   }
 
 let size_words t = t.cfg.size_words
@@ -128,11 +134,20 @@ let hits t = t.hits
 let misses t = t.misses
 let flushes t = t.flushes
 
+let engine_evictions t =
+  match t.engine with
+  | Full lru -> Lru.evictions lru
+  | Sets { sets; _ } ->
+      Array.fold_left (fun acc s -> acc + Lru.evictions s) 0 sets
+
+let evictions t = engine_evictions t - t.evict_base
+
 let reset_stats t =
   t.accesses <- 0;
   t.hits <- 0;
   t.misses <- 0;
-  t.flushes <- 0
+  t.flushes <- 0;
+  t.evict_base <- engine_evictions t
 
 (* --- persistence ---------------------------------------------------------
 
@@ -174,7 +189,10 @@ let restore t p =
   t.accesses <- p.p_accesses;
   t.hits <- p.p_hits;
   t.misses <- p.p_misses;
-  t.flushes <- p.p_flushes
+  t.flushes <- p.p_flushes;
+  (* Eviction counts are a diagnostic, not persisted replacement state:
+     restart them at the restore point. *)
+  t.evict_base <- engine_evictions t
 
 let pp_stats fmt t =
   Format.fprintf fmt

@@ -78,6 +78,13 @@ val accesses : t -> int
 val hits : t -> int
 val misses : t -> int
 val flushes : t -> int
+
+val evictions : t -> int
+(** Blocks displaced by replacement (summed over all sets) since creation
+    or the last {!reset_stats}/{!restore}.  A {!flush} empties the cache
+    but does not count as evictions, and the count is {e not} part of the
+    {!persisted} state — it is a telemetry diagnostic. *)
+
 val reset_stats : t -> unit
 
 val pp_stats : Format.formatter -> t -> unit

@@ -25,6 +25,7 @@ type t = {
   h_slot : int array;
   h_occ : Bytes.t;
   mask : int; (* table size - 1; table size is a power of two *)
+  mutable evictions : int; (* LRU entries displaced since creation *)
 }
 
 let table_size capacity =
@@ -50,10 +51,12 @@ let create ~capacity =
     h_slot = Array.make ts 0;
     h_occ = Bytes.make ts '\000';
     mask = ts - 1;
+    evictions = 0;
   }
 
 let capacity t = t.capacity
 let size t = t.size
+let evictions t = t.evictions
 
 (* Fibonacci-style multiplicative hash; the fold of high bits keeps
    sequential keys from clustering in one probe run. *)
@@ -122,6 +125,7 @@ let evict_lru t =
   (match hfind t t.key.(s) with
   | -1 -> assert false
   | i -> hdelete_at t i);
+  t.evictions <- t.evictions + 1;
   s
 
 (* Take a never-used slot from the free chain.

@@ -15,6 +15,12 @@ val create : capacity:int -> t
 val capacity : t -> int
 val size : t -> int
 
+val evictions : t -> int
+(** Entries displaced by replacement since creation — a monotone
+    diagnostic counter for the telemetry layer.  {!clear} and
+    {!restore_mru_first} do {e not} reset it (a flush is not an
+    eviction). *)
+
 val mem : t -> int -> bool
 (** Membership test; does {e not} update recency. *)
 

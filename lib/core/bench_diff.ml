@@ -1,0 +1,288 @@
+(* Regression diff over two bench JSON documents (bench/main.exe --json).
+
+   The harness is deterministic by construction: every simulated quantity
+   (miss counts, attribution, buffer sizes, predicted bounds) must be
+   bit-identical between two runs of the same code, so any drift in a
+   deterministic field is a FAIL.  Wall-clock and throughput fields are
+   machine noise; they only WARN, and only beyond a relative tolerance.
+
+   Experiments are paired by id, records positionally within an
+   experiment — the harness emits records in a fixed order, so a changed
+   record count or order is itself a regression signal. *)
+
+module Json = Ccs_obs.Json
+
+type severity = Fail | Warn
+
+type finding = {
+  severity : severity;
+  experiment : string;
+  record : int option; (* record index, [None] for experiment-level *)
+  field : string;
+  old_value : string;
+  new_value : string;
+  detail : string;
+}
+
+type report = {
+  findings : finding list;
+  experiments_compared : int;
+  records_compared : int;
+  old_only : string list; (* ids present only in the old document *)
+  new_only : string list;
+}
+
+let has_failures r = List.exists (fun f -> f.severity = Fail) r.findings
+
+(* Wall-clock / throughput field names: suffixes and markers used by the
+   harness's timing fields (wall_s, cpu_s, seconds, baseline_seconds,
+   ns_per_run, ops_per_sec, overhead_pct, unix_time).  Everything else is
+   treated as deterministic. *)
+let is_timing_field name =
+  let has_suffix s = Filename.check_suffix name s in
+  has_suffix "_s" || has_suffix "_ns" || has_suffix "_us" || has_suffix "_pct"
+  || has_suffix "_sec"
+  || (String.length name >= 3 && String.sub name 0 3 = "ns_")
+  || name = "unix_time"
+  ||
+  let re = "seconds" in
+  let n = String.length name and k = String.length re in
+  let rec at i = i + k <= n && (String.sub name i k = re || at (i + 1)) in
+  at 0
+
+let show = function
+  | Json.Null -> "null"
+  | Json.Bool b -> string_of_bool b
+  | Json.Int i -> string_of_int i
+  | Json.Float f -> Printf.sprintf "%.12g" f
+  | Json.String s -> s
+  | (Json.List _ | Json.Obj _) as v -> Json.to_string v
+
+let numeric = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+(* Relative drift of [b] against [a], in percent; equal values (including
+   two zeros, two NaNs — serialized as null) drift 0. *)
+let drift_pct a b =
+  if a = b then 0.
+  else
+    let base = Float.max (Float.abs a) (Float.abs b) in
+    if base = 0. then 0. else 100. *. Float.abs (b -. a) /. base
+
+let compare_field ~tolerance_pct ~experiment ~record ~field old_v new_v acc =
+  match (old_v, new_v) with
+  | Some ov, Some nv when ov = nv -> acc
+  | Some ov, Some nv when is_timing_field field -> (
+      match (numeric ov, numeric nv) with
+      | Some a, Some b ->
+          let d = drift_pct a b in
+          if d > tolerance_pct then
+            {
+              severity = Warn;
+              experiment;
+              record;
+              field;
+              old_value = show ov;
+              new_value = show nv;
+              detail =
+                Printf.sprintf "timing drift %.1f%% (tolerance %.0f%%)" d
+                  tolerance_pct;
+            }
+            :: acc
+          else acc
+      | _ ->
+          (* A timing field that is not a number on one side (e.g. a NaN
+             serialized as null): shape change, but still only timing. *)
+          {
+            severity = Warn;
+            experiment;
+            record;
+            field;
+            old_value = show ov;
+            new_value = show nv;
+            detail = "timing field changed type";
+          }
+          :: acc)
+  | Some ov, Some nv ->
+      {
+        severity = Fail;
+        experiment;
+        record;
+        field;
+        old_value = show ov;
+        new_value = show nv;
+        detail = "deterministic field changed";
+      }
+      :: acc
+  | Some ov, None ->
+      {
+        severity = Fail;
+        experiment;
+        record;
+        field;
+        old_value = show ov;
+        new_value = "<absent>";
+        detail = "field disappeared";
+      }
+      :: acc
+  | None, Some nv ->
+      {
+        severity = Fail;
+        experiment;
+        record;
+        field;
+        old_value = "<absent>";
+        new_value = show nv;
+        detail = "field appeared";
+      }
+      :: acc
+  | None, None -> acc
+
+let obj_fields = function Json.Obj fields -> fields | _ -> []
+
+(* Union of keys, old-document order first, preserving first appearance. *)
+let union_keys old_fields new_fields =
+  let keys = List.map fst old_fields @ List.map fst new_fields in
+  List.rev
+    (List.fold_left
+       (fun acc k -> if List.mem k acc then acc else k :: acc)
+       [] keys)
+
+let compare_obj ~tolerance_pct ~experiment ~record old_obj new_obj acc =
+  let old_fields = obj_fields old_obj and new_fields = obj_fields new_obj in
+  List.fold_left
+    (fun acc field ->
+      compare_field ~tolerance_pct ~experiment ~record ~field
+        (List.assoc_opt field old_fields)
+        (List.assoc_opt field new_fields)
+        acc)
+    acc
+    (union_keys old_fields new_fields)
+
+let experiment_id e =
+  match Json.member "experiment" e with
+  | Some (Json.String id) -> Some id
+  | _ -> None
+
+let experiment_records e =
+  match Json.member "records" e with Some (Json.List rs) -> rs | _ -> []
+
+let experiments doc =
+  match Json.member "experiments" doc with
+  | Some (Json.List es) -> List.filter_map (fun e ->
+      Option.map (fun id -> (id, e)) (experiment_id e)) es
+  | _ -> []
+
+let diff ?(tolerance_pct = 20.) ~old_doc ~new_doc () =
+  let old_es = experiments old_doc and new_es = experiments new_doc in
+  let records_compared = ref 0 in
+  let findings, compared =
+    List.fold_left
+      (fun (acc, compared) (id, old_e) ->
+        match List.assoc_opt id new_es with
+        | None -> (acc, compared)
+        | Some new_e ->
+            let old_rs = experiment_records old_e
+            and new_rs = experiment_records new_e in
+            let acc =
+              (* Experiment-level fields: wall_s/cpu_s (timing) and the
+                 description (deterministic). *)
+              compare_field ~tolerance_pct ~experiment:id ~record:None
+                ~field:"description"
+                (Json.member "description" old_e)
+                (Json.member "description" new_e)
+                (compare_field ~tolerance_pct ~experiment:id ~record:None
+                   ~field:"wall_s" (Json.member "wall_s" old_e)
+                   (Json.member "wall_s" new_e)
+                   (compare_field ~tolerance_pct ~experiment:id ~record:None
+                      ~field:"cpu_s" (Json.member "cpu_s" old_e)
+                      (Json.member "cpu_s" new_e) acc))
+            in
+            let n_old = List.length old_rs and n_new = List.length new_rs in
+            let acc =
+              if n_old <> n_new then
+                {
+                  severity = Fail;
+                  experiment = id;
+                  record = None;
+                  field = "records";
+                  old_value = string_of_int n_old;
+                  new_value = string_of_int n_new;
+                  detail = "record count changed";
+                }
+                :: acc
+              else acc
+            in
+            let rec pairs i acc = function
+              | o :: os, n :: ns ->
+                  incr records_compared;
+                  pairs (i + 1)
+                    (compare_obj ~tolerance_pct ~experiment:id ~record:(Some i)
+                       o n acc)
+                    (os, ns)
+              | _ -> acc
+            in
+            (pairs 0 acc (old_rs, new_rs), compared + 1))
+      ([], 0) old_es
+  in
+  let only_in es others =
+    List.filter_map
+      (fun (id, _) ->
+        if List.mem_assoc id others then None else Some id)
+      es
+  in
+  {
+    findings = List.rev findings;
+    experiments_compared = compared;
+    records_compared = !records_compared;
+    old_only = only_in old_es new_es;
+    new_only = only_in new_es old_es;
+  }
+
+let read_doc path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      match Json.of_string text with
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+      | Ok doc -> Ok doc)
+
+let diff_files ?tolerance_pct ~old_path ~new_path () =
+  match read_doc old_path with
+  | Error msg -> Error msg
+  | Ok old_doc -> (
+      match read_doc new_path with
+      | Error msg -> Error msg
+      | Ok new_doc -> Ok (diff ?tolerance_pct ~old_doc ~new_doc ()))
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s %s%s %s: %s -> %s (%s)"
+    (match f.severity with Fail -> "FAIL" | Warn -> "warn")
+    f.experiment
+    (match f.record with
+    | Some i -> Printf.sprintf "[%d]" i
+    | None -> "")
+    f.field f.old_value f.new_value f.detail
+
+let pp fmt r =
+  let fails, warns =
+    List.partition (fun f -> f.severity = Fail) r.findings
+  in
+  Format.fprintf fmt
+    "compared %d experiments (%d records): %d regression(s), %d warning(s)@."
+    r.experiments_compared r.records_compared (List.length fails)
+    (List.length warns);
+  if r.old_only <> [] then
+    Format.fprintf fmt "only in old run (not compared): %s@."
+      (String.concat " " r.old_only);
+  if r.new_only <> [] then
+    Format.fprintf fmt "only in new run (not compared): %s@."
+      (String.concat " " r.new_only);
+  List.iter (fun f -> Format.fprintf fmt "%a@." pp_finding f) r.findings

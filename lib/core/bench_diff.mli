@@ -1,0 +1,71 @@
+(** Regression diff over two benchmark JSON documents.
+
+    Compares two [bench/main.exe --json] outputs (schema v2): experiments
+    are paired by id — ids present in only one document are reported but
+    not compared, so a [--quick] run diffs cleanly against a committed
+    full-run baseline — and records are paired positionally within each
+    experiment.
+
+    The harness is deterministic by construction, so fields fall into two
+    classes: {e timing} fields ([wall_s], [cpu_s], [seconds],
+    [ns_per_run], [overhead_pct], ... — see {!is_timing_field}) drift with
+    machine load and only produce {!Warn} findings beyond a relative
+    tolerance; every other field (miss counts, attribution, buffer sizes,
+    predicted bounds) must match {e exactly} and produces a {!Fail}
+    finding otherwise.  A changed record count within an experiment is
+    also a {!Fail}.
+
+    This is the engine behind [ccsched bench diff OLD NEW] and the CI
+    [bench-regress] gate. *)
+
+type severity = Fail | Warn
+
+type finding = {
+  severity : severity;
+  experiment : string;  (** Experiment id, e.g. ["E7"]. *)
+  record : int option;  (** Record index, [None] for experiment-level. *)
+  field : string;
+  old_value : string;
+  new_value : string;
+  detail : string;  (** Human-readable reason. *)
+}
+
+type report = {
+  findings : finding list;  (** In document order. *)
+  experiments_compared : int;
+  records_compared : int;
+  old_only : string list;  (** Ids only in the old document (informational). *)
+  new_only : string list;
+}
+
+val has_failures : report -> bool
+(** Whether any finding is a {!Fail} — the CI gate's exit condition.
+    Warnings alone do not fail. *)
+
+val is_timing_field : string -> bool
+(** Whether a field name denotes wall-clock/throughput data: suffix
+    [_s]/[_ns]/[_us]/[_pct]/[_sec], prefix [ns_], containing [seconds], or
+    [unix_time]. *)
+
+val diff :
+  ?tolerance_pct:float ->
+  old_doc:Ccs_obs.Json.value ->
+  new_doc:Ccs_obs.Json.value ->
+  unit ->
+  report
+(** Diff two parsed documents.  [tolerance_pct] (default [20.]) is the
+    relative drift, in percent, a timing field may show before warning. *)
+
+val diff_files :
+  ?tolerance_pct:float ->
+  old_path:string ->
+  new_path:string ->
+  unit ->
+  (report, string) result
+(** Read, parse and {!diff} two files; [Error] carries a parse or I/O
+    message. *)
+
+val pp : Format.formatter -> report -> unit
+(** Summary line, uncompared-id notes, then one line per finding. *)
+
+val pp_finding : Format.formatter -> finding -> unit

@@ -51,10 +51,15 @@ module Machine = Ccs_exec.Machine
 module Fault = Ccs_exec.Fault
 module Checkpoint = Ccs_exec.Checkpoint
 
-(* Observability: per-entity miss attribution and event tracing *)
+(* Observability: per-entity miss attribution, event tracing, metrics
+   registry, structured logging, and the bench regression differ *)
 module Counters = Ccs_obs.Counters
 module Tracer = Ccs_obs.Tracer
 module Trace_export = Ccs_obs.Trace_export
+module Json = Ccs_obs.Json
+module Metrics = Ccs_obs.Metrics
+module Log = Ccs_obs.Log
+module Bench_diff = Bench_diff
 
 (* Partitioning *)
 module Spec = Ccs_partition.Spec

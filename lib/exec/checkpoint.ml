@@ -4,6 +4,7 @@ module Graph = Ccs_sdf.Graph
 module Cache = Ccs_cache.Cache
 module Counters = Ccs_obs.Counters
 module Tracer = Ccs_obs.Tracer
+module Metrics = Ccs_obs.Metrics
 
 let magic = "CCSCKPT1"
 let version = 1
@@ -175,12 +176,52 @@ let decode ~path payload =
     tracer;
   }
 
-let save ~path t = Binio.write_file ~path ~magic ~version (encode t)
+(* Checkpoint I/O telemetry.  Latency is CPU time (Sys.time) in
+   microseconds — the repo links no clock library and the histograms are
+   log-bucketed anyway, so CPU microseconds are the right resolution. *)
+let now_us () = int_of_float (Sys.time () *. 1e6)
 
-let load ~path =
+let record_io reg ~op ~us ~bytes =
+  Metrics.inc
+    (Metrics.counter reg
+       ~help:(Printf.sprintf "Checkpoint %ss completed" op)
+       (Printf.sprintf "ccs_checkpoint_%ss_total" op));
+  Metrics.observe
+    (Metrics.histogram reg
+       ~help:(Printf.sprintf "Checkpoint %s latency (CPU microseconds)" op)
+       (Printf.sprintf "ccs_checkpoint_%s_us" op))
+    us;
+  Metrics.observe
+    (Metrics.histogram reg ~help:"Checkpoint payload size (bytes)"
+       "ccs_checkpoint_bytes")
+    bytes
+
+let save ?metrics ~path t =
+  let t0 = now_us () in
+  let payload = encode t in
+  Binio.write_file ~path ~magic ~version payload;
+  match metrics with
+  | None -> ()
+  | Some reg ->
+      record_io reg ~op:"save"
+        ~us:(max 0 (now_us () - t0))
+        ~bytes:(String.length payload)
+
+let load ?metrics ~path () =
+  let t0 = now_us () in
   match Binio.read_file ~path ~magic ~version () with
   | Error e -> Error e
-  | Ok payload -> E.protect (fun () -> decode ~path payload)
+  | Ok payload -> (
+      match E.protect (fun () -> decode ~path payload) with
+      | Error e -> Error e
+      | Ok t ->
+          (match metrics with
+          | None -> ()
+          | Some reg ->
+              record_io reg ~op:"load"
+                ~us:(max 0 (now_us () - t0))
+                ~bytes:(String.length payload));
+          Ok t)
 
 (* --- validation + restore ------------------------------------------------- *)
 
@@ -245,7 +286,7 @@ let restore ~path t machine =
           | Some (clock, dropped), Some tr -> Tracer.restore tr ~clock ~dropped
           | _, _ -> ())
 
-let load_into ~path machine =
-  match load ~path with
+let load_into ?metrics ~path machine =
+  match load ?metrics ~path () with
   | Error e -> Error e
   | Ok t -> ( match restore ~path t machine with Error e -> Error e | Ok () -> Ok t)

@@ -41,13 +41,19 @@ val graph_digest : Ccs_sdf.Graph.t -> string
 val capture : plan_name:string -> epoch:int -> Machine.t -> t
 (** Snapshot a machine's complete execution state. *)
 
-val save : path:string -> t -> unit
-(** Write atomically (temp file + rename).
+val save : ?metrics:Ccs_obs.Metrics.t -> path:string -> t -> unit
+(** Write atomically (temp file + rename).  With [metrics], bumps
+    [ccs_checkpoint_saves_total] and observes [ccs_checkpoint_save_us]
+    (encode+write CPU latency, microseconds) and [ccs_checkpoint_bytes]
+    (payload size).
     @raise Sys_error on I/O failure. *)
 
-val load : path:string -> (t, Ccs_sdf.Error.t) result
+val load :
+  ?metrics:Ccs_obs.Metrics.t -> path:string -> unit -> (t, Ccs_sdf.Error.t) result
 (** Read and fully validate a checkpoint file's framing and payload
-    structure.  Errors: [Io], [Checkpoint_corrupt], [Checkpoint_version]. *)
+    structure.  Errors: [Io], [Checkpoint_corrupt], [Checkpoint_version].
+    With [metrics], successful loads bump [ccs_checkpoint_loads_total] and
+    observe [ccs_checkpoint_load_us] / [ccs_checkpoint_bytes]. *)
 
 val validate : path:string -> t -> Machine.t -> (unit, Ccs_sdf.Error.t) result
 (** Check that a loaded checkpoint belongs to this machine: same graph
@@ -58,5 +64,9 @@ val restore : path:string -> t -> Machine.t -> (unit, Ccs_sdf.Error.t) result
 (** {!validate}, then overwrite the machine's execution state, cache
     recency/statistics, counters and tracer clock with the checkpoint's. *)
 
-val load_into : path:string -> Machine.t -> (t, Ccs_sdf.Error.t) result
+val load_into :
+  ?metrics:Ccs_obs.Metrics.t ->
+  path:string ->
+  Machine.t ->
+  (t, Ccs_sdf.Error.t) result
 (** [load] followed by [restore]; returns the checkpoint (for its epoch). *)

@@ -3,6 +3,7 @@ module Cache = Ccs_cache.Cache
 module Layout = Ccs_cache.Layout
 module Counters = Ccs_obs.Counters
 module Tracer = Ccs_obs.Tracer
+module Metrics = Ccs_obs.Metrics
 
 exception Not_fireable of { node : Graph.node; reason : string }
 exception Budget_exceeded of { budget : int }
@@ -14,6 +15,21 @@ type chan = {
   mutable tail : int; (* absolute index of next slot to write *)
   mutable consumed_total : int;
   mutable produced_total : int;
+}
+
+(* Handles into an attached metrics registry.  The fires counter is pushed
+   incrementally (one branch + one array store per firing); the cache-level
+   series are gauges synced from the cache's own statistics at pull points
+   ([sync_metrics]) so the block-touch hot path carries no metrics code at
+   all and replacement decisions cannot be perturbed. *)
+type mstats = {
+  m_registry : Metrics.t;
+  m_fires : Metrics.counter;
+  m_accesses : Metrics.gauge;
+  m_hits : Metrics.gauge;
+  m_misses : Metrics.gauge;
+  m_evictions : Metrics.gauge;
+  m_flushes : Metrics.gauge;
 }
 
 type t = {
@@ -38,14 +54,28 @@ type t = {
      so a machine without observers runs the exact seed code path. *)
   counters : Counters.t option;
   tracer : Tracer.t option;
+  mstats : mstats option;
   observed : bool; (* [counters <> None || tracer <> None], precomputed *)
   num_nodes : int; (* entity id of buffer e is [num_nodes + e] *)
   mutable fire_hook : (Graph.node -> unit) option;
   mutable fire_budget : int option;
 }
 
+let make_mstats registry labels =
+  let counter name help = Metrics.counter registry ~help ~labels name in
+  let gauge name help = Metrics.gauge registry ~help ~labels name in
+  {
+    m_registry = registry;
+    m_fires = counter "ccs_machine_fires_total" "Module firings executed";
+    m_accesses = gauge "ccs_cache_accesses" "Simulated cache accesses";
+    m_hits = gauge "ccs_cache_hits" "Simulated cache hits";
+    m_misses = gauge "ccs_cache_misses" "Simulated cache misses";
+    m_evictions = gauge "ccs_cache_evictions" "Blocks displaced by replacement";
+    m_flushes = gauge "ccs_cache_flushes" "Whole-cache flushes";
+  }
+
 let create ?(align_to_block = true) ?(record_trace = false) ?counters ?tracer
-    ~graph ~cache ~capacities () =
+    ?metrics ?(metrics_labels = []) ~graph ~cache ~capacities () =
   let m = Graph.num_edges graph in
   if Array.length capacities <> m then
     invalid_arg "Machine.create: capacities length mismatch";
@@ -106,6 +136,7 @@ let create ?(align_to_block = true) ?(record_trace = false) ?counters ?tracer
     recorder = (if record_trace then Some (Intvec.create ()) else None);
     counters;
     tracer;
+    mstats = Option.map (fun reg -> make_mstats reg metrics_labels) metrics;
     observed = counters <> None || tracer <> None;
     num_nodes = n;
     fire_hook = None;
@@ -315,6 +346,7 @@ let fire t v =
   done;
   t.fire_count.(v) <- t.fire_count.(v) + 1;
   t.total_fires <- t.total_fires + 1;
+  (match t.mstats with Some ms -> Metrics.inc ms.m_fires | None -> ());
   (match t.tracer with Some tr -> Tracer.end_fire tr fire_ev | None -> ());
   match t.fire_hook with Some hook -> hook v | None -> ()
 
@@ -355,6 +387,19 @@ let entity_of_state _t v = v
 let entity_of_buffer t e = t.num_nodes + e
 let counters t = t.counters
 let tracer t = t.tracer
+let metrics t = Option.map (fun ms -> ms.m_registry) t.mstats
+
+(* Pull point: copy the cache's statistics into the attached gauges.  Called
+   at epoch and run boundaries by the drivers, never from the touch path. *)
+let sync_metrics t =
+  match t.mstats with
+  | None -> ()
+  | Some ms ->
+      Metrics.set ms.m_accesses (Cache.accesses t.cache);
+      Metrics.set ms.m_hits (Cache.hits t.cache);
+      Metrics.set ms.m_misses (Cache.misses t.cache);
+      Metrics.set ms.m_evictions (Cache.evictions t.cache);
+      Metrics.set ms.m_flushes (Cache.flushes t.cache)
 
 let entity_label t i =
   if i < t.num_nodes then Graph.node_name t.graph i

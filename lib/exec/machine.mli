@@ -27,6 +27,8 @@ val create :
   ?record_trace:bool ->
   ?counters:Ccs_obs.Counters.t ->
   ?tracer:Ccs_obs.Tracer.t ->
+  ?metrics:Ccs_obs.Metrics.t ->
+  ?metrics_labels:(string * string) list ->
   graph:Ccs_sdf.Graph.t ->
   cache:Ccs_cache.Cache.config ->
   capacities:int array ->
@@ -46,7 +48,15 @@ val create :
     logs fire/load/evict/stall events with a logical clock that ticks once
     per simulated cache access.  Both default to absent, in which case the
     firing path is byte-for-byte the uninstrumented one (no extra work, no
-    allocation). *)
+    allocation).
+
+    [metrics] registers this machine's series
+    ([ccs_machine_fires_total], [ccs_cache_accesses/hits/misses/
+    evictions/flushes], each carrying [metrics_labels]) in the given
+    registry.  Only the fires counter is pushed from the firing path (one
+    branch, one store); the cache series are gauges refreshed by
+    {!sync_metrics}, so attaching a registry cannot change replacement
+    behavior — miss counts stay bit-identical. *)
 
 val graph : t -> Ccs_sdf.Graph.t
 val cache : t -> Ccs_cache.Cache.t
@@ -145,6 +155,14 @@ val entity_label : t -> int -> string
 
 val counters : t -> Ccs_obs.Counters.t option
 val tracer : t -> Ccs_obs.Tracer.t option
+
+val metrics : t -> Ccs_obs.Metrics.t option
+(** The registry passed to {!create}, if any. *)
+
+val sync_metrics : t -> unit
+(** Refresh the cache-level gauges ([ccs_cache_*]) from the cache's
+    statistics.  A no-op without an attached registry.  Drivers call this
+    at epoch and run boundaries — the access hot path never does. *)
 
 val fire_budget : t -> int option
 (** The currently installed firing cap, if any (see {!set_fire_budget}). *)

@@ -7,6 +7,7 @@ module Cache = Ccs_cache.Cache
 module Layout = Ccs_cache.Layout
 module Counters = Ccs_obs.Counters
 module Tracer = Ccs_obs.Tracer
+module Metrics = Ccs_obs.Metrics
 
 type config = {
   processors : int;
@@ -46,10 +47,11 @@ type session = {
   mutable batches_done : int;
   counters : Counters.t option;
   tracer : Tracer.t option;
+  metrics : Metrics.t option;
   fire : Graph.node -> unit;
 }
 
-let create_session ?counters ?tracer g _a spec assign ~plan cfg =
+let create_session ?counters ?tracer ?metrics g _a spec assign ~plan cfg =
   if cfg.processors <> assign.Assign.processors then
     invalid_arg "Multi_machine.run: assignment processor count mismatch";
   (* The placement simulator replays a static batch schedule; a dynamic
@@ -162,6 +164,7 @@ let create_session ?counters ?tracer g _a spec assign ~plan cfg =
       batches_done = 0;
       counters;
       tracer;
+      metrics;
       fire = (fun v -> fire v);
     }
   and fire v =
@@ -208,7 +211,40 @@ let run_batches session k =
 
 let batches_done session = session.batches_done
 
+(* Pull-model sync: one labeled gauge set per processor cache, refreshed at
+   measurement points only — the per-firing touch loops above carry no
+   metrics code, so attaching a registry cannot perturb replacement. *)
+let sync_metrics session =
+  match session.metrics with
+  | None -> ()
+  | Some reg ->
+      Metrics.set
+        (Metrics.gauge reg ~help:"Batches of the period schedule replayed"
+           "ccs_multi_batches")
+        session.batches_done;
+      Metrics.set
+        (Metrics.gauge reg ~help:"Source firings executed" "ccs_multi_inputs")
+        session.inputs;
+      Array.iteri
+        (fun p cache ->
+          let labels = [ ("proc", string_of_int p) ] in
+          let g name help = Metrics.gauge reg ~help ~labels name in
+          Metrics.set
+            (g "ccs_cache_accesses" "Simulated cache accesses")
+            (Cache.accesses cache);
+          Metrics.set
+            (g "ccs_cache_hits" "Simulated cache hits")
+            (Cache.hits cache);
+          Metrics.set
+            (g "ccs_cache_misses" "Simulated cache misses")
+            (Cache.misses cache);
+          Metrics.set
+            (g "ccs_cache_evictions" "Blocks displaced by replacement")
+            (Cache.evictions cache))
+        session.caches
+
 let result session =
+  sync_metrics session;
   let per_processor_misses = Array.map Cache.misses session.caches in
   let per_input x = x /. float_of_int (max 1 session.inputs) in
   let per_processor_time =
@@ -406,11 +442,13 @@ let load_session ~path session =
 
 (* --- one-shot wrappers ----------------------------------------------------- *)
 
-let run_plan ?counters ?tracer g a spec assign ~plan ~batches cfg =
-  let session = create_session ?counters ?tracer g a spec assign ~plan cfg in
+let run_plan ?counters ?tracer ?metrics g a spec assign ~plan ~batches cfg =
+  let session =
+    create_session ?counters ?tracer ?metrics g a spec assign ~plan cfg
+  in
   run_batches session batches;
   result session
 
-let run ?counters ?tracer g a spec assign ~t ~batches cfg =
+let run ?counters ?tracer ?metrics g a spec assign ~t ~batches cfg =
   let plan = Ccs_sched.Partitioned.batch g a spec ~t in
-  run_plan ?counters ?tracer g a spec assign ~plan ~batches cfg
+  run_plan ?counters ?tracer ?metrics g a spec assign ~plan ~batches cfg

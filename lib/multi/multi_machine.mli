@@ -51,6 +51,7 @@ type session
 val create_session :
   ?counters:Ccs_obs.Counters.t ->
   ?tracer:Ccs_obs.Tracer.t ->
+  ?metrics:Ccs_obs.Metrics.t ->
   Ccs_sdf.Graph.t ->
   Ccs_sdf.Rates.analysis ->
   Ccs_partition.Spec.t ->
@@ -69,8 +70,15 @@ val run_batches : session -> int -> unit
 
 val batches_done : session -> int
 
+val sync_metrics : session -> unit
+(** Refresh the attached registry (a no-op without one): [ccs_multi_batches],
+    [ccs_multi_inputs], and per-processor [ccs_cache_*] gauges labeled
+    [proc="<p>"].  Pull-model only — the firing path carries no metrics
+    code, so an attached registry cannot change miss counts. *)
+
 val result : session -> result
-(** The result as of the batches executed so far. *)
+(** The result as of the batches executed so far (also refreshes the
+    attached registry, as {!sync_metrics}). *)
 
 val save_session : path:string -> session -> unit
 (** Snapshot the session's complete mutable state — channel cursors, every
@@ -90,6 +98,7 @@ val load_session :
 val run :
   ?counters:Ccs_obs.Counters.t ->
   ?tracer:Ccs_obs.Tracer.t ->
+  ?metrics:Ccs_obs.Metrics.t ->
   Ccs_sdf.Graph.t ->
   Ccs_sdf.Rates.analysis ->
   Ccs_partition.Spec.t ->
@@ -113,6 +122,7 @@ val run :
 val run_plan :
   ?counters:Ccs_obs.Counters.t ->
   ?tracer:Ccs_obs.Tracer.t ->
+  ?metrics:Ccs_obs.Metrics.t ->
   Ccs_sdf.Graph.t ->
   Ccs_sdf.Rates.analysis ->
   Ccs_partition.Spec.t ->

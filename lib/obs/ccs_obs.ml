@@ -1,11 +1,16 @@
 (** Observability primitives for the simulated machines: per-entity miss
     attribution ({!Counters}), schedule-event tracing with logical
-    timestamps ({!Tracer}), and Chrome [trace_event] / summary writers
-    ({!Trace_export}).  Dependency-free by design — the execution layers
-    ([Ccs_exec.Machine], [Ccs_multi.Multi_machine], [Ccs_runtime.Engine])
-    accept these as optional attachments and pay nothing when they are
-    absent. *)
+    timestamps ({!Tracer}), Chrome [trace_event] / summary writers
+    ({!Trace_export}), a metrics registry with Prometheus/JSON exposition
+    ({!Metrics}), levelled structured logging ({!Log}) and the JSON
+    substrate they share ({!Json}).  Dependency-free by design — the
+    execution layers ([Ccs_exec.Machine], [Ccs_multi.Multi_machine],
+    [Ccs_runtime.Engine]) accept these as optional attachments and pay
+    nothing when they are absent. *)
 
 module Counters = Counters
 module Tracer = Tracer
 module Trace_export = Trace_export
+module Json = Json
+module Metrics = Metrics
+module Log = Log

@@ -1,0 +1,46 @@
+(** Levelled structured logging as JSON lines.
+
+    Each event is one self-contained JSON object on its own line:
+    [{"seq":N,"lvl":"info","ev":"epoch", ...fields}] — machine-parseable
+    (every line is valid JSON on its own, so a truncated file loses at
+    most its last line) and cheap: below the threshold a call is a single
+    integer comparison; above it, one buffer is built and handed to the
+    sink.  There is no wall-clock timestamp by default — the simulators
+    are deterministic and log logical quantities (epochs, ticks, firing
+    counts); callers that want real time can add it as a field. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+val level_of_string : string -> level option
+(** Accepts ["debug"], ["info"], ["warn"]/["warning"], ["error"]. *)
+
+type t
+
+val make : ?level:level -> (string -> unit) -> t
+(** [make sink] routes each rendered line (without trailing newline) to
+    [sink].  Default threshold: [Info]. *)
+
+val to_channel : ?level:level -> out_channel -> t
+val to_buffer : ?level:level -> Buffer.t -> t
+
+val null : t
+(** Drops everything below [Error] and sends the rest nowhere — a
+    convenient default for optional [?log] parameters. *)
+
+val set_level : t -> level -> unit
+val level : t -> level
+val enabled : t -> level -> bool
+
+val lines : t -> int
+(** Events emitted so far (the next event's [seq]). *)
+
+val log : t -> level -> string -> (string * Json.value) list -> unit
+(** [log t lvl event fields] emits one line if [lvl] passes the
+    threshold.  [event] names the event kind; [fields] are appended as
+    JSON members after [seq]/[lvl]/[ev]. *)
+
+val debug : t -> string -> (string * Json.value) list -> unit
+val info : t -> string -> (string * Json.value) list -> unit
+val warn : t -> string -> (string * Json.value) list -> unit
+val error : t -> string -> (string * Json.value) list -> unit

@@ -34,9 +34,9 @@ let event buf ~first ~name ~cat ~ph ~ts ~tid ~extra =
 
 let metadata buf ~first ~name ~tid ~value =
   if not first then Buffer.add_char buf ',';
-  Buffer.add_string buf "\n{\"name\":\"";
-  Buffer.add_string buf name;
-  Buffer.add_string buf "\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+  Buffer.add_string buf "\n{\"name\":";
+  escape buf name;
+  Buffer.add_string buf ",\"ph\":\"M\",\"pid\":0,\"tid\":";
   Buffer.add_string buf (string_of_int tid);
   Buffer.add_string buf ",\"ts\":0,\"args\":{\"name\":";
   escape buf value;
@@ -87,13 +87,21 @@ let chrome ?(process_name = "ccs simulated machine") ?(thread_names = [])
   Buffer.add_string buf "}}";
   Buffer.contents buf
 
+(* Write-to-temp-then-rename (the Checkpoint/Binio discipline): a crash
+   mid-export leaves the previous file (or nothing) on disk — never a
+   truncated, unparseable JSON document. *)
 let write ~path doc =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc doc;
-      output_char oc '\n')
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc doc;
+     output_char oc '\n';
+     close_out oc
+   with exn ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise exn);
+  Sys.rename tmp path
 
 let entity_summary counters ~label =
   let rows = ref [] in

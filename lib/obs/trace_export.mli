@@ -25,7 +25,10 @@ val chrome :
     CI reads ["total_misses"]/["attributed_misses"] from there). *)
 
 val write : path:string -> string -> unit
-(** Write a serialized document to [path] (plus a trailing newline). *)
+(** Write a serialized document to [path] (plus a trailing newline),
+    atomically: the document is written to [path ^ ".tmp"] and renamed
+    into place, so a crash mid-write never leaves a truncated file at
+    [path]. *)
 
 val entity_summary :
   Counters.t -> label:(int -> string) -> (string * int * int) list

@@ -2,19 +2,24 @@ type kind = Fire | Load | Evict | Stall
 
 type event = { kind : kind; ts : int; id : int; arg : int }
 
-(* Packed storage: each event is 4 consecutive ints (kind, ts, id, arg) in
-   one growable array — appending allocates only on doubling. *)
+(* Packed circular storage: each event is 4 consecutive ints (kind, ts,
+   id, arg) in one flat array that grows by doubling until it reaches
+   [4 * limit] slots.  Event number [s] (0-based, counted over the whole
+   run) lives at slot [s mod limit], so once [limit] events have been
+   recorded each new event overwrites the *oldest* stored one: the buffer
+   always holds the most recent window, and [dropped] counts the
+   overwritten events. *)
 type t = {
   mutable data : int array;
-  mutable len : int; (* events stored *)
+  mutable total : int; (* events ever recorded *)
   mutable clock : int;
-  mutable dropped : int;
+  mutable dropped : int; (* events overwritten (or refused when limit=0) *)
   limit : int;
 }
 
 let create ?(limit = 1_000_000) () =
   if limit < 0 then invalid_arg "Tracer.create: limit must be >= 0";
-  { data = Array.make 256 0; len = 0; clock = 0; dropped = 0; limit }
+  { data = Array.make 256 0; total = 0; clock = 0; dropped = 0; limit }
 
 let clock t = t.clock
 let advance t k = t.clock <- t.clock + k
@@ -36,48 +41,67 @@ let kind_of_int = function
   | 2 -> Evict
   | _ -> Stall
 
+let length t = min t.total t.limit
+let dropped t = t.dropped
+
+(* Byte offset of the slot for event number [seq], growing the array on
+   first use of a pre-wrap slot.  Post-wrap slots were all written before,
+   so no growth can be needed then. *)
+let slot_offset t seq =
+  let s = seq mod t.limit in
+  let need = 4 * (s + 1) in
+  if need > Array.length t.data then begin
+    let size = ref (2 * Array.length t.data) in
+    while !size < need do
+      size := 2 * !size
+    done;
+    let bigger = Array.make (min !size (4 * t.limit)) 0 in
+    Array.blit t.data 0 bigger 0 (4 * length t);
+    t.data <- bigger
+  end;
+  4 * s
+
 let push t kind ~ts ~id ~arg =
-  if t.len >= t.limit then t.dropped <- t.dropped + 1
+  if t.limit = 0 then t.dropped <- t.dropped + 1
   else begin
-    let need = 4 * (t.len + 1) in
-    if need > Array.length t.data then begin
-      let bigger = Array.make (2 * Array.length t.data) 0 in
-      Array.blit t.data 0 bigger 0 (4 * t.len);
-      t.data <- bigger
-    end;
-    let o = 4 * t.len in
+    if t.total >= t.limit then t.dropped <- t.dropped + 1;
+    let o = slot_offset t t.total in
     t.data.(o) <- kind_to_int kind;
     t.data.(o + 1) <- ts;
     t.data.(o + 2) <- id;
     t.data.(o + 3) <- arg;
-    t.len <- t.len + 1
+    t.total <- t.total + 1
   end
 
 let begin_fire t ~node =
-  if t.len >= t.limit then begin
+  if t.limit = 0 then begin
     t.dropped <- t.dropped + 1;
     -1
   end
   else begin
+    let handle = t.total in
     push t Fire ~ts:t.clock ~id:node ~arg:0;
-    t.len - 1
+    handle
   end
 
+(* A handle is the event's run-wide number; it stays patchable exactly as
+   long as the event is still in the window ([total - handle <= limit]).
+   A handle whose Fire event has since been overwritten is silently
+   ignored — the duration is lost with the event. *)
 let end_fire t handle =
-  if handle >= 0 then begin
-    let o = 4 * handle in
+  if handle >= 0 && t.total - handle <= t.limit then begin
+    let o = 4 * (handle mod t.limit) in
     t.data.(o + 3) <- t.clock - t.data.(o + 1)
   end
+
 let load t ~owner ~block = push t Load ~ts:t.clock ~id:owner ~arg:block
 let evict t ~owner ~block = push t Evict ~ts:t.clock ~id:owner ~arg:block
 let stall t ~node = push t Stall ~ts:t.clock ~id:node ~arg:0
 
-let length t = t.len
-let dropped t = t.dropped
-
 let get t i =
-  if i < 0 || i >= t.len then invalid_arg "Tracer.get: out of range";
-  let o = 4 * i in
+  let len = length t in
+  if i < 0 || i >= len then invalid_arg "Tracer.get: out of range";
+  let o = 4 * ((t.total - len + i) mod t.limit) in
   {
     kind = kind_of_int t.data.(o);
     ts = t.data.(o + 1);
@@ -86,6 +110,6 @@ let get t i =
   }
 
 let iter t ~f =
-  for i = 0 to t.len - 1 do
+  for i = 0 to length t - 1 do
     f (get t i)
   done

@@ -5,10 +5,12 @@
     cache access, so timestamps are directly comparable to the paper's
     cost model (one unit per block touch) and are monotone by construction.
 
-    Events are stored packed (four ints per event) in a growable flat
-    array: no per-event allocation, and nothing at all happens when no
+    Events are stored packed (four ints per event) in a flat circular
+    buffer: no per-event allocation, and nothing at all happens when no
     tracer is attached.  A capacity limit bounds memory on long runs; once
-    reached, further events are counted in {!dropped} but not stored. *)
+    reached, each new event overwrites the {e oldest} stored one, so the
+    buffer always holds the most recent window of the run and {!dropped}
+    counts the overwritten events. *)
 
 type kind =
   | Fire  (** A module fired: [id] = node, [arg] = duration in accesses. *)
@@ -42,24 +44,29 @@ val restore : t -> clock:int -> dropped:int -> unit
 
 val begin_fire : t -> node:int -> int
 (** Append a [Fire] event for [node] at the current logical time, duration
-    still zero; returns a handle for {!end_fire} ([-1] if the event was
-    dropped).  Emitting the event {e before} the firing's touches keeps the
-    log sorted by timestamp. *)
+    still zero; returns a handle for {!end_fire} ([-1] when [limit = 0]).
+    Emitting the event {e before} the firing's touches keeps the log
+    sorted by timestamp. *)
 
 val end_fire : t -> int -> unit
 (** Patch the [Fire] event's duration to the accesses elapsed since its
-    {!begin_fire}.  A [-1] handle is ignored. *)
+    {!begin_fire}.  Handles stay valid across ring wraparound; a handle
+    whose event has since been overwritten (and a [-1] handle) is
+    ignored. *)
 
 val load : t -> owner:int -> block:int -> unit
 val evict : t -> owner:int -> block:int -> unit
 val stall : t -> node:int -> unit
 
 val length : t -> int
-(** Stored events. *)
+(** Stored events ([min] of events recorded and [limit]). *)
 
 val dropped : t -> int
-(** Events discarded after the limit was reached. *)
+(** Events overwritten after the limit was reached (the stored window plus
+    [dropped] is every event the run emitted). *)
 
 val get : t -> int -> event
+(** The [i]-th {e oldest} stored event. *)
+
 val iter : t -> f:(event -> unit) -> unit
-(** In emission order; timestamps are non-decreasing. *)
+(** Oldest stored event first; timestamps are non-decreasing. *)

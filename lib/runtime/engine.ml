@@ -79,11 +79,11 @@ let init_states program =
       st)
 
 let create_unsafe ?(record_trace = false) ?(validate = false) ?counters ?tracer
-    ~program ~cache ~capacities () =
+    ?metrics ~program ~cache ~capacities () =
   let g = Program.graph program in
   let machine =
-    Machine.create ~record_trace ?counters ?tracer ~graph:g ~cache ~capacities
-      ()
+    Machine.create ~record_trace ?counters ?tracer ?metrics ~graph:g ~cache
+      ~capacities ()
   in
   let t =
     {
@@ -104,19 +104,19 @@ let create_unsafe ?(record_trace = false) ?(validate = false) ?counters ?tracer
   Machine.set_fire_hook machine (Some (move_data t));
   t
 
-let create ?record_trace ?validate ?counters ?tracer ~program ~cache
+let create ?record_trace ?validate ?counters ?tracer ?metrics ~program ~cache
     ~capacities () =
   try
-    create_unsafe ?record_trace ?validate ?counters ?tracer ~program ~cache
-      ~capacities ()
+    create_unsafe ?record_trace ?validate ?counters ?tracer ?metrics ~program
+      ~cache ~capacities ()
   with E.Error (E.Fault { node; detail; _ }) ->
     invalid_arg (Printf.sprintf "Engine.create: %s: %s" node detail)
 
-let create_checked ?record_trace ?(validate = true) ?counters ?tracer ~program
-    ~cache ~capacities () =
+let create_checked ?record_trace ?(validate = true) ?counters ?tracer ?metrics
+    ~program ~cache ~capacities () =
   E.protect (fun () ->
-      create_unsafe ?record_trace ~validate ?counters ?tracer ~program ~cache
-        ~capacities ())
+      create_unsafe ?record_trace ~validate ?counters ?tracer ?metrics ~program
+        ~cache ~capacities ())
 
 let machine t = t.machine
 let fire t v = Machine.fire t.machine v
@@ -127,6 +127,7 @@ let run_plan t plan ~outputs =
   if plan.Ccs_sched.Plan.capacities <> t.capacities then
     invalid_arg "Engine.run_plan: plan capacities differ from the engine's";
   plan.Ccs_sched.Plan.drive t.machine ~target_outputs:outputs;
+  Machine.sync_metrics t.machine;
   result_of_run t plan
 
 let run_plan_checked ?budget t plan ~outputs =
@@ -140,11 +141,13 @@ let run_plan_checked ?budget t plan ~outputs =
   else
     match Ccs_sched.Watchdog.drive ?budget t.machine ~plan ~outputs with
     | Error e -> Result.error e
-    | Ok () -> Ok (result_of_run t plan)
+    | Ok () ->
+        Machine.sync_metrics t.machine;
+        Ok (result_of_run t plan)
 
-let of_plan ?record_trace ?validate ?counters ?tracer ~program ~cache ~plan ()
-    =
-  create ?record_trace ?validate ?counters ?tracer ~program ~cache
+let of_plan ?record_trace ?validate ?counters ?tracer ?metrics ~program ~cache
+    ~plan () =
+  create ?record_trace ?validate ?counters ?tracer ?metrics ~program ~cache
     ~capacities:plan.Ccs_sched.Plan.capacities ()
 
 let state t v = t.states.(v)

@@ -26,6 +26,7 @@ val create :
   ?validate:bool ->
   ?counters:Ccs_obs.Counters.t ->
   ?tracer:Ccs_obs.Tracer.t ->
+  ?metrics:Ccs_obs.Metrics.t ->
   program:Program.t ->
   cache:Ccs_cache.Cache.config ->
   capacities:int array ->
@@ -33,9 +34,10 @@ val create :
   t
 (** With [validate] (default [false]) every firing's outputs are checked
     for non-finite tokens; a violation raises
-    [Ccs_sdf.Error.Error (Fault _)].  [counters]/[tracer] are handed to
-    the underlying {!Ccs_exec.Machine.create} for per-entity miss
-    attribution and event tracing.
+    [Ccs_sdf.Error.Error (Fault _)].  [counters]/[tracer]/[metrics] are
+    handed to the underlying {!Ccs_exec.Machine.create} for per-entity
+    miss attribution, event tracing and registry metrics (cache gauges are
+    synced when a plan run completes).
     @raise Invalid_argument if some kernel's [init] returns state of the
     wrong length. *)
 
@@ -44,6 +46,7 @@ val create_checked :
   ?validate:bool ->
   ?counters:Ccs_obs.Counters.t ->
   ?tracer:Ccs_obs.Tracer.t ->
+  ?metrics:Ccs_obs.Metrics.t ->
   program:Program.t ->
   cache:Ccs_cache.Cache.config ->
   capacities:int array ->
@@ -85,6 +88,7 @@ val of_plan :
   ?validate:bool ->
   ?counters:Ccs_obs.Counters.t ->
   ?tracer:Ccs_obs.Tracer.t ->
+  ?metrics:Ccs_obs.Metrics.t ->
   program:Program.t ->
   cache:Ccs_cache.Cache.config ->
   plan:Ccs_sched.Plan.t ->

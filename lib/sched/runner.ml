@@ -24,13 +24,14 @@ let result_of ~plan machine =
     address_space_words = Machine.address_space_words machine;
   }
 
-let run ?(record_trace = false) ?counters ?tracer ~graph ~cache ~plan ~outputs
-    () =
+let run ?(record_trace = false) ?counters ?tracer ?metrics ~graph ~cache ~plan
+    ~outputs () =
   let machine =
-    Machine.create ~record_trace ?counters ?tracer ~graph ~cache
+    Machine.create ~record_trace ?counters ?tracer ?metrics ~graph ~cache
       ~capacities:plan.Plan.capacities ()
   in
   plan.Plan.drive machine ~target_outputs:outputs;
+  Machine.sync_metrics machine;
   (result_of ~plan machine, machine)
 
 type latency = { max_inputs_behind : int; mean_inputs_behind : float }

@@ -20,6 +20,7 @@ val run :
   ?record_trace:bool ->
   ?counters:Ccs_obs.Counters.t ->
   ?tracer:Ccs_obs.Tracer.t ->
+  ?metrics:Ccs_obs.Metrics.t ->
   graph:Ccs_sdf.Graph.t ->
   cache:Ccs_cache.Cache.config ->
   plan:Plan.t ->
@@ -28,9 +29,11 @@ val run :
   result * Ccs_exec.Machine.t
 (** Build a machine with the plan's capacities, drive it until the sink has
     fired at least [outputs] times, and return the measured result along
-    with the machine (for inspecting the cache or trace).  [counters] and
-    [tracer] are handed to {!Ccs_exec.Machine.create} for per-entity miss
-    attribution and event tracing; see also {!Profile.run}. *)
+    with the machine (for inspecting the cache or trace).  [counters],
+    [tracer] and [metrics] are handed to {!Ccs_exec.Machine.create} for
+    per-entity miss attribution, event tracing and registry metrics (the
+    cache gauges are synced once the drive completes); see also
+    {!Profile.run}. *)
 
 val pp_result : Format.formatter -> result -> unit
 

@@ -4,6 +4,9 @@ module Machine = Ccs_exec.Machine
 module Checkpoint = Ccs_exec.Checkpoint
 module Counters = Ccs_obs.Counters
 module Tracer = Ccs_obs.Tracer
+module Metrics = Ccs_obs.Metrics
+module Log = Ccs_obs.Log
+module Json = Ccs_obs.Json
 
 type config = {
   checkpoint_every : int;
@@ -107,11 +110,47 @@ let site_of_error = function
 
 type attempt = { site : string; firing : int }
 
+(* --- telemetry ------------------------------------------------------------ *)
+
+type smetrics = {
+  s_epochs : Metrics.counter;
+  s_epoch_ticks : Metrics.histogram;
+  s_retries : Metrics.counter;
+  s_rollbacks : Metrics.counter;
+  s_quarantines : Metrics.counter;
+  s_backoff : Metrics.counter;
+}
+
+let make_smetrics reg =
+  {
+    s_epochs =
+      Metrics.counter reg ~help:"Supervisor epochs completed"
+        "ccs_supervisor_epochs_total";
+    s_epoch_ticks =
+      Metrics.histogram reg
+        ~help:"Logical duration of each completed epoch (cache accesses)"
+        "ccs_supervisor_epoch_ticks";
+    s_retries =
+      Metrics.counter reg ~help:"Faulted epochs re-executed"
+        "ccs_supervisor_retries_total";
+    s_rollbacks =
+      Metrics.counter reg
+        ~help:"Machine rollbacks to a checkpoint or pristine state"
+        "ccs_supervisor_rollbacks_total";
+    s_quarantines =
+      Metrics.counter reg ~help:"Runs stopped by fault quarantine"
+        "ccs_supervisor_quarantines_total";
+    s_backoff =
+      Metrics.counter reg
+        ~help:"Logical backoff delay charged across retries"
+        "ccs_supervisor_backoff_ticks_total";
+  }
+
 (* --- the supervisor ------------------------------------------------------- *)
 
 let run ?(config = default_config) ?checkpoint_dir ?(resume = false)
-    ?epoch_outputs ?counters ?tracer ?prepare ?on_epoch ~graph ~cache ~plan
-    ~outputs () =
+    ?epoch_outputs ?counters ?tracer ?metrics ?log ?prepare ?on_epoch ~graph
+    ~cache ~plan ~outputs () =
   if config.checkpoint_every <= 0 then
     invalid_arg "Supervisor.run: checkpoint_every must be positive";
   if config.max_retries < 0 then
@@ -126,11 +165,22 @@ let run ?(config = default_config) ?checkpoint_dir ?(resume = false)
     | None -> default_epoch_outputs ~graph ~plan
   in
   let total_epochs = num_epochs ~outputs ~epoch_outputs in
+  let sm = Option.map make_smetrics metrics in
+  let ev level event fields =
+    match log with Some l -> Log.log l level event fields | None -> ()
+  in
   E.protect (fun () ->
       Option.iter ensure_dir checkpoint_dir;
+      ev Log.Info "run_start"
+        [
+          ("plan", Json.String plan.Plan.name);
+          ("outputs", Json.Int outputs);
+          ("epochs", Json.Int total_epochs);
+          ("epoch_outputs", Json.Int epoch_outputs);
+        ];
       let fresh_machine () =
         let machine =
-          Machine.create ?counters ?tracer ~graph ~cache
+          Machine.create ?counters ?tracer ?metrics ~graph ~cache
             ~capacities:plan.Plan.capacities ()
         in
         (match prepare with Some f -> f machine | None -> ());
@@ -142,9 +192,11 @@ let run ?(config = default_config) ?checkpoint_dir ?(resume = false)
         | None -> ()
         | Some dir ->
             let path = Filename.concat dir (ckpt_name epoch) in
-            Checkpoint.save ~path
+            Checkpoint.save ?metrics ~path
               (Checkpoint.capture ~plan_name:plan.Plan.name ~epoch machine);
             incr checkpoints_written;
+            ev Log.Info "checkpoint"
+              [ ("epoch", Json.Int epoch); ("path", Json.String path) ];
             prune ~keep:config.keep dir
       in
       (* Roll the machine back to the last durable state: the most recent
@@ -152,15 +204,20 @@ let run ?(config = default_config) ?checkpoint_dir ?(resume = false)
          and tracer are restored (or reset) along with it so the replayed
          epochs are indistinguishable from a first execution. *)
       let rollback () =
+        (match sm with Some m -> Metrics.inc m.s_rollbacks | None -> ());
         let machine = fresh_machine () in
         match Option.map latest_checkpoint checkpoint_dir with
         | Some (Some (epoch, path)) -> (
-            match Checkpoint.load_into ~path machine with
-            | Ok _ -> (machine, epoch)
+            match Checkpoint.load_into ?metrics ~path machine with
+            | Ok _ ->
+                ev Log.Warn "rollback"
+                  [ ("to_epoch", Json.Int epoch); ("path", Json.String path) ];
+                (machine, epoch)
             | Error e -> E.fail e)
         | _ ->
             Option.iter Counters.reset counters;
             Option.iter (fun tr -> Tracer.restore tr ~clock:0 ~dropped:0) tracer;
+            ev Log.Warn "rollback" [ ("to_epoch", Json.Int 0) ];
             (machine, 0)
       in
       let machine = ref (fresh_machine ()) in
@@ -169,7 +226,7 @@ let run ?(config = default_config) ?checkpoint_dir ?(resume = false)
       (if resume then
          match Option.map latest_checkpoint checkpoint_dir with
          | Some (Some (epoch, path)) -> (
-             match Checkpoint.load ~path with
+             match Checkpoint.load ?metrics ~path () with
              | Error e -> E.fail e
              | Ok ckpt ->
                  if ckpt.Checkpoint.plan_name <> plan.Plan.name then
@@ -185,7 +242,9 @@ let run ?(config = default_config) ?checkpoint_dir ?(resume = false)
                  | Error e -> E.fail e
                  | Ok () -> ());
                  start_epoch := epoch;
-                 resumed_from := Some epoch)
+                 resumed_from := Some epoch;
+                 ev Log.Info "resume"
+                   [ ("epoch", Json.Int epoch); ("path", Json.String path) ])
          | _ -> ());
       let retries = ref 0 in
       let logical_delay = ref 0 in
@@ -193,14 +252,32 @@ let run ?(config = default_config) ?checkpoint_dir ?(resume = false)
       let epoch = ref !start_epoch in
       while !epoch < total_epochs do
         let target = epoch_target ~outputs ~epoch_outputs !epoch in
-        match Watchdog.drive !machine ~plan ~outputs:target with
+        (* Logical epoch duration: the cache access count is the machine's
+           logical clock (one tick per simulated access). *)
+        let ticks_before = Ccs_cache.Cache.accesses (Machine.cache !machine) in
+        match Watchdog.drive ?metrics !machine ~plan ~outputs:target with
         | Ok () ->
             let completed = !epoch + 1 in
+            (match sm with
+            | Some m ->
+                Metrics.inc m.s_epochs;
+                Metrics.observe m.s_epoch_ticks
+                  (Ccs_cache.Cache.accesses (Machine.cache !machine)
+                  - ticks_before)
+            | None -> ());
+            Machine.sync_metrics !machine;
             if
               checkpoint_dir <> None
               && (completed mod config.checkpoint_every = 0
                  || completed = total_epochs)
             then save_checkpoint !machine ~epoch:completed;
+            ev Log.Info "epoch"
+              [
+                ("epoch", Json.Int completed);
+                ("target", Json.Int target);
+                ("fires", Json.Int (Machine.total_fires !machine));
+                ("misses", Json.Int (Machine.misses !machine));
+              ];
             (match on_epoch with
             | Some f -> f ~epoch:completed ~machine:!machine
             | None -> ());
@@ -216,12 +293,23 @@ let run ?(config = default_config) ?checkpoint_dir ?(resume = false)
               | None -> false
             in
             incr retries;
+            (match sm with Some m -> Metrics.inc m.s_retries | None -> ());
             let quarantine () =
               let checkpoint =
                 match Option.map latest_checkpoint checkpoint_dir with
                 | Some (Some (_, path)) -> Some path
                 | _ -> None
               in
+              (match sm with
+              | Some m -> Metrics.inc m.s_quarantines
+              | None -> ());
+              ev Log.Error "quarantine"
+                [
+                  ("site", Json.String site);
+                  ("firing", Json.Int firing);
+                  ("attempts", Json.Int !retries);
+                  ("cause", Json.String (E.code cause));
+                ];
               E.fail
                 (E.Quarantined
                    {
@@ -238,14 +326,35 @@ let run ?(config = default_config) ?checkpoint_dir ?(resume = false)
             (* Logical-time backoff: doubling per consecutive retry.  The
                simulator has no wall clock, so the delay is accounted, not
                slept. *)
-            logical_delay :=
-              !logical_delay + (config.backoff_base lsl min 20 (!retries - 1));
+            let backoff = config.backoff_base lsl min 20 (!retries - 1) in
+            logical_delay := !logical_delay + backoff;
+            (match sm with
+            | Some m -> Metrics.add m.s_backoff backoff
+            | None -> ());
+            ev Log.Warn "retry"
+              [
+                ("site", Json.String site);
+                ("firing", Json.Int firing);
+                ("attempt", Json.Int !retries);
+                ("backoff", Json.Int backoff);
+                ("cause", Json.String (E.code cause));
+              ];
             let m, ckpt_epoch = rollback () in
             machine := m;
             epoch := ckpt_epoch
       done;
+      Machine.sync_metrics !machine;
+      let result = Runner.result_of ~plan !machine in
+      ev Log.Info "run_end"
+        [
+          ("outputs", Json.Int result.Runner.outputs);
+          ("misses", Json.Int result.Runner.misses);
+          ("retries", Json.Int !retries);
+          ("checkpoints", Json.Int !checkpoints_written);
+          ("logical_delay", Json.Int !logical_delay);
+        ];
       {
-        result = Runner.result_of ~plan !machine;
+        result;
         epochs = total_epochs;
         epoch_outputs;
         checkpoints_written = !checkpoints_written;

@@ -49,6 +49,8 @@ val run :
   ?epoch_outputs:int ->
   ?counters:Ccs_obs.Counters.t ->
   ?tracer:Ccs_obs.Tracer.t ->
+  ?metrics:Ccs_obs.Metrics.t ->
+  ?log:Ccs_obs.Log.t ->
   ?prepare:(Ccs_exec.Machine.t -> unit) ->
   ?on_epoch:(epoch:int -> machine:Ccs_exec.Machine.t -> unit) ->
   graph:Ccs_sdf.Graph.t ->
@@ -69,6 +71,19 @@ val run :
     hooks such as fault injection.  [on_epoch] fires after each completed
     epoch, {e after} any checkpoint write, so killing the process inside it
     simulates a crash with the epoch's checkpoint already durable.
+
+    [metrics] registers the supervisor's series in the given registry:
+    [ccs_supervisor_epochs_total], the [ccs_supervisor_epoch_ticks]
+    histogram of each epoch's logical duration (cache accesses),
+    [ccs_supervisor_retries_total] / [_rollbacks_total] /
+    [_quarantines_total], and [ccs_supervisor_backoff_ticks_total].  The
+    registry is also threaded to the machine ({!Ccs_exec.Machine.create}),
+    the watchdog and checkpoint I/O, and the machine's cache gauges are
+    synced at every epoch boundary.  [log] receives one structured event
+    per lifecycle step: [run_start], [resume], [epoch], [checkpoint],
+    [retry], [rollback], [quarantine], [run_end].  Neither changes the
+    firing sequence: a run with telemetry attached reports bit-identical
+    miss counts.
 
     Errors: [Quarantined] (fault containment gave up), checkpoint errors
     on resume, or any machine-construction error.

@@ -1,6 +1,7 @@
 module Graph = Ccs_sdf.Graph
 module E = Ccs_sdf.Error
 module Machine = Ccs_exec.Machine
+module Metrics = Ccs_obs.Metrics
 
 (* Saturating arithmetic for the budget formula: with huge cache sizes or
    output targets the products below overflow 63-bit ints and wrap to a
@@ -42,9 +43,10 @@ let default_budget g ~cache_words ~outputs =
       sat_add 1024
         (sat_mul 64 (sat_mul (sat_add outputs 1) (Graph.num_nodes g)))
 
-let drive ?budget machine ~plan ~outputs =
+let drive ?budget ?metrics machine ~plan ~outputs =
   let g = Machine.graph machine in
   let plan_name = plan.Plan.name in
+  let fires_before = Machine.total_fires machine in
   let budget =
     match budget with
     | Some b -> b
@@ -99,16 +101,38 @@ let drive ?budget machine ~plan ~outputs =
     | exception E.Error e -> Result.error e
   in
   Machine.set_fire_budget machine None;
+  (match metrics with
+  | None -> ()
+  | Some reg ->
+      Metrics.inc
+        (Metrics.counter reg ~help:"Watchdog-supervised drives started"
+           "ccs_watchdog_drives_total");
+      (match result with
+      | Ok () -> ()
+      | Error _ ->
+          Metrics.inc
+            (Metrics.counter reg
+               ~help:"Drives that ended in a structured stall diagnostic"
+               "ccs_watchdog_trips_total"));
+      (* How much of the firing budget the drive left unused — a collapsing
+         headroom flags a plan drifting towards its livelock bound. *)
+      Metrics.set
+        (Metrics.gauge reg
+           ~help:"Unused firing budget at the end of the last drive"
+           "ccs_watchdog_budget_headroom")
+        (budget - (Machine.total_fires machine - fires_before)));
   result
 
-let run ?budget ?record_trace ~graph ~cache ~plan ~outputs () =
+let run ?budget ?record_trace ?metrics ~graph ~cache ~plan ~outputs () =
   match
     E.protect (fun () ->
-        Ccs_exec.Machine.create ?record_trace ~graph ~cache
+        Ccs_exec.Machine.create ?record_trace ?metrics ~graph ~cache
           ~capacities:plan.Plan.capacities ())
   with
   | Error e -> Result.error e
   | Ok machine -> (
-      match drive ?budget machine ~plan ~outputs with
+      match drive ?budget ?metrics machine ~plan ~outputs with
       | Error e -> Result.error e
-      | Ok () -> Ok (Runner.result_of ~plan machine, machine))
+      | Ok () ->
+          Machine.sync_metrics machine;
+          Ok (Runner.result_of ~plan machine, machine))

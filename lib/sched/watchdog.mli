@@ -20,6 +20,7 @@ val default_budget :
 
 val drive :
   ?budget:int ->
+  ?metrics:Ccs_obs.Metrics.t ->
   Ccs_exec.Machine.t ->
   plan:Plan.t ->
   outputs:int ->
@@ -34,11 +35,16 @@ val drive :
       never fires the sink).
 
     The machine's budget is cleared before returning, and the snapshot in
-    every error reflects the machine at the moment it stalled. *)
+    every error reflects the machine at the moment it stalled.
+
+    With [metrics], each drive bumps [ccs_watchdog_drives_total] (and
+    [ccs_watchdog_trips_total] on error) and records the unused firing
+    budget in the [ccs_watchdog_budget_headroom] gauge. *)
 
 val run :
   ?budget:int ->
   ?record_trace:bool ->
+  ?metrics:Ccs_obs.Metrics.t ->
   graph:Ccs_sdf.Graph.t ->
   cache:Ccs_cache.Cache.config ->
   plan:Plan.t ->

@@ -1,0 +1,166 @@
+(* Tests for the bench regression differ: deterministic fields must match
+   exactly (Fail), timing fields only warn beyond a tolerance, experiments
+   pair by id so a quick run diffs cleanly against a full baseline. *)
+
+module D = Ccs.Bench_diff
+
+let parse s =
+  match Ccs.Json.of_string s with
+  | Ok v -> v
+  | Error msg -> Alcotest.fail ("test document does not parse: " ^ msg)
+
+let doc ~wall ~misses ~seconds ~records () =
+  parse
+    (Printf.sprintf
+       {|{"schema_version":2,"experiments":[
+          {"experiment":"E1","description":"upper bound","wall_s":%g,"cpu_s":0.1,
+           "records":[%s]},
+          {"experiment":"E7","description":"crossover","wall_s":0.5,"cpu_s":0.4,
+           "records":[{"kind":"simulation","misses":%d,"seconds":%g}]}]}|}
+       wall records misses seconds)
+
+let base_records = {|{"kind":"bound","misses_per_input":0.25}|}
+
+let base () =
+  doc ~wall:1.0 ~misses:100 ~seconds:2.0 ~records:base_records ()
+
+let test_identical_passes () =
+  let r = D.diff ~old_doc:(base ()) ~new_doc:(base ()) () in
+  Alcotest.(check bool) "no failures" false (D.has_failures r);
+  Alcotest.(check int) "no findings" 0 (List.length r.D.findings);
+  Alcotest.(check int) "experiments" 2 r.D.experiments_compared;
+  Alcotest.(check int) "records" 2 r.D.records_compared
+
+let test_miss_regression_fails () =
+  let new_doc =
+    doc ~wall:1.0 ~misses:101 ~seconds:2.0 ~records:base_records ()
+  in
+  let r = D.diff ~old_doc:(base ()) ~new_doc () in
+  Alcotest.(check bool) "failure" true (D.has_failures r);
+  match r.D.findings with
+  | [ f ] ->
+      Alcotest.(check bool) "is fail" true (f.D.severity = D.Fail);
+      Alcotest.(check string) "experiment" "E7" f.D.experiment;
+      Alcotest.(check string) "field" "misses" f.D.field;
+      Alcotest.(check string) "old" "100" f.D.old_value;
+      Alcotest.(check string) "new" "101" f.D.new_value
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs))
+
+let test_timing_drift_warns_only () =
+  (* 2.0s -> 3.0s is 33% drift: beyond the 20% default, but timing fields
+     never fail the gate; wall_s moves too but stays within tolerance. *)
+  let new_doc =
+    doc ~wall:1.1 ~misses:100 ~seconds:3.0 ~records:base_records ()
+  in
+  let r = D.diff ~old_doc:(base ()) ~new_doc () in
+  Alcotest.(check bool) "no failures" false (D.has_failures r);
+  (match r.D.findings with
+  | [ f ] ->
+      Alcotest.(check bool) "is warn" true (f.D.severity = D.Warn);
+      Alcotest.(check string) "field" "seconds" f.D.field
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs)));
+  (* A looser tolerance silences it entirely. *)
+  let r = D.diff ~tolerance_pct:50. ~old_doc:(base ()) ~new_doc () in
+  Alcotest.(check int) "silent at 50%" 0 (List.length r.D.findings)
+
+let test_record_count_change_fails () =
+  let new_doc = doc ~wall:1.0 ~misses:100 ~seconds:2.0 ~records:"" () in
+  let r = D.diff ~old_doc:(base ()) ~new_doc () in
+  Alcotest.(check bool) "failure" true (D.has_failures r);
+  Alcotest.(check bool) "record count finding" true
+    (List.exists
+       (fun f -> f.D.field = "records" && f.D.experiment = "E1")
+       r.D.findings)
+
+let test_field_appearance_fails () =
+  let new_records = {|{"kind":"bound","misses_per_input":0.25,"extra":1}|} in
+  let new_doc =
+    doc ~wall:1.0 ~misses:100 ~seconds:2.0 ~records:new_records ()
+  in
+  let r = D.diff ~old_doc:(base ()) ~new_doc () in
+  Alcotest.(check bool) "failure" true (D.has_failures r);
+  Alcotest.(check bool) "appearance finding" true
+    (List.exists (fun f -> f.D.field = "extra") r.D.findings)
+
+let test_quick_subset_pairs_by_id () =
+  (* New run missing E7 (a quick subset): E7 is informational, not a
+     failure; the shared E1 still compares. *)
+  let quick =
+    parse
+      {|{"experiments":[{"experiment":"E1","description":"upper bound",
+         "wall_s":1.0,"cpu_s":0.1,
+         "records":[{"kind":"bound","misses_per_input":0.25}]}]}|}
+  in
+  let r = D.diff ~old_doc:(base ()) ~new_doc:quick () in
+  Alcotest.(check bool) "no failures" false (D.has_failures r);
+  Alcotest.(check int) "one compared" 1 r.D.experiments_compared;
+  Alcotest.(check (list string)) "old only" [ "E7" ] r.D.old_only;
+  Alcotest.(check (list string)) "new only" [] r.D.new_only
+
+let test_timing_field_rule () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " is timing") true (D.is_timing_field name))
+    [
+      "wall_s"; "cpu_s"; "seconds"; "baseline_seconds"; "ns_per_run";
+      "ops_per_sec"; "overhead_pct"; "unix_time"; "save_us";
+    ];
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " is deterministic") false
+        (D.is_timing_field name))
+    [
+      "misses"; "misses_per_input"; "accesses"; "buffer_words"; "makespan";
+      "speedup"; "imbalance"; "inputs"; "description"; "checkpoints";
+    ]
+
+let test_diff_files_roundtrip () =
+  let write path doc =
+    let oc = open_out path in
+    output_string oc doc;
+    close_out oc
+  in
+  let dir = Filename.get_temp_dir_name () in
+  let old_path = Filename.concat dir "ccs-bdiff-old.json"
+  and new_path = Filename.concat dir "ccs-bdiff-new.json" in
+  let doc_text =
+    {|{"experiments":[{"experiment":"E1","description":"d","wall_s":1.0,
+       "cpu_s":1.0,"records":[{"misses":5}]}]}|}
+  in
+  write old_path doc_text;
+  write new_path doc_text;
+  (match D.diff_files ~old_path ~new_path () with
+  | Ok r -> Alcotest.(check bool) "clean" false (D.has_failures r)
+  | Error msg -> Alcotest.fail msg);
+  (match D.diff_files ~old_path ~new_path:(new_path ^ ".missing") () with
+  | Ok _ -> Alcotest.fail "missing file must be an error"
+  | Error _ -> ());
+  Sys.remove old_path;
+  Sys.remove new_path
+
+let () =
+  Alcotest.run "bench_diff"
+    [
+      ( "diff",
+        [
+          Alcotest.test_case "identical passes" `Quick test_identical_passes;
+          Alcotest.test_case "miss regression fails" `Quick
+            test_miss_regression_fails;
+          Alcotest.test_case "timing drift warns only" `Quick
+            test_timing_drift_warns_only;
+          Alcotest.test_case "record count change fails" `Quick
+            test_record_count_change_fails;
+          Alcotest.test_case "field appearance fails" `Quick
+            test_field_appearance_fails;
+          Alcotest.test_case "quick subset pairs by id" `Quick
+            test_quick_subset_pairs_by_id;
+        ] );
+      ( "fields",
+        [ Alcotest.test_case "timing field rule" `Quick test_timing_field_rule ]
+      );
+      ( "files",
+        [
+          Alcotest.test_case "diff_files roundtrip" `Quick
+            test_diff_files_roundtrip;
+        ] );
+    ]

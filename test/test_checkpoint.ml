@@ -58,7 +58,7 @@ let test_checkpoint_roundtrip_fields () =
   let ckpt = Ccs.Checkpoint.capture ~plan_name:"p" ~epoch:3 m in
   let path = temp_path () in
   Ccs.Checkpoint.save ~path ckpt;
-  (match Ccs.Checkpoint.load ~path with
+  (match Ccs.Checkpoint.load ~path () with
   | Error e -> Alcotest.fail ("load failed: " ^ E.to_string e)
   | Ok back ->
       Alcotest.(check string) "digest" ckpt.Ccs.Checkpoint.graph_digest
@@ -128,7 +128,7 @@ let test_corrupt_bit_flip () =
   with_bytes path (fun b ->
       let i = Bytes.length b - 3 in
       Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40)));
-  expect_code "checkpoint-corrupt" (Ccs.Checkpoint.load ~path);
+  expect_code "checkpoint-corrupt" (Ccs.Checkpoint.load ~path ());
   Sys.remove path
 
 let test_truncated_file () =
@@ -139,13 +139,13 @@ let test_truncated_file () =
   let oc = open_out_bin path in
   output_string oc (String.sub s 0 (String.length s / 2));
   close_out oc;
-  expect_code "checkpoint-corrupt" (Ccs.Checkpoint.load ~path);
+  expect_code "checkpoint-corrupt" (Ccs.Checkpoint.load ~path ());
   Sys.remove path
 
 let test_bad_magic () =
   let path = save_ckpt_file () in
   with_bytes path (fun b -> Bytes.blit_string "NOTCKPT!" 0 b 0 8);
-  expect_code "checkpoint-corrupt" (Ccs.Checkpoint.load ~path);
+  expect_code "checkpoint-corrupt" (Ccs.Checkpoint.load ~path ());
   Sys.remove path
 
 let test_version_skew () =
@@ -153,7 +153,7 @@ let test_version_skew () =
      versions named, not parsed on hope. *)
   let path = temp_path () in
   Ccs.Binio.write_file ~path ~magic:Ccs.Checkpoint.magic ~version:99 "payload";
-  (match Ccs.Checkpoint.load ~path with
+  (match Ccs.Checkpoint.load ~path () with
   | Error (E.Checkpoint_version { found; expected; _ }) ->
       Alcotest.(check int) "found" 99 found;
       Alcotest.(check int) "expected" Ccs.Checkpoint.version expected
@@ -187,7 +187,7 @@ let test_cache_config_mismatch () =
   Sys.remove path
 
 let test_missing_file_io_error () =
-  expect_code "io" (Ccs.Checkpoint.load ~path:"/nonexistent/nope.ccsckpt")
+  expect_code "io" (Ccs.Checkpoint.load ~path:"/nonexistent/nope.ccsckpt" ())
 
 let () =
   Alcotest.run "checkpoint"

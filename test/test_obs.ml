@@ -41,16 +41,53 @@ let test_tracer_fire_duration () =
   Alcotest.(check int) "ts" 0 e.Ccs.Tracer.ts;
   Alcotest.(check int) "duration patched" 5 e.Ccs.Tracer.arg
 
-let test_tracer_limit_drops () =
+let test_tracer_ring_keeps_newest () =
+  (* A full buffer overwrites the *oldest* event: the stored window is
+     always the most recent [limit] events, and [dropped] counts the
+     overwritten ones. *)
   let tr = Ccs.Tracer.create ~limit:2 () in
   Ccs.Tracer.load tr ~owner:0 ~block:0;
-  Ccs.Tracer.load tr ~owner:0 ~block:1;
-  Ccs.Tracer.load tr ~owner:0 ~block:2;
-  let h = Ccs.Tracer.begin_fire tr ~node:0 in
-  Alcotest.(check int) "dropped begin_fire handle" (-1) h;
-  Ccs.Tracer.end_fire tr h (* must not raise *);
+  Ccs.Tracer.load tr ~owner:1 ~block:1;
+  Ccs.Tracer.load tr ~owner:2 ~block:2;
+  Ccs.Tracer.load tr ~owner:3 ~block:3;
   Alcotest.(check int) "stored" 2 (Ccs.Tracer.length tr);
+  Alcotest.(check int) "dropped = overwritten" 2 (Ccs.Tracer.dropped tr);
+  Alcotest.(check int) "oldest kept is #2" 2 (Ccs.Tracer.get tr 0).Ccs.Tracer.id;
+  Alcotest.(check int) "newest kept is #3" 3 (Ccs.Tracer.get tr 1).Ccs.Tracer.id
+
+let test_tracer_zero_limit_refuses () =
+  let tr = Ccs.Tracer.create ~limit:0 () in
+  Ccs.Tracer.load tr ~owner:0 ~block:0;
+  let h = Ccs.Tracer.begin_fire tr ~node:0 in
+  Alcotest.(check int) "refused begin_fire handle" (-1) h;
+  Ccs.Tracer.end_fire tr h (* must not raise *);
+  Alcotest.(check int) "stored" 0 (Ccs.Tracer.length tr);
   Alcotest.(check int) "dropped" 2 (Ccs.Tracer.dropped tr)
+
+let test_tracer_end_fire_across_wraparound () =
+  (* A fire handle stays patchable while its event is still in the
+     window, even after the buffer wraps past its original slot index. *)
+  let tr = Ccs.Tracer.create ~limit:3 () in
+  Ccs.Tracer.load tr ~owner:0 ~block:0;
+  Ccs.Tracer.load tr ~owner:1 ~block:1;
+  let h = Ccs.Tracer.begin_fire tr ~node:9 in
+  Ccs.Tracer.load tr ~owner:2 ~block:2 (* overwrites event #0: wrap *);
+  Ccs.Tracer.advance tr 7;
+  Ccs.Tracer.end_fire tr h;
+  (* Window now holds events #1..#3; the fire (#2) sits at index 1. *)
+  let fire = Ccs.Tracer.get tr 1 in
+  Alcotest.(check bool) "fire survived" true (fire.Ccs.Tracer.kind = Ccs.Tracer.Fire);
+  Alcotest.(check int) "duration patched across wrap" 7 fire.Ccs.Tracer.arg;
+  (* Push the fire itself out of the window: end_fire on the stale handle
+     must be a silent no-op, not a corruption of whatever took its slot. *)
+  Ccs.Tracer.load tr ~owner:3 ~block:3;
+  Ccs.Tracer.load tr ~owner:4 ~block:4;
+  Ccs.Tracer.load tr ~owner:5 ~block:5;
+  Ccs.Tracer.advance tr 100;
+  Ccs.Tracer.end_fire tr h;
+  Ccs.Tracer.iter tr ~f:(fun e ->
+      Alcotest.(check bool) "no event corrupted" true
+        (e.Ccs.Tracer.kind = Ccs.Tracer.Load && e.Ccs.Tracer.arg < 100))
 
 let test_tracer_monotone_ts () =
   let tr = Ccs.Tracer.create () in
@@ -202,6 +239,28 @@ let test_chrome_export_shape () =
       "\"ph\":\"i\"";
     ]
 
+let test_metadata_names_escaped () =
+  (* Process/thread names flow into metadata events verbatim from user
+     input (graph names, CLI args); quotes and control characters must not
+     break the JSON document. *)
+  let tr = Ccs.Tracer.create () in
+  let h = Ccs.Tracer.begin_fire tr ~node:0 in
+  Ccs.Tracer.end_fire tr h;
+  let json =
+    Ccs.Trace_export.chrome ~process_name:"evil \"proc\"\n"
+      ~thread_names:[ (0, "tab\tthread\\") ]
+      ~label:(fun _ -> "node")
+      ~tid:(fun _ -> 0)
+      tr
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ String.escaped needle) true
+        (contains ~needle json))
+    [ "evil \\\"proc\\\"\\n"; "tab\\tthread\\\\" ];
+  Alcotest.(check bool) "no raw newline inside a string" false
+    (contains ~needle:"evil \"proc\"" json)
+
 let test_entity_summary_sorted () =
   let g, cfg, choice = machine_setup () in
   let profile =
@@ -260,7 +319,12 @@ let () =
       ( "tracer",
         [
           Alcotest.test_case "fire duration" `Quick test_tracer_fire_duration;
-          Alcotest.test_case "limit drops" `Quick test_tracer_limit_drops;
+          Alcotest.test_case "ring keeps newest" `Quick
+            test_tracer_ring_keeps_newest;
+          Alcotest.test_case "zero limit refuses" `Quick
+            test_tracer_zero_limit_refuses;
+          Alcotest.test_case "end_fire across wraparound" `Quick
+            test_tracer_end_fire_across_wraparound;
           Alcotest.test_case "monotone ts" `Quick test_tracer_monotone_ts;
         ] );
       ( "attribution",
@@ -279,6 +343,8 @@ let () =
       ( "export",
         [
           Alcotest.test_case "chrome shape" `Quick test_chrome_export_shape;
+          Alcotest.test_case "metadata names escaped" `Quick
+            test_metadata_names_escaped;
           Alcotest.test_case "entity summary sorted" `Quick
             test_entity_summary_sorted;
         ] );
