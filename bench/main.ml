@@ -37,6 +37,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("E19", "attributed profiling (Lemmas 4/8)", E_profile.e19);
     ("E20", "checkpoint overhead vs interval", E_checkpoint.e20);
     ("E21", "telemetry overhead", E_telemetry.e21);
+    ("E22", "adaptive resilience under chaos", E_adapt.e22);
   ]
 
 (* Sub-second experiments plus the micro-benchmarks: the CI smoke set. *)

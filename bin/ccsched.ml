@@ -122,17 +122,28 @@ let ints_of_string s =
 (* --- check ---------------------------------------------------------------- *)
 
 let check_cmd =
-  let run graph m b components capacities degree_bound strict =
+  let run graph m b ways components capacities degree_bound strict =
     with_graph graph @@ fun g ->
-    let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
+    (* The cache numbers are linted first, as raw integers: if they cannot
+       even describe a simulator (zero-capacity engine, block size not
+       dividing the capacity, more ways than blocks) the pipeline lint
+       below would only crash on them. *)
+    let cache_lint =
+      Ccs.Check.cache_config ?ways ~size_words:m ~block_words:b ()
+    in
     let report =
-      let base = Ccs.Check.graph g in
-      match (components, capacities) with
-      | None, None ->
-          (* Nothing user-supplied: lint the full pipeline at this cache
-             size (graph, the paper's own partition, its plan). *)
-          Ccs.Check.auto ?degree_bound g cfg
-      | _ ->
+      if not (Ccs.Check.is_ok cache_lint) then cache_lint
+      else
+        Ccs.Check.merge cache_lint
+        @@
+        let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
+        let base = Ccs.Check.graph g in
+        match (components, capacities) with
+        | None, None ->
+            (* Nothing user-supplied: lint the full pipeline at this cache
+               size (graph, the paper's own partition, its plan). *)
+            Ccs.Check.auto ?degree_bound g cfg
+        | _ ->
           let with_components =
             match components with
             | None -> base
@@ -211,14 +222,24 @@ let check_cmd =
       value & flag
       & info [ "strict" ] ~doc:"Treat warnings as errors (exit nonzero).")
   in
+  let ways =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ways" ] ~docv:"N"
+          ~doc:
+            "Also lint an N-way set-associative geometry against the cache \
+             numbers (at least 1 way, no more ways than blocks).")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Lint a graph — and optionally a partition and buffer capacities \
-          — against the paper's preconditions; exit nonzero on any error.")
+         "Lint a cache configuration and a graph — and optionally a \
+          partition and buffer capacities — against the paper's \
+          preconditions; exit nonzero on any error.")
     Term.(
-      const run $ graph_args $ cache_words_arg $ block_words_arg $ components
-      $ capacities $ degree_bound $ strict)
+      const run $ graph_args $ cache_words_arg $ block_words_arg $ ways
+      $ components $ capacities $ degree_bound $ strict)
 
 (* --- info ---------------------------------------------------------------- *)
 
@@ -266,8 +287,14 @@ let partition_cmd =
 
 let run_cmd =
   let run graph m b outputs inject_seed inject_count checkpoint resume interval
-      kill_after metrics_file log_file =
+      kill_after metrics_file log_file chaos adapt =
     with_graph graph @@ fun g ->
+    (let lint = Ccs.Check.cache_config ~size_words:m ~block_words:b () in
+     if not (Ccs.Check.is_ok lint) then (
+       Format.eprintf "%a@?" Ccs.Check.pp lint;
+       or_die (Error "invalid cache configuration")));
+    (* Parse the chaos spec before planning so a bad spec fails fast. *)
+    let env = Option.map Ccs.Fault.parse_env chaos in
     let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
     let choice = Ccs.Auto.plan g cfg in
     let plan = choice.Ccs.Auto.plan in
@@ -294,6 +321,38 @@ let run_cmd =
       | Some path, Some buf -> write_atomic ~path (Buffer.contents buf)
       | _ -> ()
     in
+    if chaos <> None || adapt then begin
+      (* Adverse-conditions run: a seeded chaos environment perturbs the
+         machine mid-run and (with --adapt) the adaptation loop answers
+         with graceful degradation and online repartitioning.  --chaos
+         alone is the "stale plan" arm: same perturbations, no response. *)
+      if inject_seed <> None then
+        or_die
+          (Error
+             "--chaos/--adapt drive the simulator machine, not the \
+              data-carrying engine; drop --inject-seed");
+      if resume || kill_after <> None then
+        or_die
+          (Error
+             "--chaos/--adapt run their own epoch loop; drop \
+              --resume/--kill-after (--checkpoint DIR and --interval still \
+              apply)");
+      Option.iter (Format.printf "chaos: %a@." Ccs.Fault.pp_env) env;
+      match
+        Ccs.Adapt.run ?env ~adapt ?checkpoint_dir:checkpoint
+          ~checkpoint_every:interval ?metrics ?log ~graph:g
+          ~cache:(Ccs.Config.cache_config cfg)
+          ~planner:(Ccs.Auto.adapt_planner g cfg)
+          ~outputs ()
+      with
+      | Error e ->
+          finish ();
+          or_die (Error (Ccs.Error.to_string e))
+      | Ok report ->
+          finish ();
+          Format.printf "%a@." Ccs.Adapt.pp_report report
+    end
+    else
     match (inject_seed, checkpoint) with
     | Some _, Some _ ->
         or_die
@@ -430,12 +489,36 @@ let run_cmd =
              checkpoint, if due, is written) — simulates a crash for resume \
              testing.")
   in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Run under a seeded chaos environment: comma-separated events \
+             $(b,shrink@E:D) (cache capacity divided by D at epoch E), \
+             $(b,restore@E), $(b,ways@E:N), $(b,burst@E:MxL) (demand \
+             multiplied by M for L epochs), $(b,iofault@E:L) (checkpoint \
+             writes fail for L epochs), or $(b,rand@SEED:COUNT) for a \
+             seeded random draw.  Without --adapt this is the stale-plan \
+             arm: perturbations land but the initial plan runs on.")
+  in
+  let adapt =
+    Arg.(
+      value & flag
+      & info [ "adapt" ]
+          ~doc:
+            "Monitor measured misses-per-input against the plan's predicted \
+             bound each epoch and respond to sustained degradation: first a \
+             conservative fallback schedule (graceful degradation), then an \
+             online repartition with checkpointed state migration.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Schedule with the partitioned scheduler and simulate.")
     Term.(
       const run $ graph_args $ cache_words_arg $ block_words_arg $ outputs_arg
       $ inject_seed $ inject_count $ checkpoint $ resume $ interval
-      $ kill_after $ metrics_file $ log_file)
+      $ kill_after $ metrics_file $ log_file $ chaos $ adapt)
 
 (* --- bench ------------------------------------------------------------------ *)
 

@@ -13,9 +13,10 @@ type engine =
   | Sets of { sets : Lru.t array; nsets : int }
 
 type t = {
-  cfg : config;
-  nblocks : int;
-  engine : engine;
+  mutable cfg : config;
+  mutable nblocks : int;
+  mutable engine : engine;
+  mutable resizes : int;
   mutable accesses : int;
   mutable hits : int;
   mutable misses : int;
@@ -56,6 +57,7 @@ let create cfg =
     cfg;
     nblocks;
     engine = make_engine cfg nblocks;
+    resizes = 0;
     accesses = 0;
     hits = 0;
     misses = 0;
@@ -148,6 +150,97 @@ let reset_stats t =
   t.misses <- 0;
   t.flushes <- 0;
   t.evict_base <- engine_evictions t
+
+let resizes t = t.resizes
+
+(* --- online reconfiguration ----------------------------------------------
+
+   [resize] models the cache changing shape underneath a running machine:
+   contention shrinking the effective capacity, the contending tenant
+   leaving again, or an associativity change.  The rule for which residents
+   survive is deterministic so adapted runs replay bit-identically:
+
+   - a global hotness order ranks every resident block — recency depth
+     first (depth 0 = MRU of its set), set index second — which for the
+     fully-associative engine is exactly its MRU-first list;
+   - each new replacement set keeps the hottest blocks that map to it, up
+     to its capacity, in that order;
+   - blocks that fit nowhere were displaced by the reconfiguration and are
+     counted as evictions.
+
+   Statistics (accesses/hits/misses/flushes) are continuous across the
+   resize; only future replacement behavior changes. *)
+
+let hotness_order t =
+  match t.engine with
+  | Full lru -> Lru.to_list_mru_first lru
+  | Sets { sets; _ } ->
+      let lists = Array.map Lru.to_list_mru_first sets in
+      let out = ref [] in
+      let any = ref true in
+      while !any do
+        any := false;
+        Array.iteri
+          (fun i l ->
+            match l with
+            | [] -> ()
+            | k :: rest ->
+                lists.(i) <- rest;
+                out := k :: !out;
+                any := true)
+          lists
+      done;
+      List.rev !out
+
+let resize t cfg =
+  if cfg.block_words <> t.cfg.block_words then
+    invalid_arg
+      (Printf.sprintf
+         "Cache.resize: block size cannot change online (%d words -> %d)"
+         t.cfg.block_words cfg.block_words);
+  let reported_evictions = evictions t in
+  let hot = hotness_order t in
+  let population = List.length hot in
+  let nblocks = max 1 (cfg.size_words / cfg.block_words) in
+  let engine = make_engine cfg nblocks in
+  let survivors = ref 0 in
+  let load lru keys =
+    (* [keys] is hottest-first and already clipped to capacity. *)
+    Lru.restore_mru_first lru (Array.of_list keys);
+    survivors := !survivors + List.length keys
+  in
+  let rec take n = function
+    | k :: rest when n > 0 -> k :: take (n - 1) rest
+    | _ -> []
+  in
+  (match engine with
+  | Full lru -> load lru (take (Lru.capacity lru) hot)
+  | Sets { sets; nsets } ->
+      Array.iteri
+        (fun s lru ->
+          load lru
+            (take (Lru.capacity lru)
+               (List.filter (fun blk -> blk mod nsets = s) hot)))
+        sets);
+  t.cfg <- cfg;
+  t.nblocks <- nblocks;
+  t.engine <- engine;
+  t.resizes <- t.resizes + 1;
+  (* Keep the reported eviction count continuous, charging the residents
+     the reconfiguration displaced. *)
+  let dropped = population - !survivors in
+  t.evict_base <- engine_evictions t - (reported_evictions + dropped)
+
+(* Fold [src]'s statistics into [dst] — used when a run migrates to a new
+   machine so miss totals stay cumulative across the migration.  Residency
+   is NOT transferred (the new layout makes old residents meaningless);
+   only the counters carry. *)
+let carry_stats ~src dst =
+  dst.accesses <- dst.accesses + src.accesses;
+  dst.hits <- dst.hits + src.hits;
+  dst.misses <- dst.misses + src.misses;
+  dst.flushes <- dst.flushes + src.flushes;
+  dst.evict_base <- dst.evict_base - (engine_evictions src - src.evict_base)
 
 (* --- persistence ---------------------------------------------------------
 

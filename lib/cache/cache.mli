@@ -87,6 +87,27 @@ val evictions : t -> int
 
 val reset_stats : t -> unit
 
+val resize : t -> config -> unit
+(** [resize t cfg] reconfigures a live cache in place — the adverse-runtime
+    event of the effective capacity shrinking under contention (or being
+    restored, or associativity changing).  Residents survive by a
+    deterministic "keep the hottest" rule: a global hotness order (recency
+    depth first, set index second) ranks every resident block, and each new
+    replacement set keeps the hottest blocks mapping to it up to its
+    capacity.  Blocks that fit nowhere count towards {!evictions};
+    accesses/hits/misses/flushes are continuous across the resize.
+    @raise Invalid_argument if [cfg.block_words] differs from the current
+    block size (block geometry cannot change online). *)
+
+val resizes : t -> int
+(** Number of {!resize} reconfigurations applied since creation. *)
+
+val carry_stats : src:t -> t -> unit
+(** [carry_stats ~src dst] adds [src]'s accesses/hits/misses/flushes and
+    eviction count onto [dst]'s — plan migration uses this so a run's miss
+    totals stay cumulative when execution moves to a new machine.  No
+    replacement state is transferred; [src] is unchanged. *)
+
 val pp_stats : Format.formatter -> t -> unit
 
 val config_of : t -> config

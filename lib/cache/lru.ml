@@ -223,3 +223,22 @@ let to_list_mru_first t =
     if s < 0 then List.rev acc else go (t.key.(s) :: acc) t.next.(s)
   in
   go [] t.head
+
+(* Capacity change with deterministic survivor selection: the arrays are
+   sized at creation, so a resize builds a fresh set and reloads the
+   [min (size, capacity)] hottest keys in their exact recency order.  Keys
+   that no longer fit were displaced by the resize, so they count as
+   evictions — the monotone counter carries over and grows by the number
+   dropped. *)
+let resize t ~capacity =
+  if capacity < 1 then invalid_arg "Lru.resize: capacity must be >= 1";
+  let fresh = create ~capacity in
+  let rec keep n acc s =
+    if s < 0 || n = 0 then List.rev acc
+    else keep (n - 1) (t.key.(s) :: acc) t.next.(s)
+  in
+  let survivors = keep capacity [] t.head in
+  (* Load coldest-first so the head of [survivors] ends up most recent. *)
+  List.iter (fun k -> ignore (touch_hit fresh k)) (List.rev survivors);
+  fresh.evictions <- t.evictions + (t.size - List.length survivors);
+  fresh

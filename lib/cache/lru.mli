@@ -45,6 +45,16 @@ val to_list_mru_first : t -> int list
 (** Keys in recency order, most recent first (for tests and
     checkpointing). *)
 
+val resize : t -> capacity:int -> t
+(** [resize t ~capacity] is a set with the new capacity holding the
+    [min (size t, capacity)] most-recently-used keys of [t], in their exact
+    recency order — the deterministic "keep the hottest residents" rule the
+    adaptive cache uses when capacity shrinks under contention.  Keys that
+    no longer fit count as evictions: the returned set's {!evictions}
+    continues [t]'s monotone count plus the number dropped.  [t] itself is
+    unchanged.
+    @raise Invalid_argument if [capacity < 1]. *)
+
 val restore_mru_first : t -> int array -> unit
 (** [restore_mru_first t keys] clears [t] and reloads it so its recency
     order is exactly [keys] (most recent first) — the inverse of

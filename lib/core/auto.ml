@@ -86,3 +86,24 @@ let plan ?(dynamic = true) g cfg =
     else Sched.Partitioned.batch g analysis spec ~t
   in
   { analysis; partition = spec; batch = t; plan }
+
+(* Bridge to the adaptation layer: {!Ccs_sched.Adapt} sits below this
+   library, so it takes planning as a callback.  The callback re-runs the
+   full pipeline for whatever cache configuration the adaptive loop asks
+   for and pairs the plan with its Lemma-4/8 predicted bound — the
+   yardstick the degradation detector compares measured misses against. *)
+let adapt_planner ?dynamic g cfg (cache : Ccs_cache.Cache.config) =
+  let cfg =
+    {
+      cfg with
+      Config.cache_words = cache.Ccs_cache.Cache.size_words;
+      block_words = cache.Ccs_cache.Cache.block_words;
+      policy = cache.Ccs_cache.Cache.policy;
+    }
+  in
+  let choice = plan ?dynamic g cfg in
+  let predicted_mpi =
+    Sched.Analysis.partition_cost_prediction choice.partition choice.analysis
+      ~b:cfg.Config.block_words ~t:choice.batch
+  in
+  { Sched.Adapt.plan = choice.plan; predicted_mpi }

@@ -30,3 +30,11 @@ val plan : ?dynamic:bool -> Ccs_sdf.Graph.t -> Config.t -> choice
     online half-full scheduler is used; otherwise the static batch
     scheduler at granularity [T = granularity ≥ M].
     @raise Ccs_sdf.Graph.Invalid_graph if the graph is not rate-matched. *)
+
+val adapt_planner :
+  ?dynamic:bool -> Ccs_sdf.Graph.t -> Config.t -> Ccs_sched.Adapt.planner
+(** [adapt_planner g cfg] is the planner callback {!Ccs_sched.Adapt.run}
+    needs: invoked with a cache configuration, it re-runs {!plan} for that
+    cache (inheriting [cfg]'s augmentation) and pairs the result with its
+    Lemma-4/8 predicted misses-per-input
+    ({!Ccs_sched.Analysis.partition_cost_prediction}). *)

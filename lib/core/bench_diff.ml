@@ -6,9 +6,12 @@
    deterministic field is a FAIL.  Wall-clock and throughput fields are
    machine noise; they only WARN, and only beyond a relative tolerance.
 
-   Experiments are paired by id, records positionally within an
-   experiment — the harness emits records in a fixed order, so a changed
-   record count or order is itself a regression signal. *)
+   Experiments are paired by id.  Records within an experiment are paired
+   by their "id" member when every record on both sides carries a unique
+   string id (experiments like E22 whose record set varies with the app
+   list), positionally otherwise — the harness emits records in a fixed
+   order, so a changed record count or order is itself a regression
+   signal. *)
 
 module Json = Ccs_obs.Json
 
@@ -166,6 +169,16 @@ let experiment_id e =
   | Some (Json.String id) -> Some id
   | _ -> None
 
+let record_id r =
+  match Json.member "id" r with Some (Json.String s) -> Some s | _ -> None
+
+(* Id-based pairing applies only when it is unambiguous: every record has
+   a string "id" and no id repeats. *)
+let all_unique_ids rs =
+  let ids = List.filter_map record_id rs in
+  List.length ids = List.length rs
+  && List.length (List.sort_uniq compare ids) = List.length ids
+
 let experiment_records e =
   match Json.member "records" e with Some (Json.List rs) -> rs | _ -> []
 
@@ -200,31 +213,94 @@ let diff ?(tolerance_pct = 20.) ~old_doc ~new_doc () =
                       ~field:"cpu_s" (Json.member "cpu_s" old_e)
                       (Json.member "cpu_s" new_e) acc))
             in
-            let n_old = List.length old_rs and n_new = List.length new_rs in
             let acc =
-              if n_old <> n_new then
-                {
-                  severity = Fail;
-                  experiment = id;
-                  record = None;
-                  field = "records";
-                  old_value = string_of_int n_old;
-                  new_value = string_of_int n_new;
-                  detail = "record count changed";
-                }
-                :: acc
-              else acc
+              if
+                (old_rs <> [] || new_rs <> [])
+                && all_unique_ids old_rs
+                && all_unique_ids new_rs
+              then begin
+                (* Pair records by id: dropped and added ids are findings,
+                   shared ids are compared field by field. *)
+                let tag rs =
+                  List.mapi
+                    (fun i r ->
+                      match record_id r with
+                      | Some rid -> (i, rid, r)
+                      | None -> assert false)
+                    rs
+                in
+                let old_tagged = tag old_rs and new_tagged = tag new_rs in
+                let acc =
+                  List.fold_left
+                    (fun acc (i, rid, o) ->
+                      match
+                        List.find_opt (fun (_, nid, _) -> nid = rid) new_tagged
+                      with
+                      | Some (_, _, n) ->
+                          incr records_compared;
+                          compare_obj ~tolerance_pct ~experiment:id
+                            ~record:(Some i) o n acc
+                      | None ->
+                          {
+                            severity = Fail;
+                            experiment = id;
+                            record = Some i;
+                            field = "id";
+                            old_value = rid;
+                            new_value = "<absent>";
+                            detail = "record disappeared";
+                          }
+                          :: acc)
+                    acc old_tagged
+                in
+                List.fold_left
+                  (fun acc (i, rid, _) ->
+                    if
+                      List.exists (fun (_, oid, _) -> oid = rid) old_tagged
+                    then acc
+                    else
+                      {
+                        severity = Fail;
+                        experiment = id;
+                        record = Some i;
+                        field = "id";
+                        old_value = "<absent>";
+                        new_value = rid;
+                        detail = "record appeared";
+                      }
+                      :: acc)
+                  acc new_tagged
+              end
+              else begin
+                let n_old = List.length old_rs
+                and n_new = List.length new_rs in
+                let acc =
+                  if n_old <> n_new then
+                    {
+                      severity = Fail;
+                      experiment = id;
+                      record = None;
+                      field = "records";
+                      old_value = string_of_int n_old;
+                      new_value = string_of_int n_new;
+                      detail = "record count changed";
+                    }
+                    :: acc
+                  else acc
+                in
+                let rec pairs i acc = function
+                  | o :: os, n :: ns ->
+                      incr records_compared;
+                      pairs (i + 1)
+                        (compare_obj ~tolerance_pct ~experiment:id
+                           ~record:(Some i) o n acc)
+                        (os, ns)
+                  | _ -> acc
+                in
+                pairs 0 acc (old_rs, new_rs)
+              end
             in
-            let rec pairs i acc = function
-              | o :: os, n :: ns ->
-                  incr records_compared;
-                  pairs (i + 1)
-                    (compare_obj ~tolerance_pct ~experiment:id ~record:(Some i)
-                       o n acc)
-                    (os, ns)
-              | _ -> acc
-            in
-            (pairs 0 acc (old_rs, new_rs), compared + 1))
+            (acc, compared + 1))
       ([], 0) old_es
   in
   let only_in es others =

@@ -3,8 +3,10 @@
     Compares two [bench/main.exe --json] outputs (schema v2): experiments
     are paired by id — ids present in only one document are reported but
     not compared, so a [--quick] run diffs cleanly against a committed
-    full-run baseline — and records are paired positionally within each
-    experiment.
+    full-run baseline.  Records within an experiment are paired by their
+    ["id"] member when every record on both sides carries a unique string
+    id (e.g. E22's per-app adaptation records), positionally otherwise;
+    under id pairing a dropped or added record id is a {!Fail} finding.
 
     The harness is deterministic by construction, so fields fall into two
     classes: {e timing} fields ([wall_s], [cpu_s], [seconds],

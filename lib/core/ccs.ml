@@ -50,6 +50,7 @@ module Trace_analysis = Ccs_cache.Trace_analysis
 module Machine = Ccs_exec.Machine
 module Fault = Ccs_exec.Fault
 module Checkpoint = Ccs_exec.Checkpoint
+module Overlay = Ccs_exec.Overlay
 
 (* Observability: per-entity miss attribution, event tracing, metrics
    registry, structured logging, and the bench regression differ *)
@@ -79,6 +80,7 @@ module Analysis = Ccs_sched.Analysis
 module Runner = Ccs_sched.Runner
 module Watchdog = Ccs_sched.Watchdog
 module Supervisor = Ccs_sched.Supervisor
+module Adapt = Ccs_sched.Adapt
 module Profile = Ccs_sched.Profile
 
 (* High-level API *)

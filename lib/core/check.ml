@@ -42,6 +42,42 @@ let capacities g caps =
     (Ccs_sched.Plan.dynamic ~name:"capacity lint" ~capacities:caps
        (fun _ ~target_outputs:_ -> ()))
 
+(* Cache-configuration lint over the raw numbers the CLI parses, so a bad
+   [--cache]/[--block]/[--ways] combination is a structured finding here
+   instead of an [Invalid_argument] three layers down in the simulator. *)
+let cache_config ?ways ~size_words ~block_words () =
+  let errs = ref [] in
+  let bad field value reason =
+    errs := E.Cache_config_invalid { field; value; reason } :: !errs
+  in
+  if block_words <= 0 then
+    bad "block_words" block_words "block size must be positive";
+  if size_words <= 0 then
+    bad "size_words" size_words "cache capacity must be positive";
+  if block_words > 0 && size_words > 0 then begin
+    if size_words < block_words then
+      bad "size_words" size_words
+        (Printf.sprintf
+           "capacity below one block of %d words — a zero-capacity engine"
+           block_words);
+    if size_words mod block_words <> 0 then
+      bad "size_words" size_words
+        (Printf.sprintf "block size %d does not divide the capacity"
+           block_words)
+  end;
+  (match ways with
+  | None -> ()
+  | Some w ->
+      if w < 1 then bad "ways" w "associativity must be at least 1"
+      else if block_words > 0 && size_words >= block_words then begin
+        let nblocks = size_words / block_words in
+        if w > nblocks then
+          bad "ways" w
+            (Printf.sprintf "more ways than the %d blocks the cache holds"
+               nblocks)
+      end);
+  of_list (List.rev !errs)
+
 let auto ?degree_bound g cfg =
   let r = graph g in
   if not (is_ok r) then r

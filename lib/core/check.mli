@@ -56,6 +56,14 @@ val capacities : Ccs_sdf.Graph.t -> int array -> report
 (** Lint bare buffer capacities (no driver): per-channel floors and joint
     feasibility against {!Ccs_sdf.Minbuf}. *)
 
+val cache_config :
+  ?ways:int -> size_words:int -> block_words:int -> unit -> report
+(** Lint a cache configuration as raw numbers (before any simulator object
+    exists): non-positive sizes, capacity below one block (a zero-capacity
+    engine), block size not dividing the capacity, and — when [ways] is
+    given — associativity below 1 or exceeding the block count.  Each
+    finding is a {!Ccs_sdf.Error.Cache_config_invalid}. *)
+
 val auto : ?degree_bound:int -> Ccs_sdf.Graph.t -> Config.t -> report
 (** End-to-end lint: check the graph, and if it is clean, run the paper's
     own partitioning pipeline for [cfg] and check the resulting partition

@@ -4,3 +4,4 @@ module Intvec = Intvec
 module Machine = Machine
 module Fault = Fault
 module Checkpoint = Checkpoint
+module Overlay = Overlay

@@ -78,3 +78,234 @@ let pp fmt t =
         (Graph.node_name t.graph s.node))
     t.sites;
   Format.fprintf fmt "@]"
+
+(* --- chaos environment plans ---------------------------------------------
+
+   Where a fault plan misbehaves *inside* the application (kernels lying or
+   raising), an environment plan misbehaves *around* it: the cache shrinks
+   under a contending tenant, associativity changes, demand turns bursty,
+   the checkpoint directory starts failing writes.  Events are pinned to
+   epoch indices — the supervisor's natural reaction points — and the whole
+   plan is a pure function of its spec (or seed), so an adapted run replays
+   bit-identically. *)
+
+type env_event =
+  | Cache_shrink of int
+  | Cache_restore
+  | Cache_ways of int
+  | Burst of { mult : int; len : int }
+  | Io_fault of { len : int }
+
+type env_site = { at_epoch : int; event : env_event }
+type env = env_site list
+
+type conditions = {
+  shrink_divisor : int;
+  ways : int option;
+  burst_mult : int;
+  io_faulty : bool;
+}
+
+let nominal = { shrink_divisor = 1; ways = None; burst_mult = 1; io_faulty = false }
+
+let env_of_sites sites =
+  List.iter
+    (fun s ->
+      if s.at_epoch < 0 then
+        invalid_arg "Fault.env_of_sites: epoch must be >= 0";
+      match s.event with
+      | Cache_shrink d when d < 2 ->
+          invalid_arg "Fault.env_of_sites: shrink divisor must be >= 2"
+      | Cache_ways w when w < 1 ->
+          invalid_arg "Fault.env_of_sites: ways must be >= 1"
+      | Burst { mult; len } when mult < 2 || len < 1 ->
+          invalid_arg "Fault.env_of_sites: burst needs mult >= 2, len >= 1"
+      | Io_fault { len } when len < 1 ->
+          invalid_arg "Fault.env_of_sites: io fault length must be >= 1"
+      | _ -> ())
+    sites;
+  (* Stable sort: simultaneous events apply in spec order. *)
+  List.stable_sort (fun a b -> compare a.at_epoch b.at_epoch) sites
+
+let env_sites env = env
+
+let env_plan ?(horizon = 32) ~seed ~count () =
+  if horizon <= 0 then invalid_arg "Fault.env_plan: horizon must be positive";
+  if count < 0 then invalid_arg "Fault.env_plan: count must be >= 0";
+  let next = rng seed in
+  let draw _ =
+    let at_epoch = next horizon in
+    let event =
+      match next 4 with
+      | 0 -> Cache_shrink (2 lsl next 3) (* 2, 4, 8 or 16 *)
+      | 1 -> Cache_restore
+      | 2 -> Burst { mult = 2 + next 3; len = 1 + next 4 }
+      | _ -> Io_fault { len = 1 + next 2 }
+    in
+    { at_epoch; event }
+  in
+  env_of_sites (List.init count draw)
+
+(* [conditions_at env epoch] folds every event scheduled at or before
+   [epoch], windowed events ([Burst], [Io_fault]) counting only while
+   [epoch] lies inside their window.  [Cache_restore] clears both the
+   shrink divisor and any associativity override. *)
+let conditions_at env epoch =
+  List.fold_left
+    (fun c s ->
+      if s.at_epoch > epoch then c
+      else
+        match s.event with
+        | Cache_shrink d -> { c with shrink_divisor = d }
+        | Cache_restore -> { c with shrink_divisor = 1; ways = None }
+        | Cache_ways w -> { c with ways = Some w }
+        | Burst { mult; len } ->
+            if epoch < s.at_epoch + len then { c with burst_mult = mult }
+            else c
+        | Io_fault { len } ->
+            if epoch < s.at_epoch + len then { c with io_faulty = true }
+            else c)
+    nominal env
+
+(* The cache configuration the environment imposes on a base config: the
+   capacity divided by the shrink divisor (never below one block) and the
+   policy overridden by any associativity event.  Block geometry never
+   changes — that is physical, not environmental. *)
+let env_cache_config base c =
+  let size_words =
+    max base.Ccs_cache.Cache.block_words
+      (base.Ccs_cache.Cache.size_words / c.shrink_divisor)
+  in
+  (* Shrink to a whole number of blocks so derived plans see the same
+     block count the resized simulator has. *)
+  let size_words =
+    size_words - (size_words mod base.Ccs_cache.Cache.block_words)
+  in
+  let policy =
+    match c.ways with
+    | None -> base.Ccs_cache.Cache.policy
+    | Some 1 -> Ccs_cache.Cache.Direct_mapped
+    | Some w -> Ccs_cache.Cache.Set_associative w
+  in
+  { base with Ccs_cache.Cache.size_words; policy }
+
+(* Spec grammar (comma-separated, whitespace-tolerant):
+     shrink@E:D     divide cache capacity by D starting at epoch E
+     restore@E      restore nominal capacity and associativity at epoch E
+     ways@E:N       switch to N-way set-associative at epoch E (1 = direct)
+     burst@E:MxL    demand burst: multiplier M for L epochs starting at E
+     iofault@E:L    checkpoint-directory I/O faults for L epochs from E
+     rand@S:C[:H]   C seeded-random events (seed S) over horizon H (def. 32)
+*)
+
+let parse_env spec =
+  let fail_atom atom reason =
+    E.fail
+      (E.Failure_msg
+         {
+           context = "chaos spec";
+           reason = Printf.sprintf "%S: %s" atom reason;
+         })
+  in
+  let int_of atom what s =
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None -> fail_atom atom (Printf.sprintf "%s is not an integer" what)
+  in
+  let parse_atom atom =
+    match String.index_opt atom '@' with
+    | None -> fail_atom atom "expected KIND@EPOCH[:ARGS]"
+    | Some i -> (
+        let kind = String.trim (String.sub atom 0 i) in
+        let rest = String.sub atom (i + 1) (String.length atom - i - 1) in
+        let args = String.split_on_char ':' rest in
+        match (kind, args) with
+        | "shrink", [ e; d ] ->
+            let d = int_of atom "divisor" d in
+            if d < 2 then fail_atom atom "divisor must be >= 2";
+            [ { at_epoch = int_of atom "epoch" e; event = Cache_shrink d } ]
+        | "restore", [ e ] ->
+            [ { at_epoch = int_of atom "epoch" e; event = Cache_restore } ]
+        | "ways", [ e; w ] ->
+            let w = int_of atom "ways" w in
+            if w < 1 then fail_atom atom "ways must be >= 1";
+            [ { at_epoch = int_of atom "epoch" e; event = Cache_ways w } ]
+        | "burst", [ e; ml ] -> (
+            match String.index_opt ml 'x' with
+            | None -> fail_atom atom "expected burst@E:MxL"
+            | Some j ->
+                let mult = int_of atom "multiplier" (String.sub ml 0 j) in
+                let len =
+                  int_of atom "length"
+                    (String.sub ml (j + 1) (String.length ml - j - 1))
+                in
+                if mult < 2 then fail_atom atom "multiplier must be >= 2";
+                if len < 1 then fail_atom atom "length must be >= 1";
+                [
+                  {
+                    at_epoch = int_of atom "epoch" e;
+                    event = Burst { mult; len };
+                  };
+                ])
+        | "iofault", [ e; l ] ->
+            let len = int_of atom "length" l in
+            if len < 1 then fail_atom atom "length must be >= 1";
+            [
+              { at_epoch = int_of atom "epoch" e; event = Io_fault { len } };
+            ]
+        | "rand", [ s; c ] ->
+            env_plan ~seed:(int_of atom "seed" s)
+              ~count:(int_of atom "count" c) ()
+        | "rand", [ s; c; h ] ->
+            env_plan
+              ~horizon:(int_of atom "horizon" h)
+              ~seed:(int_of atom "seed" s)
+              ~count:(int_of atom "count" c) ()
+        | _, _ -> fail_atom atom "unknown event or wrong argument count")
+  in
+  let atoms =
+    List.filter
+      (fun s -> String.trim s <> "")
+      (String.split_on_char ',' spec)
+  in
+  if atoms = [] then
+    E.fail (E.Failure_msg { context = "chaos spec"; reason = "empty spec" });
+  let sites = List.concat_map (fun a -> parse_atom (String.trim a)) atoms in
+  List.iter
+    (fun s ->
+      if s.at_epoch < 0 then
+        E.fail
+          (E.Failure_msg
+             { context = "chaos spec"; reason = "epoch must be >= 0" }))
+    sites;
+  env_of_sites sites
+
+let env_event_to_string = function
+  | Cache_shrink d -> Printf.sprintf "shrink:%d" d
+  | Cache_restore -> "restore"
+  | Cache_ways w -> Printf.sprintf "ways:%d" w
+  | Burst { mult; len } -> Printf.sprintf "burst:%dx%d" mult len
+  | Io_fault { len } -> Printf.sprintf "iofault:%d" len
+
+let env_to_string env =
+  String.concat ","
+    (List.map
+       (fun s ->
+         match s.event with
+         | Cache_shrink d -> Printf.sprintf "shrink@%d:%d" s.at_epoch d
+         | Cache_restore -> Printf.sprintf "restore@%d" s.at_epoch
+         | Cache_ways w -> Printf.sprintf "ways@%d:%d" s.at_epoch w
+         | Burst { mult; len } ->
+             Printf.sprintf "burst@%d:%dx%d" s.at_epoch mult len
+         | Io_fault { len } -> Printf.sprintf "iofault@%d:%d" s.at_epoch len)
+       env)
+
+let pp_env fmt env =
+  Format.fprintf fmt "@[<v>environment plan (%d events)@,"
+    (List.length env);
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  epoch %d: %s@," s.at_epoch
+        (env_event_to_string s.event))
+    env;
+  Format.fprintf fmt "@]"

@@ -57,3 +57,79 @@ val targets : ?fault:Ccs_sdf.Error.fault_class -> t -> Ccs_sdf.Graph.node list
 (** Modules with at least one site, optionally restricted to one class. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Chaos environment plans}
+
+    Adverse {e runtime conditions} rather than application faults: the
+    cache shrinking under contention (or being restored), associativity
+    changes, bursty demand, checkpoint-directory I/O faults.  Events are
+    pinned to supervisor epoch indices and every plan is a pure function of
+    its spec or seed, so chaos runs replay bit-identically. *)
+
+type env_event =
+  | Cache_shrink of int
+      (** Effective cache capacity divided by this divisor ([>= 2]). *)
+  | Cache_restore
+      (** Nominal capacity and associativity restored. *)
+  | Cache_ways of int
+      (** Associativity forced to this many ways ([1] = direct-mapped). *)
+  | Burst of { mult : int; len : int }
+      (** Demand burst: the epoch workload is multiplied by [mult] for
+          [len] epochs. *)
+  | Io_fault of { len : int }
+      (** Checkpoint-directory writes fail for [len] epochs. *)
+
+type env_site = { at_epoch : int; event : env_event }
+
+type env = env_site list
+(** Sorted by [at_epoch] (stable for simultaneous events). *)
+
+type conditions = {
+  shrink_divisor : int;  (** [1] when the full cache is available. *)
+  ways : int option;  (** Associativity override, if any. *)
+  burst_mult : int;  (** [1] outside any burst window. *)
+  io_faulty : bool;  (** Whether checkpoint I/O is currently failing. *)
+}
+(** The ambient conditions in force during one epoch — the fold of every
+    event at or before it. *)
+
+val nominal : conditions
+
+val env_of_sites : env_site list -> env
+(** Validate and sort a hand-built event list.
+    @raise Invalid_argument on negative epochs or out-of-range event
+    parameters. *)
+
+val env_sites : env -> env_site list
+
+val env_plan : ?horizon:int -> seed:int -> count:int -> unit -> env
+(** [env_plan ~seed ~count ()] draws [count] random events (shrinks,
+    restores, bursts, I/O faults) at epochs below [horizon] (default 32).
+    Deterministic in [seed].
+    @raise Invalid_argument on negative [count] or non-positive
+    [horizon]. *)
+
+val conditions_at : env -> int -> conditions
+(** The conditions in force at a given epoch index. *)
+
+val env_cache_config :
+  Ccs_cache.Cache.config -> conditions -> Ccs_cache.Cache.config
+(** The cache configuration the environment imposes on a base config:
+    capacity divided by the shrink divisor (clamped to at least one block,
+    rounded down to whole blocks), policy overridden by any associativity
+    event.  Block geometry never changes. *)
+
+val parse_env : string -> env
+(** Parse a chaos spec: comma-separated events
+    [shrink@E:D], [restore@E], [ways@E:N], [burst@E:MxL], [iofault@E:L],
+    [rand@SEED:COUNT[:HORIZON]].
+    @raise Ccs_sdf.Error.Error with a [Failure_msg] naming the offending
+    atom on malformed input. *)
+
+val env_to_string : env -> string
+(** Canonical spec round-trip: [parse_env (env_to_string e)] has the same
+    sites as [e] (a [rand@...] atom expands to its drawn events). *)
+
+val env_event_to_string : env_event -> string
+
+val pp_env : Format.formatter -> env -> unit

@@ -407,6 +407,57 @@ let entity_label t i =
 
 let fire_budget t = t.fire_budget
 
+(* --- adaptation hooks ----------------------------------------------------
+
+   [resize_cache] reconfigures the simulated cache under the running
+   machine — regions and cursors are untouched, only future replacement
+   behavior changes (the adverse event the adaptation layer reacts to).
+
+   [migrate] moves a run onto a machine built for a different plan: firing
+   counts and cumulative channel traffic carry over, and each channel's
+   buffered tokens are renormalized to the new ring buffer (head 0, tail =
+   token count).  Because the simulator models addresses rather than data,
+   renormalizing cursors preserves execution exactly; the destination cache
+   starts cold, which is the honest cost of moving state to a new layout. *)
+
+let resize_cache t cfg = Cache.resize t.cache cfg
+
+let migrate ~src dst =
+  let n = Array.length src.chans in
+  if
+    Array.length src.fire_count <> Array.length dst.fire_count
+    || Array.length dst.chans <> n
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Machine.migrate: source has %d nodes / %d channels, destination %d \
+          nodes / %d channels"
+         (Array.length src.fire_count)
+         n
+         (Array.length dst.fire_count)
+         (Array.length dst.chans));
+  for e = 0 to n - 1 do
+    let toks = src.chans.(e).tail - src.chans.(e).head in
+    if toks > dst.chans.(e).capacity then
+      invalid_arg
+        (Printf.sprintf
+           "Machine.migrate: channel %d holds %d tokens, destination capacity \
+            %d"
+           e toks
+           dst.chans.(e).capacity)
+  done;
+  Array.blit src.fire_count 0 dst.fire_count 0 (Array.length src.fire_count);
+  dst.total_fires <- src.total_fires;
+  for e = 0 to n - 1 do
+    let s = src.chans.(e) and d = dst.chans.(e) in
+    d.head <- 0;
+    d.tail <- s.tail - s.head;
+    d.consumed_total <- s.consumed_total;
+    d.produced_total <- s.produced_total
+  done;
+  dst.fire_budget <- src.fire_budget;
+  Cache.carry_stats ~src:src.cache dst.cache
+
 (* --- checkpoint persistence ---------------------------------------------- *)
 
 type persisted = {

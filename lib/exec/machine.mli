@@ -167,6 +167,34 @@ val sync_metrics : t -> unit
 val fire_budget : t -> int option
 (** The currently installed firing cap, if any (see {!set_fire_budget}). *)
 
+(** {2 Adaptation hooks}
+
+    Entry points for the adaptive layer ({!Ccs_sched.Adapt}): reconfigure
+    the cache under a live run, or move a run onto a machine built for a
+    different plan. *)
+
+val resize_cache : t -> Ccs_cache.Cache.config -> unit
+(** Apply {!Ccs_cache.Cache.resize} to this machine's cache: capacity or
+    associativity changes mid-run, residents surviving by the deterministic
+    hottest-first rule.  Regions, cursors and firing state are untouched.
+    @raise Invalid_argument if the block size differs. *)
+
+val migrate : src:t -> t -> unit
+(** [migrate ~src dst] transplants [src]'s execution state onto [dst], a
+    machine built from the same graph (same node/channel counts) but
+    possibly a different cache config, layout or channel capacities.
+    Firing counts, the firing budget and cumulative channel traffic carry
+    over; each channel's buffered tokens are renormalized into the new ring
+    buffer ([head = 0], [tail] = token count), so the SDF state — what can
+    fire next — is preserved exactly.  [src]'s cache {e statistics} are
+    folded into [dst]'s ({!Ccs_cache.Cache.carry_stats}) so miss totals
+    stay cumulative across the migration, but residency is not
+    transferred: [dst]'s cache starts cold — migrating to a new memory
+    layout forfeits cache residency, and the adaptation layer pays that
+    cost honestly.
+    @raise Invalid_argument on shape mismatch or if a channel's buffered
+    tokens exceed the destination capacity. *)
+
 (** {2 Checkpoint persistence}
 
     The execution-relevant mutable state of a machine — firing counts,

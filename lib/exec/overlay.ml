@@ -1,0 +1,103 @@
+(* Deterministic data-carrying overlay over a simulated machine.
+
+   The machine itself moves token *counts*; this overlay shadows every
+   channel with a real FIFO of integer values and every module with a
+   running digest of its input history, fed by the machine's fire hook.
+   Because each module's k-th firing consumes exactly the values its
+   producers' earlier firings pushed (Kahn determinism), the value
+   sequence observed at the sinks depends only on the graph and the seed —
+   never on the schedule, the cache, or mid-run migrations.  That makes
+   the overlay the bit-exactness oracle for adaptation: a chaos-perturbed,
+   repartitioned run must sink the same values as an undisturbed one. *)
+
+module G = Ccs_sdf.Graph
+
+type t = {
+  graph : G.t;
+  seed : int;
+  queues : int Queue.t array; (* per channel: the values behind the counts *)
+  acc : int array; (* per module: digest of its whole input history *)
+  fired : int array; (* per module: firings the overlay has seen *)
+  sunk : int list ref array; (* per module: values observed at sinks, reversed *)
+}
+
+let mask = (1 lsl 61) - 1
+let mix h v = ((h * 1_000_003) + v + 1) land mask
+
+let create ?(seed = 0) graph =
+  let queues = Array.init (G.num_edges graph) (fun _ -> Queue.create ()) in
+  List.iter
+    (fun e ->
+      (* Initial tokens (delays) get seed-derived values. *)
+      for i = 0 to G.delay graph e - 1 do
+        Queue.push (mix (mix seed (e + 1)) i) queues.(e)
+      done)
+    (G.edges graph);
+  {
+    graph;
+    seed;
+    queues;
+    acc = Array.init (G.num_nodes graph) (fun v -> mix seed v);
+    fired = Array.make (G.num_nodes graph) 0;
+    sunk = Array.init (G.num_nodes graph) (fun _ -> ref []);
+  }
+
+let fire t v =
+  let g = t.graph in
+  let ins = G.in_edges g v in
+  List.iter
+    (fun e ->
+      for _ = 1 to G.pop g e do
+        match Queue.take_opt t.queues.(e) with
+        | Some x -> t.acc.(v) <- mix t.acc.(v) x
+        | None ->
+            (* The machine only fires enabled modules, so the shadow queue
+               can run dry only if the overlay missed earlier firings. *)
+            invalid_arg "Overlay.fire: overlay out of sync with the machine"
+      done)
+    ins;
+  if ins = [] then
+    (* Source: synthesize the next input value deterministically. *)
+    t.acc.(v) <- mix t.acc.(v) (mix t.seed t.fired.(v));
+  let outs = G.out_edges g v in
+  if outs = [] then t.sunk.(v) := t.acc.(v) :: !(t.sunk.(v));
+  List.iter
+    (fun e ->
+      for i = 1 to G.push g e do
+        Queue.push (mix t.acc.(v) ((t.fired.(v) * 31) + i)) t.queues.(e)
+      done)
+    outs;
+  t.fired.(v) <- t.fired.(v) + 1
+
+let attach t machine = Machine.set_fire_hook machine (Some (fire t))
+
+let sink_outputs t =
+  List.map (fun v -> (v, List.rev !(t.sunk.(v)))) (G.sinks t.graph)
+
+(* Positions in the common prefix of each sink's value stream where the two
+   overlays disagree.  The common prefix — not full equality — is the right
+   comparison: epoch-aligned runs overshoot a requested output count to a
+   whole-period boundary, so two correct runs may differ in length but
+   never in content. *)
+let mismatches ~reference t =
+  let ref_outs = sink_outputs reference and outs = sink_outputs t in
+  List.fold_left
+    (fun acc (v, xs) ->
+      match List.assoc_opt v ref_outs with
+      | None -> acc + List.length xs
+      | Some ys ->
+          let rec go acc = function
+            | x :: xs, y :: ys -> go (if x = y then acc else acc + 1) (xs, ys)
+            | _ -> acc
+          in
+          go acc (xs, ys))
+    0 outs
+
+let compared ~reference t =
+  let ref_outs = sink_outputs reference and outs = sink_outputs t in
+  List.fold_left
+    (fun acc (v, xs) ->
+      match List.assoc_opt v ref_outs with
+      | None -> acc
+      | Some ys -> acc + min (List.length xs) (List.length ys))
+    0 outs

@@ -1,0 +1,147 @@
+(** Adaptive resilience: detect sustained cache degradation from live miss
+    telemetry and respond by degrading gracefully, then repartitioning
+    online.
+
+    The paper's bounds (Lemmas 4 and 8) hold for the cache a plan was built
+    for.  This module closes the loop when that assumption breaks at run
+    time: it drives the machine epoch by epoch (like {!Supervisor}), and at
+    every epoch boundary compares an EWMA of the {e measured}
+    misses-per-input (read from the [ccs_cache_misses] series of an
+    attached {!Ccs_obs.Metrics} registry, or from the machine directly)
+    against the live plan's predicted Lemma-4/8 bound.  When the ratio
+    exceeds a threshold for [patience] consecutive epochs, it climbs a
+    two-rung ladder:
+
+    + {b graceful degradation} — the next epoch runs the partition-free
+      latest-first fallback schedule on the {e same} machine: no planning
+      latency, no buffered state lost (the capacities are unchanged), at
+      the price of cache-oblivious execution for one epoch;
+    + {b online repartitioning} — [repartition_delay] epochs later the
+      "background" replan completes: the planner is invoked for the
+      estimated effective capacity, a post-mortem checkpoint is saved, a
+      fresh machine is built for the new plan (under the environment's
+      actual cache config) and execution state migrates onto it via
+      {!Ccs_exec.Machine.migrate} — firing counts, channel contents and
+      cumulative miss totals all carry over; only cache residency is
+      forfeit.
+
+    The effective capacity is {e estimated}, never read from the chaos
+    plan: each sustained breach halves the assumption, converging to
+    within 2x of the truth — inside the constant-factor augmentation the
+    paper's results already tolerate.  With [probe_restore] the reverse
+    ladder runs too: measured misses far {e below} the current bound for
+    [patience] epochs probe one doubling back up.
+
+    Adverse conditions themselves come from a {!Ccs_exec.Fault.env} chaos
+    plan: cache shrinks/restores and associativity changes are imposed on
+    the machine ({!Ccs_exec.Machine.resize_cache}), demand bursts multiply
+    the epoch workload, and I/O-fault windows make checkpoint writes fail
+    (they are counted and logged, and the run continues — fault
+    containment, not fault amplification).  The whole loop is
+    deterministic: same seed, same graph, same planner — bit-identical
+    metrics. *)
+
+type planned = { plan : Plan.t; predicted_mpi : float }
+(** A plan together with its Lemma-4/8 predicted misses per input
+    ({!Analysis.partition_cost_prediction}) — the yardstick degradation is
+    measured against. *)
+
+type planner = Ccs_cache.Cache.config -> planned
+(** Invoked with the cache configuration to plan for.  Supplied by the
+    caller (typically wrapping [Ccs.Auto.plan]) because the planning layer
+    sits above this library. *)
+
+type policy = {
+  ewma_alpha : float;  (** EWMA smoothing for measured mpi (default 0.5). *)
+  degrade_ratio : float;
+      (** Breach threshold: measured EWMA over predicted bound
+          (default 1.5). *)
+  patience : int;  (** Consecutive breach epochs before acting (2). *)
+  cooldown : int;  (** Detection-free epochs after an adaptation (2). *)
+  repartition_delay : int;
+      (** Epochs the background replan takes; the fallback covers them
+          (1). *)
+  max_adaptations : int;  (** Ladder-step budget per run (8). *)
+  probe_restore : bool;
+      (** Enable upward probing after sustained headroom (default off). *)
+  restore_ratio : float;
+      (** Headroom threshold for probing: EWMA below this fraction of the
+          bound (0.25). *)
+}
+
+val default_policy : policy
+
+type action = Degrade | Repartition | Probe_restore
+
+val action_to_string : action -> string
+
+type event = {
+  at_epoch : int;
+  action : action;
+  from_plan : string;  (** {!Plan.id} of the plan being left. *)
+  to_plan : string;  (** {!Plan.id} of the plan taking over. *)
+  assumed_words : int;  (** Effective capacity assumed after the step. *)
+}
+
+type report = {
+  result : Runner.result;
+  epochs : int;  (** Epochs actually driven (bursts shorten the count). *)
+  epoch_outputs : int;
+  adaptations : event list;  (** In occurrence order. *)
+  chaos_events : int;  (** Environment events applied to the machine. *)
+  io_faults : int;  (** Checkpoint writes lost to fault windows. *)
+  checkpoints_written : int;
+  final_plan : Plan.t;
+  final_predicted_mpi : float;
+  assumed_cache_words : int;
+}
+
+val run :
+  ?policy:policy ->
+  ?env:Ccs_exec.Fault.env ->
+  ?adapt:bool ->
+  ?checkpoint_dir:string ->
+  ?checkpoint_every:int ->
+  ?epoch_outputs:int ->
+  ?counters:Ccs_obs.Counters.t ->
+  ?tracer:Ccs_obs.Tracer.t ->
+  ?metrics:Ccs_obs.Metrics.t ->
+  ?log:Ccs_obs.Log.t ->
+  ?prepare:(Ccs_exec.Machine.t -> unit) ->
+  ?on_epoch:(epoch:int -> machine:Ccs_exec.Machine.t -> unit) ->
+  graph:Ccs_sdf.Graph.t ->
+  cache:Ccs_cache.Cache.config ->
+  planner:planner ->
+  outputs:int ->
+  unit ->
+  (report, Ccs_sdf.Error.t) result
+(** Drive [outputs] sink firings under the chaos environment [env]
+    (default none), adapting when [adapt] (default [true]).  With
+    [adapt:false] the chaos is still applied but the initial plan runs to
+    the end — the "stale plan" arm of the experiments.
+
+    [cache] is the {e nominal} configuration: the initial machine uses it,
+    the planner is first invoked with it, and chaos conditions are imposed
+    relative to it.  [prepare] runs on every machine this loop creates —
+    the initial one and every migration target — so fire hooks survive
+    repartitioning.  [on_epoch] fires after each completed epoch.
+
+    Checkpoints are written every [checkpoint_every] epochs (default 4)
+    plus one before each migration, except during injected I/O-fault
+    windows (counted in the report instead).  Log events: [run_start],
+    [chaos], [burst], [adaptation], [checkpoint], [checkpoint_io_fault],
+    [epoch], [run_end] — epochs and adaptations carry the live plan's
+    {!Plan.id}.
+
+    Errors surface structurally ([Deadlocked], [Budget_exhausted],
+    checkpoint I/O, …); this loop does not retry — stacking retry on top
+    belongs to {!Supervisor}. *)
+
+val fallback_plan : Ccs_sdf.Graph.t -> capacities:int array -> Plan.t
+(** The rung-1 conservative fallback: latest-first dynamic driving at the
+    given capacities — legal on any machine whose plan passed
+    {!Plan.validate} (it is the strategy {!Ccs_sdf.Minbuf} certifies), and
+    exported for tests. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_report : Format.formatter -> report -> unit

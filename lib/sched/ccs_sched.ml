@@ -12,4 +12,5 @@ module Analysis = Analysis
 module Runner = Runner
 module Watchdog = Watchdog
 module Supervisor = Supervisor
+module Adapt = Adapt
 module Profile = Profile

@@ -31,6 +31,30 @@ let dynamic ~name ~capacities drive = { name; capacities; period = None; drive }
 
 let buffer_words t = Array.fold_left ( + ) 0 t.capacities
 
+(* Plan identity for post-mortems: a short digest over everything that
+   determines the plan's behavior except the driver closure — name,
+   capacity vector, and (for static plans) the period's firing sequence.
+   Two adaptations of the same scheduler at different cache sizes thus get
+   distinct ids, while re-building the identical plan reproduces the id. *)
+let id t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf t.name;
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun c ->
+      Buffer.add_string buf (string_of_int c);
+      Buffer.add_char buf ',')
+    t.capacities;
+  (match t.period with
+  | None -> Buffer.add_string buf "|dynamic"
+  | Some p ->
+      Buffer.add_char buf '|';
+      Schedule.iter p ~f:(fun v ->
+          Buffer.add_string buf (string_of_int v);
+          Buffer.add_char buf ';'));
+  let hex = Digest.to_hex (Digest.string (Buffer.contents buf)) in
+  Printf.sprintf "%s-%s" t.name (String.sub hex 0 12)
+
 let validate ?cache ?spec g t =
   let module E = Ccs_sdf.Error in
   let module Graph = Ccs_sdf.Graph in

@@ -31,6 +31,16 @@ val dynamic : name:string -> capacities:int array -> driver -> t
 val buffer_words : t -> int
 (** Total buffer footprint of the plan, in words (= tokens). *)
 
+val id : t -> string
+(** A stable short identity, ["name-digest12"]: an MD5 digest over the
+    plan's name, capacity vector and (for static plans) the period's exact
+    firing sequence.  Rebuilding an identical plan reproduces the id, while
+    an adaptation that changes capacities or the period — even under the
+    same name — gets a fresh one, so supervisor logs and quarantine reports
+    can tell {e which} plan was live when an event hit.  The driver closure
+    itself is not hashable and is excluded: two [dynamic] plans differing
+    only in driver code share an id. *)
+
 val validate :
   ?cache:Ccs_cache.Cache.config ->
   ?spec:Ccs_partition.Spec.t ->

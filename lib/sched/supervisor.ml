@@ -169,11 +169,13 @@ let run ?(config = default_config) ?checkpoint_dir ?(resume = false)
   let ev level event fields =
     match log with Some l -> Log.log l level event fields | None -> ()
   in
+  let plan_digest = Plan.id plan in
   E.protect (fun () ->
       Option.iter ensure_dir checkpoint_dir;
       ev Log.Info "run_start"
         [
           ("plan", Json.String plan.Plan.name);
+          ("plan_digest", Json.String plan_digest);
           ("outputs", Json.Int outputs);
           ("epochs", Json.Int total_epochs);
           ("epoch_outputs", Json.Int epoch_outputs);
@@ -309,11 +311,13 @@ let run ?(config = default_config) ?checkpoint_dir ?(resume = false)
                   ("firing", Json.Int firing);
                   ("attempts", Json.Int !retries);
                   ("cause", Json.String (E.code cause));
+                  ("plan_digest", Json.String plan_digest);
                 ];
               E.fail
                 (E.Quarantined
                    {
                      plan = plan.Plan.name;
+                     plan_digest = Some plan_digest;
                      site;
                      firing;
                      attempts = !retries;
@@ -352,6 +356,7 @@ let run ?(config = default_config) ?checkpoint_dir ?(resume = false)
           ("retries", Json.Int !retries);
           ("checkpoints", Json.Int !checkpoints_written);
           ("logical_delay", Json.Int !logical_delay);
+          ("plan_digest", Json.String plan_digest);
         ];
       {
         result;

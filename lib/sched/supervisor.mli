@@ -104,4 +104,9 @@ val num_epochs : outputs:int -> epoch_outputs:int -> int
 val latest_checkpoint : string -> (int * string) option
 (** The newest [(epoch, path)] checkpoint in a directory, if any. *)
 
+val ckpt_name : int -> string
+(** The canonical checkpoint file name for an epoch
+    (["ckpt-%09d.ccsckpt"]) — shared with {!Adapt} so adaptive runs
+    produce resumable checkpoints under the same naming scheme. *)
+
 val pp_report : Format.formatter -> report -> unit

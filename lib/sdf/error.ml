@@ -57,6 +57,7 @@ type t =
     }
   | Capacity_infeasible of { reason : string }
   | Cache_overflow of { component : int; state : int; cache_words : int }
+  | Cache_config_invalid of { field : string; value : int; reason : string }
   | Schedule_illegal of {
       node : string;
       edge : string;
@@ -78,6 +79,7 @@ type t =
     }
   | Quarantined of {
       plan : string;
+      plan_digest : string option;
       site : string;
       firing : int;
       attempts : int;
@@ -117,6 +119,7 @@ let rec code = function
   | Capacity_below_rate _ -> "capacity-below-rate"
   | Capacity_infeasible _ -> "capacity-infeasible"
   | Cache_overflow _ -> "cache-overflow"
+  | Cache_config_invalid _ -> "cache-config-invalid"
   | Schedule_illegal _ -> "schedule-illegal"
   | Plan_invalid _ -> "plan-invalid"
   | Deadlocked _ -> "deadlock"
@@ -229,6 +232,9 @@ let rec pp fmt = function
         "component C%d (%d state words) cannot fit a cache of %d words; \
          every firing will thrash"
         component state cache_words
+  | Cache_config_invalid { field; value; reason } ->
+      Format.fprintf fmt "cache config: %s = %d is invalid: %s" field value
+        reason
   | Schedule_illegal { node; edge; at_firing; kind } ->
       Format.fprintf fmt "firing %d (module %s) %s channel %s" at_firing node
         (match kind with
@@ -262,11 +268,16 @@ let rec pp fmt = function
         "checkpoint %s was taken under a different %s (checkpoint: %s, \
          current: %s)"
         path field found expected
-  | Quarantined { plan; site; firing; attempts; checkpoint; cause } ->
+  | Quarantined { plan; plan_digest; site; firing; attempts; checkpoint; cause }
+    ->
       Format.fprintf fmt
-        "plan %s: site %s quarantined after %d attempt(s) — fault at firing \
+        "plan %s%s: site %s quarantined after %d attempt(s) — fault at firing \
          %d%s@,caused by: %a"
-        plan site attempts firing
+        plan
+        (match plan_digest with
+        | Some d -> Printf.sprintf " (digest %s)" d
+        | None -> "")
+        site attempts firing
         (match checkpoint with
         | Some p -> Printf.sprintf " (replay from checkpoint %s)" p
         | None -> " (no checkpoint available for replay)")

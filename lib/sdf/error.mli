@@ -81,6 +81,11 @@ type t =
       (** No periodic schedule exists under the given capacities. *)
   | Cache_overflow of { component : int; state : int; cache_words : int }
       (** Warning: a component bigger than the whole cache. *)
+  | Cache_config_invalid of { field : string; value : int; reason : string }
+      (** A cache configuration the simulator cannot honestly model: block
+          size not dividing capacity, more ways than blocks, zero or
+          negative capacity.  Reported by [ccsched check] before the deep
+          layers would trip on it. *)
   | Schedule_illegal of {
       node : string;
       edge : string;
@@ -109,6 +114,10 @@ type t =
           the run trying to resume from it. *)
   | Quarantined of {
       plan : string;
+      plan_digest : string option;
+          (** {!Ccs_sched.Plan.id} of the plan that was live when the fault
+              hit — after an adaptation this names the {e adapted} plan,
+              not the one the run started with. *)
       site : string;  (** Module/fault-class (or error code) that failed. *)
       firing : int;  (** Machine firing count at the point of failure. *)
       attempts : int;  (** Retries spent before giving up. *)
