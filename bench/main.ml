@@ -38,11 +38,12 @@ let experiments : (string * string * (unit -> unit)) list =
     ("E20", "checkpoint overhead vs interval", E_checkpoint.e20);
     ("E21", "telemetry overhead", E_telemetry.e21);
     ("E22", "adaptive resilience under chaos", E_adapt.e22);
+    ("E23", "compiled backend vs interpreted machine", E_compiled.e23);
   ]
 
 (* Sub-second experiments plus the micro-benchmarks: the CI smoke set. *)
 let quick_ids =
-  [ "E1"; "E4"; "E5"; "E7"; "E9"; "E13"; "E15"; "E18"; "E19"; "E12" ]
+  [ "E1"; "E4"; "E5"; "E7"; "E9"; "E13"; "E15"; "E18"; "E19"; "E23"; "E12" ]
 
 let usage () =
   Printf.eprintf

@@ -671,18 +671,74 @@ let apps_cmd =
 (* --- codegen --------------------------------------------------------------- *)
 
 let codegen_cmd =
-  let run graph m b =
+  let run graph m b out verify =
     with_graph graph @@ fun g ->
     let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
+    let cache = Ccs.Config.cache_config cfg in
     let choice = Ccs.Auto.plan ~dynamic:false g cfg in
-    print_string (Ccs.Codegen.emit g ~plan:choice.Ccs.Auto.plan)
+    let plan = choice.Ccs.Auto.plan in
+    (* The emitted program shares the compiled backend's lowering, so its
+       flat data array uses the exact offsets the simulator charges. *)
+    let code = Ccs.Codegen.emit ~cache g ~plan in
+    (match out with
+    | None -> print_string code
+    | Some path ->
+        let oc = open_out path in
+        output_string oc code;
+        close_out oc;
+        Printf.eprintf "wrote %s\n%!" path);
+    if verify then begin
+      (* Run the in-process compiled backend for one period and check its
+         trace replays to the machine's miss count — the same equivalence
+         the differential suite proves, on this graph and plan. *)
+      let lowering = Ccs.Lowering.exn g ~plan ~cache in
+      let compiled = Ccs.Compiled.create ~record_trace:true lowering in
+      Ccs.Compiled.run_periods compiled 1;
+      let machine =
+        Ccs.Machine.create ~graph:g ~cache
+          ~capacities:plan.Ccs.Plan.capacities ()
+      in
+      Ccs.Schedule.run machine (Option.get plan.Ccs.Plan.period);
+      let replayed = Ccs.Replay.misses ~cache (Ccs.Compiled.trace compiled) in
+      let interpreted = Ccs.Machine.misses machine in
+      Printf.eprintf
+        "verify: outputs=%d checksum=%.6f; replayed misses %d vs \
+         interpreted %d (%s)\n\
+         %!"
+        (Ccs.Compiled.outputs compiled)
+        (Ccs.Compiled.checksum compiled)
+        replayed interpreted
+        (if replayed = interpreted then "identical" else "MISMATCH");
+      if replayed <> interpreted then exit 1
+    end
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the program to $(docv) instead of stdout.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Also run one period through the in-process compiled backend \
+             and check its memory trace replays to the interpreted \
+             machine's miss count.")
   in
   Cmd.v
     (Cmd.info "codegen"
        ~doc:
          "Emit a standalone OCaml program implementing the partitioned \
-          schedule (run it with: ocaml prog.ml <periods>).")
-    Term.(const run $ graph_args $ cache_words_arg $ block_words_arg)
+          schedule (run it with: ocaml prog.ml <periods>).  The program \
+          lays state and ring buffers out in one flat array at the \
+          simulator's offsets, shared with the in-process compiled \
+          backend.")
+    Term.(
+      const run $ graph_args $ cache_words_arg $ block_words_arg $ out_arg
+      $ verify_arg)
 
 (* --- trace ----------------------------------------------------------------- *)
 

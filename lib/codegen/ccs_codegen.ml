@@ -1,4 +1,7 @@
-(** Compiler backend: emit standalone OCaml implementing a scheduled
-    streaming program. *)
+(** Compiler backend: lower a scheduled streaming program to a flat
+    firing program and run it in-process ({!Compiled}) or emit it as
+    standalone OCaml ({!Codegen}). *)
 
+module Lowering = Lowering
+module Compiled = Compiled
 module Codegen = Codegen

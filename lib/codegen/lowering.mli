@@ -1,0 +1,75 @@
+(** Plan → flat-program lowering: the shared middle end of the compiled
+    backend.
+
+    Lowering takes a validated static plan and produces everything a
+    compiled consumer needs, with all scheduling and layout decisions
+    already made: the machine's exact address space (state regions and
+    ring buffers at the offsets {!Ccs_sched.Plan.layout} assigns), each
+    module's kernel classified into one of four specialized shapes with
+    its pop/push/offset constants precomputed, and the compressed period.
+    Both consumers — the in-process {!Compiled} backend and the standalone
+    source emitter ({!Codegen.emit}) — consume this IR, so they execute
+    the same program by construction and their word-access traces replay
+    against the interpreted {!Ccs_exec.Machine} address-for-address. *)
+
+type io = {
+  edge : Ccs_sdf.Graph.edge;
+  base : int;  (** Ring buffer base word address. *)
+  cap : int;  (** Ring capacity in words (= tokens); [length] of the region. *)
+  rate : int;  (** Tokens per firing: [pop] for an input, [push] for an output. *)
+  delay : int;  (** Initial tokens (zero-valued). *)
+}
+(** One channel endpoint of a module, with its layout constants. *)
+
+type kind =
+  | Counter  (** Source: emits [0, 1, 2, ...] sequentially across outputs. *)
+  | Checksum  (** Sink: accumulates every consumed token. *)
+  | Mix of { widx : int array; woff : int array }
+      (** Interior: output token [k] is [0.5 *. w.(k mod n) +. 0.25] where
+          [w] is the concatenated pop window; [widx.(j)]/[woff.(j)] locate
+          window slot [j] as input index / offset within that input's pops
+          ([n = Array.length widx > 0]). *)
+  | Fill
+      (** Interior with an empty pop window ([n = 0]): outputs the
+          constant [0.25] (the mixing function's fixed point at zero). *)
+
+type node_spec = {
+  node : Ccs_sdf.Graph.node;
+  name : string;
+  kind : kind;
+  state_base : int;  (** State region base word address. *)
+  state_words : int;
+  ins : io array;  (** In {!Ccs_sdf.Graph.in_edges} order. *)
+  outs : io array;  (** In {!Ccs_sdf.Graph.out_edges} order. *)
+  is_sink : bool;  (** Member of {!Ccs_sdf.Graph.sinks} — firings count as
+                       program outputs. *)
+}
+
+type t = {
+  graph : Ccs_sdf.Graph.t;
+  plan_name : string;
+  period : Ccs_sched.Schedule.t;  (** Compressed. *)
+  period_outputs : int;  (** Sink firings per period. *)
+  block_words : int;
+  nodes : node_spec array;  (** Indexed by node id. *)
+  total_words : int;  (** Address-space size (the bigarray length). *)
+  sinks : Ccs_sdf.Graph.node array;
+      (** {!Ccs_sdf.Graph.sinks}, in that order — the checksum report sums
+          over these. *)
+}
+
+val lower :
+  Ccs_sdf.Graph.t ->
+  plan:Ccs_sched.Plan.t ->
+  cache:Ccs_cache.Cache.config ->
+  (t, Ccs_sdf.Error.t list) result
+(** Lower a plan for compilation.  Fails with every violated
+    precondition: a dynamic plan (no static period) or a zero-capacity
+    channel is a [Plan_invalid] finding, and anything
+    {!Ccs_sched.Plan.validate} rejects is passed through.  On [Ok] the
+    period is token-legal at the plan's capacities, so compiled consumers
+    may run it branch-free — no firing-rule checks. *)
+
+val exn : Ccs_sdf.Graph.t -> plan:Ccs_sched.Plan.t ->
+  cache:Ccs_cache.Cache.config -> t
+(** {!lower}, raising {!Ccs_sdf.Error.Error} with the first finding. *)

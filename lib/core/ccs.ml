@@ -51,6 +51,7 @@ module Machine = Ccs_exec.Machine
 module Fault = Ccs_exec.Fault
 module Checkpoint = Ccs_exec.Checkpoint
 module Overlay = Ccs_exec.Overlay
+module Replay = Ccs_exec.Replay
 
 (* Observability: per-entity miss attribution, event tracing, metrics
    registry, structured logging, and the bench regression differ *)
@@ -100,4 +101,6 @@ module Assign = Ccs_multi.Assign
 module Multi_machine = Ccs_multi.Multi_machine
 
 (* Compiler backend *)
+module Lowering = Ccs_codegen.Lowering
+module Compiled = Ccs_codegen.Compiled
 module Codegen = Ccs_codegen.Codegen

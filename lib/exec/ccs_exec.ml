@@ -2,6 +2,7 @@
 
 module Intvec = Intvec
 module Machine = Machine
+module Replay = Replay
 module Fault = Fault
 module Checkpoint = Checkpoint
 module Overlay = Overlay

@@ -61,6 +61,45 @@ type t = {
   mutable fire_budget : int option;
 }
 
+(* The simulated address space a (graph, cache, capacities) triple induces:
+   module state regions in node order (block-aligned by default, so a
+   module's state never false-shares with a neighbour), then channel ring
+   buffers in edge order, packed (align 1) — the paper's buffer-versus-state
+   amortization argument counts buffer words, and padding every tiny
+   internal buffer to a whole block would inflate a component's working set
+   by a factor of B.  [create] builds its machine on exactly this layout,
+   and the compiled backend (Ccs_codegen) lowers plans through it too, so a
+   compiled schedule's word-access trace replays against the interpreted
+   machine address-for-address. *)
+type layout = {
+  l_states : Layout.region array;
+  l_buffers : Layout.region array;
+  l_total_words : int;
+}
+
+let plan_layout ?(align_to_block = true) ~graph ~cache ~capacities () =
+  let m = Graph.num_edges graph in
+  if Array.length capacities <> m then
+    invalid_arg "Machine.plan_layout: capacities length mismatch";
+  let align = if align_to_block then cache.Cache.block_words else 1 in
+  let layout = Layout.create ~align () in
+  let states =
+    Array.init (Graph.num_nodes graph) (fun v ->
+        Layout.alloc layout ~len:(Graph.state graph v))
+  in
+  let buffers =
+    Array.init m (fun e ->
+        let cap = capacities.(e) in
+        let need = max (Graph.push graph e) (Graph.pop graph e) in
+        if cap < need then
+          invalid_arg
+            (Printf.sprintf
+               "Machine.create: channel %d capacity %d < max rate %d" e cap
+               need);
+        Layout.alloc ~align:1 layout ~len:cap)
+  in
+  { l_states = states; l_buffers = buffers; l_total_words = Layout.size layout }
+
 let make_mstats registry labels =
   let counter name help = Metrics.counter registry ~help ~labels name in
   let gauge name help = Metrics.gauge registry ~help ~labels name in
@@ -89,28 +128,13 @@ let create ?(align_to_block = true) ?(record_trace = false) ?counters ?tracer
            (Counters.entities c)
            (Graph.num_nodes graph + m))
   | _ -> ());
-  let align = if align_to_block then cache.Cache.block_words else 1 in
-  let layout = Layout.create ~align () in
-  let states =
-    Array.init (Graph.num_nodes graph) (fun v ->
-        Layout.alloc layout ~len:(Graph.state graph v))
-  in
-  (* Buffers are packed (align 1) regardless of [align_to_block]: the
-     paper's buffer-versus-state amortization argument counts buffer words,
-     and padding every tiny internal buffer to a whole block would inflate
-     a component's working set by a factor of B. *)
+  let layout = plan_layout ~align_to_block ~graph ~cache ~capacities () in
+  let states = layout.l_states in
   let chans =
     Array.init m (fun e ->
-        let cap = capacities.(e) in
-        let need = max (Graph.push graph e) (Graph.pop graph e) in
-        if cap < need then
-          invalid_arg
-            (Printf.sprintf
-               "Machine.create: channel %d capacity %d < max rate %d" e cap
-               need);
         {
-          region = Layout.alloc ~align:1 layout ~len:cap;
-          capacity = cap;
+          region = layout.l_buffers.(e);
+          capacity = capacities.(e);
           head = 0;
           tail = Graph.delay graph e;
           consumed_total = 0;
@@ -132,7 +156,7 @@ let create ?(align_to_block = true) ?(record_trace = false) ?counters ?tracer
     total_fires = 0;
     source = single (Graph.sources graph);
     sink = single (Graph.sinks graph);
-    space_words = Layout.size layout;
+    space_words = layout.l_total_words;
     recorder = (if record_trace then Some (Intvec.create ()) else None);
     counters;
     tracer;

@@ -22,6 +22,30 @@ exception Budget_exceeded of { budget : int }
 (** Raised by {!fire} once {!total_fires} reaches the budget installed with
     {!set_fire_budget} — the watchdog's guard against livelocked drivers. *)
 
+type layout = {
+  l_states : Ccs_cache.Layout.region array;  (** Per-module state region. *)
+  l_buffers : Ccs_cache.Layout.region array;
+      (** Per-channel ring buffer region ([length] = capacity). *)
+  l_total_words : int;  (** Address-space high-water mark. *)
+}
+(** The simulated address space a (graph, cache, capacities) triple
+    induces: state regions in node order (block-aligned by default), then
+    ring buffers in edge order, packed. *)
+
+val plan_layout :
+  ?align_to_block:bool ->
+  graph:Ccs_sdf.Graph.t ->
+  cache:Ccs_cache.Cache.config ->
+  capacities:int array ->
+  unit ->
+  layout
+(** The exact layout {!create} would build a machine on.  The compiled
+    backend ({!Ccs_codegen}) lowers plans through this, so compiled
+    word-access traces replay against the interpreted machine
+    address-for-address.
+    @raise Invalid_argument on a capacity below [max push pop] or a
+    capacity vector of the wrong length. *)
+
 val create :
   ?align_to_block:bool ->
   ?record_trace:bool ->

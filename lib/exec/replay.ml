@@ -1,0 +1,14 @@
+module Cache = Ccs_cache.Cache
+
+type result = { accesses : int; hits : int; misses : int }
+
+let run ~cache trace =
+  let c = Cache.create cache in
+  Array.iter (fun addr -> ignore (Cache.touch c addr)) trace;
+  {
+    accesses = Cache.accesses c;
+    hits = Cache.hits c;
+    misses = Cache.misses c;
+  }
+
+let misses ~cache trace = (run ~cache trace).misses

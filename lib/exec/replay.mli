@@ -1,0 +1,16 @@
+(** Replay a recorded word-address trace through a fresh cache simulator.
+
+    The equivalence harness for the compiled backend: the interpreted
+    {!Machine} records the block-address sequence its firings touch, the
+    compiled program records its own, and replaying either through
+    {!Ccs_cache.Cache} must produce the same miss count — the check that
+    makes the paper's miss-count predictions transfer to compiled code. *)
+
+type result = { accesses : int; hits : int; misses : int }
+
+val run : cache:Ccs_cache.Cache.config -> int array -> result
+(** [run ~cache trace] feeds every word address of [trace] through a fresh
+    cache built from [cache] and reports the resulting statistics. *)
+
+val misses : cache:Ccs_cache.Cache.config -> int array -> int
+(** [misses ~cache trace] is [(run ~cache trace).misses]. *)

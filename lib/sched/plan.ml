@@ -55,6 +55,9 @@ let id t =
   let hex = Digest.to_hex (Digest.string (Buffer.contents buf)) in
   Printf.sprintf "%s-%s" t.name (String.sub hex 0 12)
 
+let layout g ~cache t =
+  Ccs_exec.Machine.plan_layout ~graph:g ~cache ~capacities:t.capacities ()
+
 let validate ?cache ?spec g t =
   let module E = Ccs_sdf.Error in
   let module Graph = Ccs_sdf.Graph in

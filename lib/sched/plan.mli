@@ -41,6 +41,20 @@ val id : t -> string
     itself is not hashable and is excluded: two [dynamic] plans differing
     only in driver code share an id. *)
 
+val layout :
+  Ccs_sdf.Graph.t ->
+  cache:Ccs_cache.Cache.config ->
+  t ->
+  Ccs_exec.Machine.layout
+(** The simulated address space this plan induces — exactly the layout a
+    machine built with the plan's capacities would use (state regions in
+    node order, block-aligned to [cache.block_words]; ring buffers in edge
+    order, packed).  The compiled backend lowers plans through this, which
+    is what makes compiled word-access traces replayable against the
+    interpreted machine.
+    @raise Invalid_argument on a capacity below [max push pop] or a
+    capacity vector of the wrong length. *)
+
 val validate :
   ?cache:Ccs_cache.Cache.config ->
   ?spec:Ccs_partition.Spec.t ->

@@ -1,0 +1,173 @@
+(* Differential suite for the compiled execution backend: for any plan,
+   [Compiled] must be bit-identical to the interpreted engine running the
+   codegen-semantics kernels — same sink checksums, same output counts —
+   and its recorded word-access trace replayed through the cache
+   simulator must reproduce the interpreted machine's miss count. *)
+
+module G = Ccs.Graph
+
+let cache = Ccs.Cache.config ~size_words:2048 ~block_words:16 ()
+let cfg = Ccs.Config.make ~cache_words:2048 ~block_words:16 ()
+
+let auto_plan g = (Ccs.Auto.plan ~dynamic:false g cfg).Ccs.Auto.plan
+
+(* Interpreted reference: an engine over a trace-free machine, driven for
+   whole periods so both sides do exactly the same firings. *)
+let interpreted g plan ~periods =
+  let program = Ccs.Program.create g (Ccs.Codegen.codegen_semantics g) in
+  let engine = Ccs.Engine.of_plan ~program ~cache ~plan () in
+  let m = Ccs.Engine.machine engine in
+  let period = Option.get plan.Ccs.Plan.period in
+  for _ = 1 to periods do
+    Ccs.Schedule.run m period
+  done;
+  let sinks = G.sinks g in
+  let outputs =
+    List.fold_left (fun a s -> a + Ccs.Machine.fires m s) 0 sinks
+  in
+  let checksum =
+    List.fold_left (fun a s -> a +. (Ccs.Engine.state engine s).(0)) 0. sinks
+  in
+  (outputs, checksum, Ccs.Machine.misses m)
+
+let compiled g plan ~periods =
+  let l =
+    match Ccs.Lowering.lower g ~plan ~cache with
+    | Ok l -> l
+    | Error (e :: _) -> Alcotest.failf "lowering: %s" (Ccs.Error.to_string e)
+    | Error [] -> assert false
+  in
+  let c = Ccs.Compiled.create ~record_trace:true l in
+  Ccs.Compiled.run_periods c periods;
+  let misses = Ccs.Replay.misses ~cache (Ccs.Compiled.trace c) in
+  (Ccs.Compiled.outputs c, Ccs.Compiled.checksum c, misses)
+
+let bits = Int64.bits_of_float
+
+let differential ?(periods = 3) g plan =
+  let i_out, i_sum, i_miss = interpreted g plan ~periods in
+  let c_out, c_sum, c_miss = compiled g plan ~periods in
+  Alcotest.(check int) "same outputs" i_out c_out;
+  Alcotest.(check int64) "bit-identical checksum" (bits i_sum) (bits c_sum);
+  Alcotest.(check int) "same replayed misses" i_miss c_miss
+
+(* --- the 12-application suite ------------------------------------- *)
+
+let test_app entry () =
+  let g = entry.Ccs_apps.Suite.graph () in
+  differential g (auto_plan g)
+
+(* --- random graphs ------------------------------------------------ *)
+
+(* Sinks keep at least one state word so the engine-side checksum stays
+   readable through [Engine.state]; other modules may drop to zero state
+   (exercising the spill-cell path on sources and interiors). *)
+let with_zero_states g =
+  let sinks = G.sinks g in
+  G.map_state g ~f:(fun v st ->
+      if List.mem v sinks then max 1 st else if v mod 2 = 0 then 0 else st)
+
+let gen_case =
+  QCheck2.Gen.(
+    let* seed = int_bound 10_000 in
+    let* n = int_range 2 8 in
+    let* shape = oneofl [ `Pipeline; `Dag ] in
+    let* zeros = bool in
+    return (seed, n, shape, zeros))
+
+let build_case (seed, n, shape, zeros) =
+  let g =
+    match shape with
+    | `Pipeline ->
+        Ccs.Generators.random_pipeline ~seed ~n ~max_state:24 ~max_rate:4 ()
+    | `Dag ->
+        (* [random_sdf_dag] needs at least 3 modules to draw chords. *)
+        Ccs.Generators.random_sdf_dag ~seed ~n:(max 3 n) ~max_state:24
+          ~max_rate:3 ~extra_edges:2 ()
+  in
+  if zeros then with_zero_states g else g
+
+let prop_random_graphs =
+  QCheck2.Test.make ~name:"compiled = interpreted on random SDF graphs"
+    ~count:60 gen_case (fun case ->
+      let g = build_case case in
+      let plan = auto_plan g in
+      differential ~periods:2 g plan;
+      true)
+
+(* --- compiled vs emitted (same lowering, two consumers) ------------ *)
+
+let run_generated code ~periods =
+  let path = Filename.temp_file "ccsgen" ".ml" in
+  let oc = open_out path in
+  output_string oc code;
+  close_out oc;
+  let out_path = Filename.temp_file "ccsgen" ".out" in
+  let rc =
+    Sys.command
+      (Printf.sprintf "ocaml %s %d > %s 2>/dev/null" (Filename.quote path)
+         periods
+         (Filename.quote out_path))
+  in
+  let ic = open_in out_path in
+  let line = try input_line ic with End_of_file -> "" in
+  close_in ic;
+  Sys.remove path;
+  Sys.remove out_path;
+  if rc <> 0 then Alcotest.failf "generated program exited with %d" rc;
+  Scanf.sscanf line "outputs=%d checksum=%f" (fun o c -> (o, c))
+
+let test_emitted_matches_compiled () =
+  List.iter
+    (fun name ->
+      let entry = Option.get (Ccs_apps.Suite.find name) in
+      let g = entry.Ccs_apps.Suite.graph () in
+      let plan = auto_plan g in
+      let periods = 3 in
+      let e_out, e_sum =
+        run_generated (Ccs.Codegen.emit ~cache g ~plan) ~periods
+      in
+      let c_out, c_sum, _ = compiled g plan ~periods in
+      Alcotest.(check int) (name ^ " outputs") c_out e_out;
+      (* The emitted program prints %.6f; compare at that precision. *)
+      Alcotest.(check string)
+        (name ^ " checksum")
+        (Printf.sprintf "%.6f" c_sum)
+        (Printf.sprintf "%.6f" e_sum))
+    [ "fm-radio"; "bitonic" ]
+
+(* --- compiled runner semantics ------------------------------------ *)
+
+let test_run_to_target () =
+  let entry = Option.get (Ccs_apps.Suite.find "fft") in
+  let g = entry.Ccs_apps.Suite.graph () in
+  let plan = auto_plan g in
+  let l =
+    match Ccs.Lowering.lower g ~plan ~cache with
+    | Ok l -> l
+    | Error _ -> Alcotest.fail "lowering failed"
+  in
+  let c = Ccs.Compiled.create l in
+  Ccs.Compiled.run c ~target_outputs:50;
+  let got = Ccs.Compiled.outputs c in
+  Alcotest.(check bool) "met target" true (got >= 50);
+  (* Whole periods only: outputs are a multiple of the period's yield. *)
+  Alcotest.(check int) "whole periods" 0
+    (got mod l.Ccs.Lowering.period_outputs)
+
+let () =
+  let app_cases =
+    List.map
+      (fun entry ->
+        Alcotest.test_case entry.Ccs_apps.Suite.name `Slow (test_app entry))
+      Ccs_apps.Suite.all
+  in
+  Alcotest.run "compiled"
+    [
+      ("apps-differential", app_cases);
+      ("random", [ QCheck_alcotest.to_alcotest prop_random_graphs ]);
+      ( "emitted",
+        [ Alcotest.test_case "matches compiled" `Slow
+            test_emitted_matches_compiled ] );
+      ("runner", [ Alcotest.test_case "run to target" `Quick test_run_to_target ]);
+    ]

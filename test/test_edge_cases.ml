@@ -111,7 +111,10 @@ let test_codegen_rejects_illegal_plan () =
   in
   match Ccs.Codegen.emit g ~plan with
   | _ -> Alcotest.fail "illegal plan must be rejected"
-  | exception Invalid_argument _ -> ()
+  | exception Ccs.Error.Error _ ->
+      (* The lowering rejects it with a structured finding (PR 7);
+         previously emit raised a stringly Invalid_argument. *)
+      ()
 
 let test_granularity_overflow_guard () =
   (* Many distinct prime-ish denominators: granularity grows but stays
