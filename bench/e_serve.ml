@@ -1,0 +1,123 @@
+(* E24: serve plan-cache effectiveness.  For every app in the suite, one
+   cold request against a fresh daemon state (runs the NP-hard
+   partitioning and stores the artifact) and one warm request (served
+   from the persistent cache).  The warm response must be bit-identical
+   to the cold one apart from the cached flag and latency — the
+   equivalence the daemon's cache-key contract promises — and the warm
+   path should be orders of magnitude faster, since it replaces the
+   partitioner with one framed read.
+
+   Deterministic fields (hit flags, equivalence, the composite cache key)
+   gate the CI regression diff exactly; the [_us] latencies are warn-only
+   timing fields. *)
+
+open Util
+
+let fresh_state =
+  let counter = ref 0 in
+  fun app ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ccs-e24-%d-%s-%d" (Unix.getpid ()) app !counter)
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun f -> remove_tree (Filename.concat path f))
+        (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+let strip_volatile line =
+  match Ccs.Json.of_string line with
+  | Ok (Ccs.Json.Obj fields) ->
+      Ccs.Json.to_string
+        (Ccs.Json.Obj
+           (List.filter
+              (fun (k, _) -> k <> "cached" && k <> "elapsed_us")
+              fields))
+  | _ -> line
+
+let response_field line name =
+  match Ccs.Json.of_string line with
+  | Ok v -> Ccs.Json.member name v
+  | Error _ -> None
+
+let e24 () =
+  section "E24-serve" "serve plan-cache effectiveness (cold vs warm)";
+  let m = 2048 and b = 16 in
+  let rows =
+    List.map
+      (fun entry ->
+        let app = entry.Ccs_apps.Suite.name in
+        let g = entry.Ccs_apps.Suite.graph () in
+        let state = fresh_state app in
+        Fun.protect ~finally:(fun () -> remove_tree state) @@ fun () ->
+        let daemon =
+          Ccs_serve.Server.make
+            {
+              Ccs_serve.Server.address =
+                Ccs_serve.Server.Unix_socket "/nonexistent";
+              dir = state;
+              workers = 0;
+              log = Ccs.Log.null;
+            }
+        in
+        let line =
+          Ccs.Json.to_string
+            (Ccs.Json.Obj
+               [
+                 ("op", Ccs.Json.String "plan");
+                 ("graph", Ccs.Json.String (Ccs.Serial.to_text g));
+                 ("cache_words", Ccs.Json.Int m);
+                 ("block_words", Ccs.Json.Int b);
+               ])
+        in
+        let t0 = Ccs.Clock.now_us () in
+        let cold = Ccs_serve.Server.handle_line daemon line in
+        let cold_us = Ccs.Clock.elapsed_us ~since:t0 in
+        let t1 = Ccs.Clock.now_us () in
+        let warm = Ccs_serve.Server.handle_line daemon line in
+        let warm_us = Ccs.Clock.elapsed_us ~since:t1 in
+        let hit =
+          response_field warm "cached" = Some (Ccs.Json.Bool true)
+        in
+        let identical = strip_volatile cold = strip_volatile warm in
+        let key =
+          match response_field cold "key" with
+          | Some (Ccs.Json.String k) -> k
+          | _ -> "?"
+        in
+        if Json.enabled () then
+          Json.point
+            [
+              ("kind", Json.String "serve_cache");
+              ("graph", Json.String app);
+              ("m", Json.Int m);
+              ("b", Json.Int b);
+              ("key", Json.String key);
+              ("cache_hit", Json.Bool hit);
+              ("roundtrip_identical", Json.Bool identical);
+              ("cold_us", Json.Int cold_us);
+              ("warm_us", Json.Int warm_us);
+            ];
+        [
+          app;
+          string_of_int cold_us;
+          string_of_int warm_us;
+          f (ratio (float_of_int cold_us) (float_of_int (max 1 warm_us)));
+          (if hit then "yes" else "NO");
+          (if identical then "yes" else "NO");
+        ])
+      Ccs_apps.Suite.all
+  in
+  Ccs.Table.print
+    ~header:[ "app"; "cold us"; "warm us"; "speedup"; "hit"; "identical" ]
+    ~rows;
+  note
+    "warm requests skip the NP-hard partitioning entirely: one framed \
+     read, validated against the composite cache key, answers \
+     bit-identically to the cold build"

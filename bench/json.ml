@@ -131,18 +131,9 @@ let write ~argv =
             ("experiments", List (List.rev_map experiment_value !finished));
           ]
       in
-      (* Atomic write (tmp + rename): a crash mid-serialization cannot
-         leave a truncated document where the CI regression gate expects a
-         baseline. *)
-      let tmp = path ^ ".tmp" in
-      let oc = open_out tmp in
-      (try
-         output_string oc (to_string doc);
-         output_char oc '\n';
-         close_out oc
-       with exn ->
-         close_out_noerr oc;
-         (try Sys.remove tmp with Sys_error _ -> ());
-         raise exn);
-      Sys.rename tmp path;
+      (* Atomic write (shared Binio discipline): a crash mid-serialization
+         cannot leave a truncated document where the CI regression gate
+         expects a baseline, and parallel bench runs targeting the same
+         file cannot rename each other's half-written temp into place. *)
+      Ccs.Binio.write_atomic ~path (to_string doc ^ "\n");
       Printf.printf "\n(JSON written to %s)\n" path

@@ -39,11 +39,12 @@ let experiments : (string * string * (unit -> unit)) list =
     ("E21", "telemetry overhead", E_telemetry.e21);
     ("E22", "adaptive resilience under chaos", E_adapt.e22);
     ("E23", "compiled backend vs interpreted machine", E_compiled.e23);
+    ("E24", "serve plan-cache effectiveness", E_serve.e24);
   ]
 
 (* Sub-second experiments plus the micro-benchmarks: the CI smoke set. *)
 let quick_ids =
-  [ "E1"; "E4"; "E5"; "E7"; "E9"; "E13"; "E15"; "E18"; "E19"; "E23"; "E12" ]
+  [ "E1"; "E4"; "E5"; "E7"; "E9"; "E13"; "E15"; "E18"; "E19"; "E23"; "E24"; "E12" ]
 
 let usage () =
   Printf.eprintf

@@ -14,6 +14,8 @@
      fuse      - print the contracted (component-fused) graph
      normalize - add a super source/sink to a multi-source/sink graph
      dot       - emit Graphviz for a graph
+     serve     - scheduling daemon with a persistent plan cache
+     submit    - one round-trip against a running serve daemon
 
    Graphs come either from a file in the Serial text format (--file) or
    from the built-in suite (--app NAME). *)
@@ -94,19 +96,11 @@ let or_die = function
       prerr_endline ("ccsched: " ^ msg);
       exit 1
 
-(* Atomic file write (tmp + rename), same discipline as checkpoints and
-   trace exports: readers never observe a half-written snapshot. *)
-let write_atomic ~path doc =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  (try
-     output_string oc doc;
-     close_out oc
-   with exn ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise exn);
-  Sys.rename tmp path
+(* Atomic file write, same discipline as checkpoints and trace exports:
+   readers never observe a half-written snapshot, and concurrent
+   ccsched processes writing the same path cannot clobber each other's
+   temp file (Binio picks a unique temp name per writer). *)
+let write_atomic ~path doc = Ccs.Binio.write_atomic ~path doc
 
 let with_graph graph f = f (or_die graph)
 
@@ -861,6 +855,163 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc:"Emit Graphviz DOT for a graph.")
     Term.(const run $ graph_args)
 
+(* --- serve / submit -------------------------------------------------------- *)
+
+let address_args =
+  let socket =
+    Arg.(
+      value & opt string "ccsched.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Use TCP instead of the Unix-domain socket.")
+  in
+  let resolve socket tcp =
+    match tcp with
+    | None -> Ok (Ccs_serve.Server.Unix_socket socket)
+    | Some spec -> (
+        let bad () =
+          Error (Printf.sprintf "bad --tcp %S (expected HOST:PORT)" spec)
+        in
+        match String.rindex_opt spec ':' with
+        | None -> bad ()
+        | Some i -> (
+            let host = String.sub spec 0 i in
+            let port =
+              String.sub spec (i + 1) (String.length spec - i - 1)
+            in
+            match int_of_string_opt port with
+            | Some p when host <> "" && p > 0 ->
+                Ok (Ccs_serve.Server.Tcp (host, p))
+            | _ -> bad ()))
+  in
+  Term.(const resolve $ socket $ tcp)
+
+let serve_cmd =
+  let run address dir workers level =
+    let address = or_die address in
+    let level =
+      match Ccs.Log.level_of_string level with
+      | Some l -> l
+      | None -> or_die (Error (Printf.sprintf "unknown log level %S" level))
+    in
+    let log = Ccs.Log.to_channel ~level stderr in
+    Ccs_serve.Server.run { Ccs_serve.Server.address; dir; workers; log }
+  in
+  let dir =
+    Arg.(
+      value & opt string ".ccsched-serve"
+      & info [ "dir" ] ~docv:"PATH"
+          ~doc:
+            "State directory: the persistent plan cache and per-worker \
+             metrics snapshots live here.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Preforked accept workers sharing the listening socket and the \
+             plan cache; 0 serves inline in this process.")
+  in
+  let level =
+    Arg.(
+      value & opt string "info"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Log level on stderr: debug, info, warn or error.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduling daemon: accept graph specs over a socket, \
+          answer with plans and predicted miss bounds, and memoise the \
+          NP-hard partitioning step in a persistent plan cache.  GET \
+          /metrics on the same socket returns Prometheus metrics.  \
+          SIGTERM shuts down cleanly.")
+    Term.(const run $ address_args $ dir $ workers $ level)
+
+let submit_cmd =
+  let run address graph m b ways capacities dry_run =
+    let address = or_die address in
+    with_graph graph @@ fun g ->
+    let capacities =
+      match capacities with
+      | None -> None
+      | Some s -> Some (Array.of_list (or_die (ints_of_string s)))
+    in
+    let fields =
+      [
+        ("op", Ccs.Json.String "plan");
+        ("graph", Ccs.Json.String (Ccs.Serial.to_text g));
+        ("cache_words", Ccs.Json.Int m);
+        ("block_words", Ccs.Json.Int b);
+      ]
+      @ (match ways with
+        | None -> []
+        | Some w -> [ ("ways", Ccs.Json.Int w) ])
+      @ (match capacities with
+        | None -> []
+        | Some caps ->
+            [
+              ( "capacities",
+                Ccs.Json.List
+                  (Array.to_list
+                     (Array.map (fun c -> Ccs.Json.Int c) caps)) );
+            ])
+      @ if dry_run then [ ("dry_run", Ccs.Json.Bool true) ] else []
+    in
+    let line = Ccs.Json.to_string (Ccs.Json.Obj fields) in
+    let response =
+      try Ccs_serve.Server.request address line
+      with Unix.Unix_error (e, _, _) ->
+        or_die
+          (Error
+             (Printf.sprintf "cannot reach daemon at %s: %s"
+                (Ccs_serve.Server.pp_address address)
+                (Unix.error_message e)))
+    in
+    print_endline response;
+    match Ccs.Json.of_string response with
+    | Ok v when Ccs.Json.member "ok" v = Some (Ccs.Json.Bool true) -> ()
+    | _ -> exit 1
+  in
+  let ways =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ways" ] ~docv:"N"
+          ~doc:"Ask for an N-way set-associative cache (1 = direct-mapped).")
+  in
+  let capacities =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "capacities" ] ~docv:"N0,N1,..."
+          ~doc:
+            "Pin these per-channel buffer capacities (tokens, in channel \
+             order) instead of the planner's choice.")
+  in
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:
+            "Also run one period of the plan on the compiled backend and \
+             report its output count and checksum.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit one graph to a running ccsched serve daemon and print its \
+          response line; exit nonzero on an error response.")
+    Term.(
+      const run $ address_args $ graph_args $ cache_words_arg
+      $ block_words_arg $ ways $ capacities $ dry_run)
+
 let () =
   let doc = "cache-conscious scheduling of streaming applications (SPAA'12)" in
   let status =
@@ -875,7 +1026,8 @@ let () =
            [
              check_cmd; info_cmd; partition_cmd; run_cmd; profile_cmd;
              compare_cmd; apps_cmd; multi_cmd; trace_cmd; codegen_cmd;
-             fuse_cmd; normalize_cmd; dot_cmd; bench_cmd;
+             fuse_cmd; normalize_cmd; dot_cmd; bench_cmd; serve_cmd;
+             submit_cmd;
            ])
     with
     | Ccs.Error.Error e ->

@@ -12,6 +12,12 @@ type choice = {
   plan : Sched.Plan.t;
 }
 
+(* Bump whenever any planning decision below (partitioner choice, bounds,
+   batch granularity, capacity sizing) changes observable output: cached
+   plan artifacts are keyed on this, so stale plans from an older
+   pipeline miss instead of being served. *)
+let planner_version = 1
+
 (* The paper's upper bounds run a cM-bounded partition on an O(cM) cache
    (constant-factor augmentation).  Auto targets the machine the user
    actually configured, so components get at most half the real cache —

@@ -14,6 +14,12 @@ type choice = {
   plan : Ccs_sched.Plan.t;
 }
 
+val planner_version : int
+(** Version of the planning pipeline.  Cached plan artifacts embed it in
+    their {!Ccs_exec.Plan_key}, so plans produced by an older pipeline
+    are cache misses, never silently served.  Bumped whenever partitioner
+    choice, bounds, batching or capacity sizing change output. *)
+
 val fitting_bound : Ccs_sdf.Graph.t -> Config.t -> int
 (** The component state bound {!partition} actually enforces: half the
     configured cache (the rest absorbs buffers and streaming blocks),

@@ -52,6 +52,8 @@ module Fault = Ccs_exec.Fault
 module Checkpoint = Ccs_exec.Checkpoint
 module Overlay = Ccs_exec.Overlay
 module Replay = Ccs_exec.Replay
+module Clock = Ccs_exec.Clock
+module Plan_key = Ccs_exec.Plan_key
 
 (* Observability: per-entity miss attribution, event tracing, metrics
    registry, structured logging, and the bench regression differ *)

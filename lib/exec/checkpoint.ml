@@ -21,7 +21,7 @@ type t = {
   tracer : (int * int) option; (* logical clock, dropped-event count *)
 }
 
-let graph_digest g = Digest.to_hex (Digest.string (Ccs_sdf.Serial.to_text g))
+let graph_digest = Plan_key.graph_digest
 
 let capture ~plan_name ~epoch machine =
   let g = Machine.graph machine in
@@ -46,20 +46,8 @@ let capture ~plan_name ~epoch machine =
 
 (* --- wire format ---------------------------------------------------------- *)
 
-let policy_tag = function
-  | Cache.Lru -> (0, 0)
-  | Cache.Set_associative ways -> (1, ways)
-  | Cache.Direct_mapped -> (2, 0)
-
-let policy_of_tag ~path tag ways =
-  match tag with
-  | 0 -> Cache.Lru
-  | 1 -> Cache.Set_associative ways
-  | 2 -> Cache.Direct_mapped
-  | _ ->
-      E.fail
-        (E.Checkpoint_corrupt
-           { path; reason = Printf.sprintf "unknown cache policy tag %d" tag })
+let policy_tag = Plan_key.policy_tag
+let policy_of_tag = Plan_key.policy_of_tag
 
 let encode t =
   let w = Binio.W.create () in
@@ -176,11 +164,10 @@ let decode ~path payload =
     tracer;
   }
 
-(* Checkpoint I/O telemetry.  Latency is CPU time (Sys.time) in
-   microseconds — the repo links no clock library and the histograms are
-   log-bucketed anyway, so CPU microseconds are the right resolution. *)
-let now_us () = int_of_float (Sys.time () *. 1e6)
-
+(* Checkpoint I/O telemetry.  Latency is monotonic wall-clock time
+   ({!Clock.now_us}): CPU time hid I/O stalls entirely and misreported
+   latency whenever several processes shared a core.  The [_us] fields
+   stay warn-only in the bench regression gate. *)
 let record_io reg ~op ~us ~bytes =
   Metrics.inc
     (Metrics.counter reg
@@ -188,7 +175,8 @@ let record_io reg ~op ~us ~bytes =
        (Printf.sprintf "ccs_checkpoint_%ss_total" op));
   Metrics.observe
     (Metrics.histogram reg
-       ~help:(Printf.sprintf "Checkpoint %s latency (CPU microseconds)" op)
+       ~help:
+         (Printf.sprintf "Checkpoint %s latency (wall-clock microseconds)" op)
        (Printf.sprintf "ccs_checkpoint_%s_us" op))
     us;
   Metrics.observe
@@ -197,18 +185,17 @@ let record_io reg ~op ~us ~bytes =
     bytes
 
 let save ?metrics ~path t =
-  let t0 = now_us () in
+  let t0 = Clock.now_us () in
   let payload = encode t in
   Binio.write_file ~path ~magic ~version payload;
   match metrics with
   | None -> ()
   | Some reg ->
-      record_io reg ~op:"save"
-        ~us:(max 0 (now_us () - t0))
+      record_io reg ~op:"save" ~us:(Clock.elapsed_us ~since:t0)
         ~bytes:(String.length payload)
 
 let load ?metrics ~path () =
-  let t0 = now_us () in
+  let t0 = Clock.now_us () in
   match Binio.read_file ~path ~magic ~version () with
   | Error e -> Error e
   | Ok payload -> (
@@ -218,55 +205,42 @@ let load ?metrics ~path () =
           (match metrics with
           | None -> ()
           | Some reg ->
-              record_io reg ~op:"load"
-                ~us:(max 0 (now_us () - t0))
+              record_io reg ~op:"load" ~us:(Clock.elapsed_us ~since:t0)
                 ~bytes:(String.length payload));
           Ok t)
 
 (* --- validation + restore ------------------------------------------------- *)
 
-let pp_policy = function
-  | Cache.Lru -> "lru"
-  | Cache.Set_associative ways -> Printf.sprintf "set-associative/%d" ways
-  | Cache.Direct_mapped -> "direct-mapped"
+let key_of t =
+  Plan_key.make ~capacities:t.capacities ~graph_digest:t.graph_digest
+    ~cache_config:t.cache_config ()
 
-let pp_config c =
-  Printf.sprintf "%dw/%db/%s" c.Cache.size_words c.Cache.block_words
-    (pp_policy c.Cache.policy)
-
-let mismatch ~path ~field ~expected ~found =
-  Error (E.Checkpoint_mismatch { path; field; expected; found })
+let machine_key machine =
+  let g = Machine.graph machine in
+  Plan_key.of_graph g
+    ~cache:(Cache.config_of (Machine.cache machine))
+    ~capacities:
+      (Array.init (Graph.num_edges g) (fun e -> Machine.capacity machine e))
 
 let validate ~path t machine =
-  let g = Machine.graph machine in
-  let digest = graph_digest g in
-  if t.graph_digest <> digest then
-    mismatch ~path ~field:"graph" ~expected:t.graph_digest ~found:digest
-  else
-    let cfg = Cache.config_of (Machine.cache machine) in
-    if t.cache_config <> cfg then
-      mismatch ~path ~field:"cache" ~expected:(pp_config t.cache_config)
-        ~found:(pp_config cfg)
-    else
-      let capacities =
-        Array.init (Graph.num_edges g) (fun e -> Machine.capacity machine e)
-      in
-      if t.capacities <> capacities then
-        mismatch ~path ~field:"capacities"
-          ~expected:
-            (String.concat ","
-               (Array.to_list (Array.map string_of_int t.capacities)))
-          ~found:
-            (String.concat ","
-               (Array.to_list (Array.map string_of_int capacities)))
-      else
-        match (t.counters, Machine.counters machine) with
-        | Some (accesses, _), Some c
-          when Array.length accesses <> Counters.entities c ->
-            mismatch ~path ~field:"counters"
-              ~expected:(string_of_int (Array.length accesses))
-              ~found:(string_of_int (Counters.entities c))
-        | _ -> Ok ()
+  (* The identity checks — graph digest, cache configuration, capacity
+     vector — are exactly a {!Plan_key} comparison (checkpoints don't
+     involve the planner, so both sides carry planner version 0). *)
+  match Plan_key.check ~path ~expected:(key_of t) ~found:(machine_key machine) with
+  | Error _ as e -> e
+  | Ok () -> (
+      match (t.counters, Machine.counters machine) with
+      | Some (accesses, _), Some c
+        when Array.length accesses <> Counters.entities c ->
+          Error
+            (E.Checkpoint_mismatch
+               {
+                 path;
+                 field = "counters";
+                 expected = string_of_int (Array.length accesses);
+                 found = string_of_int (Counters.entities c);
+               })
+      | _ -> Ok ())
 
 let restore ~path t machine =
   match validate ~path t machine with

@@ -42,10 +42,11 @@ val capture : plan_name:string -> epoch:int -> Machine.t -> t
 (** Snapshot a machine's complete execution state. *)
 
 val save : ?metrics:Ccs_obs.Metrics.t -> path:string -> t -> unit
-(** Write atomically (temp file + rename).  With [metrics], bumps
-    [ccs_checkpoint_saves_total] and observes [ccs_checkpoint_save_us]
-    (encode+write CPU latency, microseconds) and [ccs_checkpoint_bytes]
-    (payload size).
+(** Write atomically (unique temp file + rename, {!Ccs_sdf.Binio}).  With
+    [metrics], bumps [ccs_checkpoint_saves_total] and observes
+    [ccs_checkpoint_save_us] (encode+write wall-clock latency,
+    microseconds, from {!Clock}) and [ccs_checkpoint_bytes] (payload
+    size).
     @raise Sys_error on I/O failure. *)
 
 val load :

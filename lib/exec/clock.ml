@@ -1,0 +1,18 @@
+(* The single time source for latency telemetry.
+
+   [Sys.time] (what ccs_checkpoint_{save,load}_us used before) measures
+   CPU time, which makes I/O stalls invisible and misreports latency the
+   moment more than one process shares a core — exactly the regime the
+   serve daemon's forked workers run in.  This is wall-clock time from
+   [Unix.gettimeofday], monotonicized: a reading never goes backwards
+   even if the system clock is stepped underneath us, so latency deltas
+   are never negative. *)
+
+let last = ref 0
+
+let now_us () =
+  let us = int_of_float (Unix.gettimeofday () *. 1e6) in
+  if us > !last then last := us;
+  !last
+
+let elapsed_us ~since = max 0 (now_us () - since)

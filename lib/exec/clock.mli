@@ -1,0 +1,18 @@
+(** The single time source for latency telemetry.
+
+    Monotonic wall-clock microseconds: unlike the CPU time ([Sys.time])
+    the checkpoint metrics used before, wall time counts I/O stalls and
+    stays truthful when several processes share a core (the serve
+    daemon's forked workers).  Readings never decrease, even across
+    system clock steps, so deltas are safe to feed to histograms.
+
+    Timing fields derived from this clock keep the [_us] suffix, which
+    [Bench_diff] already treats as warn-only — wall-clock jitter never
+    fails the bench regression gate. *)
+
+val now_us : unit -> int
+(** Current monotonic wall-clock reading, in microseconds.  Only deltas
+    between readings are meaningful. *)
+
+val elapsed_us : since:int -> int
+(** [elapsed_us ~since] is [now_us () - since], clamped non-negative. *)

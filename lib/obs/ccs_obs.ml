@@ -3,7 +3,8 @@
     timestamps ({!Tracer}), Chrome [trace_event] / summary writers
     ({!Trace_export}), a metrics registry with Prometheus/JSON exposition
     ({!Metrics}), levelled structured logging ({!Log}) and the JSON
-    substrate they share ({!Json}).  Dependency-free by design — the
+    substrate they share ({!Json}).  Nearly dependency-free — only the
+    atomic-write substrate ({!Ccs_sdf.Binio}) is shared — and the
     execution layers ([Ccs_exec.Machine], [Ccs_multi.Multi_machine],
     [Ccs_runtime.Engine]) accept these as optional attachments and pay
     nothing when they are absent. *)

@@ -23,10 +23,15 @@ type t = {
 
 let make ?(level = Info) sink = { threshold = level; sink; seq = 0 }
 
+(* Flushed per line: channel loggers serve long-running processes
+   (the daemon's preforked workers log to an inherited stderr and can
+   die on a signal at any moment), so a line must be durable the
+   moment it is emitted, not at channel-buffer pressure or exit. *)
 let to_channel ?level oc =
   make ?level (fun line ->
       output_string oc line;
-      output_char oc '\n')
+      output_char oc '\n';
+      flush oc)
 
 let to_buffer ?level buf =
   make ?level (fun line ->

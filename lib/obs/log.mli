@@ -22,6 +22,10 @@ val make : ?level:level -> (string -> unit) -> t
     [sink].  Default threshold: [Info]. *)
 
 val to_channel : ?level:level -> out_channel -> t
+(** Flushes the channel after every line, so each event is durable the
+    moment it is emitted — channel loggers back long-running processes
+    that may be killed by a signal at any point. *)
+
 val to_buffer : ?level:level -> Buffer.t -> t
 
 val null : t

@@ -87,21 +87,11 @@ let chrome ?(process_name = "ccs simulated machine") ?(thread_names = [])
   Buffer.add_string buf "}}";
   Buffer.contents buf
 
-(* Write-to-temp-then-rename (the Checkpoint/Binio discipline): a crash
-   mid-export leaves the previous file (or nothing) on disk — never a
-   truncated, unparseable JSON document. *)
-let write ~path doc =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  (try
-     output_string oc doc;
-     output_char oc '\n';
-     close_out oc
-   with exn ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise exn);
-  Sys.rename tmp path
+(* Atomic write (the shared Binio discipline): a crash mid-export leaves
+   the previous file (or nothing) on disk — never a truncated,
+   unparseable JSON document — and concurrent exporters cannot clobber
+   each other's temp file. *)
+let write ~path doc = Ccs_sdf.Binio.write_atomic ~path (doc ^ "\n")
 
 let entity_summary counters ~label =
   let rows = ref [] in

@@ -90,26 +90,54 @@ let check_magic magic =
   if String.length magic <> 8 then
     invalid_arg "Binio: magic must be exactly 8 bytes"
 
-(* Write-to-temp-then-rename: a crash mid-write leaves the previous file (or
-   nothing) rather than a torn frame. *)
-let write_file ~path ~magic ~version payload =
-  check_magic magic;
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
+(* Write-to-temp-then-rename.  The temp name must be unique per writer: a
+   fixed [path ^ ".tmp"] lets two concurrent writers (daemon workers,
+   parallel bench runs) open the same temp file and rename each other's
+   half-written bytes into place.  pid + a process-local counter
+   disambiguate writers; O_EXCL catches the leftovers of a crashed
+   predecessor (we retry with the next counter value rather than truncate
+   a file another live writer may be filling). *)
+let tmp_counter = ref 0
+
+let write_atomic ?(binary = false) ~path content =
+  let dir = Filename.dirname path in
+  let base = Filename.basename path in
+  let rec open_tmp attempts =
+    incr tmp_counter;
+    let tmp =
+      Filename.concat dir
+        (Printf.sprintf ".%s.%d.%d.tmp" base (Unix.getpid ()) !tmp_counter)
+    in
+    let flags =
+      [ Open_wronly; Open_creat; Open_excl;
+        (if binary then Open_binary else Open_text) ]
+    in
+    match open_out_gen flags 0o644 tmp with
+    | oc -> (tmp, oc)
+    | exception Sys_error _ when attempts > 0 -> open_tmp (attempts - 1)
+  in
+  let tmp, oc = open_tmp 16 in
   (try
-     output_string oc magic;
-     let b = Buffer.create 24 in
-     Buffer.add_int64_le b (Int64.of_int version);
-     Buffer.add_int64_le b (Int64.of_int (String.length payload));
-     Buffer.add_int64_le b (Int64.of_int (fnv1a64 payload));
-     output_string oc (Buffer.contents b);
-     output_string oc payload;
+     output_string oc content;
      close_out oc
    with e ->
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  Sys.rename tmp path
+  try Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+let write_file ~path ~magic ~version payload =
+  check_magic magic;
+  let b = Buffer.create (header_bytes + String.length payload) in
+  Buffer.add_string b magic;
+  Buffer.add_int64_le b (Int64.of_int version);
+  Buffer.add_int64_le b (Int64.of_int (String.length payload));
+  Buffer.add_int64_le b (Int64.of_int (fnv1a64 payload));
+  Buffer.add_string b payload;
+  write_atomic ~binary:true ~path (Buffer.contents b)
 
 let read_file ~path ~magic ~version () =
   check_magic magic;

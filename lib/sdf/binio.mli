@@ -41,10 +41,23 @@ module R : sig
       payload — catches writer/reader schema drift. *)
 end
 
+val write_atomic : ?binary:bool -> path:string -> string -> unit
+(** [write_atomic ~path content] writes [content] to a uniquely named
+    temp file in [path]'s directory (pid + per-process counter, opened
+    with [O_EXCL]) and renames it into place — the atomic-write
+    discipline shared by every writer in the repository (checkpoints,
+    metrics/log snapshots, bench JSON, trace exports).  Unlike a fixed
+    [path ^ ".tmp"], concurrent writers (daemon workers, parallel bench
+    runs) can never open each other's temp file or rename a half-written
+    rival into place; the last rename wins with a complete document.  The
+    temp file is removed on failure.  [binary] (default [false]) selects
+    binary mode for the temp channel.
+    @raise Sys_error on I/O failure. *)
+
 val write_file : path:string -> magic:string -> version:int -> string -> unit
-(** [write_file ~path ~magic ~version payload] frames and writes the
-    payload atomically (temp file + rename), so a crash mid-write never
-    leaves a torn frame behind.
+(** [write_file ~path ~magic ~version payload] frames the payload and
+    writes it with {!write_atomic}, so a crash mid-write never leaves a
+    torn frame behind.
     @raise Invalid_argument unless [magic] is exactly 8 bytes.
     @raise Sys_error on I/O failure. *)
 

@@ -69,6 +69,7 @@ type t =
   | Budget_exhausted of { plan : string; budget : int; snapshot : snapshot }
   | Fault of { node : string; fault : fault_class; detail : string }
   | Failure_msg of { context : string; reason : string }
+  | Request_invalid of { reason : string }
   | Checkpoint_corrupt of { path : string; reason : string }
   | Checkpoint_version of { path : string; found : int; expected : int }
   | Checkpoint_mismatch of {
@@ -126,6 +127,7 @@ let rec code = function
   | Budget_exhausted _ -> "budget-exhausted"
   | Fault { fault; _ } -> "fault-" ^ fault_class_to_string fault
   | Failure_msg _ -> "failure"
+  | Request_invalid _ -> "request-invalid"
   | Checkpoint_corrupt _ -> "checkpoint-corrupt"
   | Checkpoint_version _ -> "checkpoint-version"
   | Checkpoint_mismatch _ -> "checkpoint-mismatch"
@@ -257,6 +259,8 @@ let rec pp fmt = function
         detail
   | Failure_msg { context; reason } ->
       Format.fprintf fmt "%s: %s" context reason
+  | Request_invalid { reason } ->
+      Format.fprintf fmt "invalid request: %s" reason
   | Checkpoint_corrupt { path; reason } ->
       Format.fprintf fmt "checkpoint %s is unusable: %s" path reason
   | Checkpoint_version { path; found; expected } ->

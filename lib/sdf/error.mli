@@ -98,6 +98,11 @@ type t =
   | Fault of { node : string; fault : fault_class; detail : string }
   | Failure_msg of { context : string; reason : string }
       (** Wrapper for legacy string errors not yet given structure. *)
+  | Request_invalid of { reason : string }
+      (** A malformed request to the scheduling service: unparseable JSON,
+          a missing/mistyped field, or an unknown operation.  The daemon
+          answers these with a structured error response and keeps the
+          connection open. *)
   | Checkpoint_corrupt of { path : string; reason : string }
       (** A checkpoint file that fails framing validation: bad magic,
           truncation, checksum mismatch, or a malformed payload. *)

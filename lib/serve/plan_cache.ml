@@ -1,0 +1,107 @@
+module E = Ccs.Error
+module Binio = Ccs.Binio
+
+let magic = "CCSPLAN1"
+let version = 1
+
+let path ~dir key = Filename.concat dir (Ccs.Plan_key.digest key ^ ".ccsplan")
+
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Schedule trees on the wire: 0 = Fire node, 1 = Seq length items...,
+   2 = Repeat count body. *)
+let rec encode_schedule w = function
+  | Ccs.Schedule.Fire v ->
+      Binio.W.int w 0;
+      Binio.W.int w v
+  | Ccs.Schedule.Seq items ->
+      Binio.W.int w 1;
+      Binio.W.int w (List.length items);
+      List.iter (encode_schedule w) items
+  | Ccs.Schedule.Repeat (k, body) ->
+      Binio.W.int w 2;
+      Binio.W.int w k;
+      encode_schedule w body
+
+let rec decode_schedule ~path r =
+  match Binio.R.int r with
+  | 0 -> Ccs.Schedule.Fire (Binio.R.int r)
+  | 1 ->
+      let n = Binio.R.int r in
+      if n < 0 then
+        E.fail
+          (E.Checkpoint_corrupt
+             { path; reason = Printf.sprintf "negative sequence length %d" n });
+      let items = ref [] in
+      for _ = 1 to n do
+        items := decode_schedule ~path r :: !items
+      done;
+      Ccs.Schedule.Seq (List.rev !items)
+  | 2 ->
+      let k = Binio.R.int r in
+      Ccs.Schedule.Repeat (k, decode_schedule ~path r)
+  | tag ->
+      E.fail
+        (E.Checkpoint_corrupt
+           { path; reason = Printf.sprintf "unknown schedule tag %d" tag })
+
+let encode_artifact w (a : Protocol.artifact) =
+  Binio.W.string w a.plan_name;
+  Binio.W.int w a.batch;
+  Binio.W.int_array w a.components;
+  Binio.W.int_array w a.capacities;
+  Binio.W.float w a.predicted_mpi;
+  Binio.W.float w a.bandwidth_per_input;
+  Binio.W.int w a.buffer_words;
+  encode_schedule w a.period
+
+let decode_artifact ~path r : Protocol.artifact =
+  let plan_name = Binio.R.string r in
+  let batch = Binio.R.int r in
+  let components = Binio.R.int_array r in
+  let capacities = Binio.R.int_array r in
+  let predicted_mpi = Binio.R.float r in
+  let bandwidth_per_input = Binio.R.float r in
+  let buffer_words = Binio.R.int r in
+  let period = decode_schedule ~path r in
+  {
+    plan_name;
+    batch;
+    components;
+    capacities;
+    period;
+    predicted_mpi;
+    bandwidth_per_input;
+    buffer_words;
+  }
+
+let store ~dir ~key artifact =
+  ensure_dir dir;
+  let w = Binio.W.create () in
+  Ccs.Plan_key.encode w key;
+  encode_artifact w artifact;
+  Binio.write_file ~path:(path ~dir key) ~magic ~version (Binio.W.contents w)
+
+let lookup ~dir ~key =
+  let p = path ~dir key in
+  if not (Sys.file_exists p) then Ok None
+  else
+    match Binio.read_file ~path:p ~magic ~version () with
+    | Error e -> Error e
+    | Ok payload ->
+        Result.map Option.some
+          (E.protect (fun () ->
+               let r = Binio.R.of_string ~path:p payload in
+               let found = Ccs.Plan_key.decode ~path:p r in
+               (match Ccs.Plan_key.check ~path:p ~expected:key ~found with
+               | Ok () -> ()
+               | Error e -> E.fail e);
+               let a = decode_artifact ~path:p r in
+               Binio.R.expect_end r;
+               a))

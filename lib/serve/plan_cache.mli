@@ -1,0 +1,38 @@
+(** The daemon's persistent on-disk plan cache.
+
+    One {!Ccs.Binio} framed/checksummed record per cached plan, named
+    [<key-digest>.ccsplan] under the cache directory, where the digest is
+    {!Ccs.Plan_key.digest} over the full composite key (graph digest,
+    cache configuration, pinned capacities, planner version).  Each record
+    embeds the key it was stored under and {!lookup} re-validates it with
+    {!Ccs.Plan_key.check} — so even a renamed or colliding file is
+    rejected with a structured [Checkpoint_mismatch] naming the offending
+    field, never silently served for the wrong configuration.
+
+    Records are written with the shared atomic-write discipline (unique
+    temp file + rename), so concurrent workers racing to populate the
+    same key are safe: the last complete record wins, and both are
+    byte-identical anyway because planning is deterministic. *)
+
+val magic : string
+val version : int
+
+val path : dir:string -> Ccs.Plan_key.t -> string
+(** Where a key's record lives: [dir/<digest>.ccsplan]. *)
+
+val ensure_dir : string -> unit
+(** Create a directory if it does not exist (shared with the metrics
+    snapshot directory). *)
+
+val store : dir:string -> key:Ccs.Plan_key.t -> Protocol.artifact -> unit
+(** Persist an artifact under its key (creating [dir] if needed).
+    @raise Sys_error on I/O failure. *)
+
+val lookup :
+  dir:string ->
+  key:Ccs.Plan_key.t ->
+  (Protocol.artifact option, Ccs.Error.t) result
+(** [Ok None] if no record exists; [Error] on a corrupt frame
+    ([Checkpoint_corrupt]), format skew ([Checkpoint_version]) or a
+    record whose embedded key disagrees with [key]
+    ([Checkpoint_mismatch]). *)

@@ -1,0 +1,454 @@
+module E = Ccs.Error
+module Metrics = Ccs.Metrics
+
+type address = Unix_socket of string | Tcp of string * int
+
+type config = {
+  address : address;
+  dir : string;
+  workers : int;
+  log : Ccs.Log.t;
+}
+
+let pp_address = function
+  | Unix_socket path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+(* --- per-worker metrics ---------------------------------------------------- *)
+
+type metrics = {
+  registry : Metrics.t;
+  requests : Metrics.counter;
+  hits : Metrics.counter;
+  misses : Metrics.counter;
+  errors : Metrics.counter;
+  plan_builds : Metrics.counter;
+  request_us : Metrics.histogram;
+  plan_us : Metrics.histogram;
+}
+
+let make_metrics () =
+  let registry = Metrics.create () in
+  let c name help = Metrics.counter registry ~help name in
+  let h name help = Metrics.histogram registry ~help name in
+  {
+    registry;
+    requests = c "ccs_serve_requests_total" "Protocol requests received.";
+    hits =
+      c "ccs_serve_cache_hits_total"
+        "Plan requests answered from the persistent plan cache.";
+    misses =
+      c "ccs_serve_cache_misses_total"
+        "Plan requests that had to run the planner.";
+    errors =
+      c "ccs_serve_errors_total"
+        "Requests answered with a structured error response.";
+    plan_builds = c "ccs_serve_plan_builds_total" "Planner pipeline runs.";
+    request_us =
+      h "ccs_serve_request_us"
+        "End-to-end request latency, wall-clock microseconds.";
+    plan_us =
+      h "ccs_serve_plan_us" "Planner pipeline latency, wall-clock microseconds.";
+  }
+
+type t = { config : config; m : metrics }
+
+let make config = { config; m = make_metrics () }
+
+let cache_dir t = Filename.concat t.config.dir "plans"
+let metrics_dir t = Filename.concat t.config.dir "metrics"
+
+let snapshot_path t =
+  Filename.concat (metrics_dir t)
+    (Printf.sprintf "worker-%d.json" (Unix.getpid ()))
+
+(* Publish this worker's registry for /metrics scrapes (from any worker).
+   Atomic rename, so a concurrent scrape never reads a torn document. *)
+let publish_metrics t =
+  Plan_cache.ensure_dir (metrics_dir t);
+  Ccs.Binio.write_atomic ~path:(snapshot_path t)
+    (Metrics.to_json_string t.m.registry ^ "\n")
+
+let scrape t =
+  let dir = metrics_dir t in
+  let files =
+    if Sys.file_exists dir then
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".json")
+      |> List.sort String.compare
+    else []
+  in
+  let docs =
+    List.filter_map
+      (fun f ->
+        let path = Filename.concat dir f in
+        match In_channel.with_open_text path In_channel.input_all with
+        | contents -> Result.to_option (Ccs.Json.of_string contents)
+        | exception Sys_error _ -> None)
+      files
+  in
+  Snapshot.to_prometheus (Snapshot.merge docs)
+
+(* --- the planning pipeline ------------------------------------------------- *)
+
+let fail_report (report : Ccs.Check.report) =
+  match report.errors with e :: _ -> E.fail e | [] -> ()
+
+let policy_of_ways = function
+  | None -> Ccs.Cache.Lru
+  | Some 1 -> Ccs.Cache.Direct_mapped
+  | Some w -> Ccs.Cache.Set_associative w
+
+(* Rebuild a Plan.t from a cached artifact; also the dry-run path for
+   fresh builds, so hits and misses exercise identical code. *)
+let plan_of_artifact (a : Protocol.artifact) =
+  Ccs.Plan.of_period ~name:a.plan_name ~capacities:a.capacities a.period
+
+let dry_run_of g cache (a : Protocol.artifact) =
+  let plan = plan_of_artifact a in
+  let lowered = Ccs.Lowering.exn g ~plan ~cache in
+  let c = Ccs.Compiled.create lowered in
+  Ccs.Compiled.run_periods c 1;
+  { Protocol.outputs = Ccs.Compiled.outputs c;
+    checksum = Ccs.Compiled.checksum c }
+
+let build_artifact t (req : Protocol.plan_request) g cache : Protocol.artifact =
+  let t0 = Ccs.Clock.now_us () in
+  let cfg =
+    Ccs.Config.make ~policy:cache.Ccs.Cache.policy ~cache_words:req.cache_words
+      ~block_words:req.block_words ()
+  in
+  let choice =
+    try Ccs.Auto.plan ~dynamic:false g cfg
+    with Ccs.Graph.Invalid_graph reason ->
+      E.fail (E.Failure_msg { context = "planning"; reason })
+  in
+  Metrics.inc t.m.plan_builds;
+  let plan =
+    match req.capacities with
+    | None -> choice.plan
+    | Some capacities -> (
+        if Array.length capacities <> Ccs.Graph.num_edges g then
+          E.fail
+            (E.Request_invalid
+               {
+                 reason =
+                   Printf.sprintf "%d capacities for %d channels"
+                     (Array.length capacities) (Ccs.Graph.num_edges g);
+               });
+        let period =
+          match choice.plan.period with Some p -> p | None -> assert false
+        in
+        let pinned =
+          Ccs.Plan.of_period ~name:choice.plan.name ~capacities period
+        in
+        match Ccs.Plan.validate ~cache ~spec:choice.partition g pinned with
+        | Ok () -> pinned
+        | Error findings -> (
+            match
+              List.filter (fun e -> E.severity e = `Error) findings
+            with
+            | e :: _ -> E.fail e
+            | [] -> pinned))
+  in
+  let period =
+    match plan.period with Some p -> p | None -> assert false
+  in
+  let artifact =
+    {
+      Protocol.plan_name = plan.name;
+      batch = choice.batch;
+      components = Ccs.Spec.assignment choice.partition;
+      capacities = plan.capacities;
+      period;
+      predicted_mpi =
+        Ccs.Analysis.partition_cost_prediction choice.partition choice.analysis
+          ~b:req.block_words ~t:choice.batch;
+      bandwidth_per_input =
+        Ccs.Analysis.bandwidth_per_input choice.partition choice.analysis;
+      buffer_words = Ccs.Plan.buffer_words plan;
+    }
+  in
+  Metrics.observe t.m.plan_us (Ccs.Clock.elapsed_us ~since:t0);
+  artifact
+
+let handle_plan t ~t0 (req : Protocol.plan_request) =
+  fail_report
+    (Ccs.Check.cache_config ?ways:req.ways ~size_words:req.cache_words
+       ~block_words:req.block_words ());
+  let cache =
+    Ccs.Cache.config
+      ~policy:(policy_of_ways req.ways)
+      ~size_words:req.cache_words ~block_words:req.block_words ()
+  in
+  let g =
+    match Ccs.Serial.parse req.graph_text with
+    | Ok g -> g
+    | Error e -> E.fail e
+  in
+  fail_report (Ccs.Check.graph g);
+  let key =
+    Ccs.Plan_key.of_graph g ~cache
+      ~capacities:(Option.value req.capacities ~default:[||])
+      ~planner_version:Ccs.Auto.planner_version
+  in
+  let dir = cache_dir t in
+  let cached, artifact =
+    match Plan_cache.lookup ~dir ~key with
+    | Ok (Some artifact) -> (true, artifact)
+    | Ok None ->
+        let artifact = build_artifact t req g cache in
+        (* Store before responding: once a client has seen an answer, a
+           repeat of the same request is guaranteed to hit. *)
+        Plan_cache.store ~dir ~key artifact;
+        (false, artifact)
+    | Error e ->
+        (* A damaged record is the daemon's problem, not the client's:
+           log the structured finding, rebuild, overwrite. *)
+        Ccs.Log.warn t.config.log "plan-cache record rejected"
+          [
+            ("code", Ccs.Json.String (E.code e));
+            ("detail", Ccs.Json.String (E.to_string e));
+          ];
+        let artifact = build_artifact t req g cache in
+        Plan_cache.store ~dir ~key artifact;
+        (false, artifact)
+  in
+  Metrics.inc (if cached then t.m.hits else t.m.misses);
+  let dry_run = if req.dry_run then Some (dry_run_of g cache artifact) else None in
+  Protocol.plan_response ~cached ~key:(Ccs.Plan_key.digest key) ~artifact
+    ~dry_run ~elapsed_us:(Ccs.Clock.elapsed_us ~since:t0)
+
+let handle_line t line =
+  let t0 = Ccs.Clock.now_us () in
+  Metrics.inc t.m.requests;
+  let response =
+    match Protocol.parse_request line with
+    | Error e ->
+        Metrics.inc t.m.errors;
+        Protocol.error_response e
+    | Ok Protocol.Ping -> Protocol.pong
+    | Ok (Protocol.Plan req) -> (
+        match E.protect (fun () -> handle_plan t ~t0 req) with
+        | Ok json -> json
+        | Error e ->
+            Metrics.inc t.m.errors;
+            Protocol.error_response e)
+  in
+  Metrics.observe t.m.request_us (Ccs.Clock.elapsed_us ~since:t0);
+  (* Snapshot before responding, so a client that has seen the answer
+     also sees it reflected in the next scrape. *)
+  publish_metrics t;
+  Ccs.Json.to_string response
+
+(* --- connection handling --------------------------------------------------- *)
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+(* Minimal HTTP/1.0 response for Prometheus scrapes; everything else on
+   the socket is the line protocol. *)
+let serve_http t ic oc first_line =
+  let rec drain_headers () =
+    match input_line ic with
+    | "" | "\r" -> ()
+    | _ -> drain_headers ()
+    | exception End_of_file -> ()
+  in
+  drain_headers ();
+  let target =
+    match String.split_on_char ' ' (strip_cr first_line) with
+    | _ :: target :: _ -> target
+    | _ -> "/"
+  in
+  let status, body =
+    if target = "/metrics" then ("200 OK", scrape t)
+    else ("404 Not Found", "not found\n")
+  in
+  Printf.fprintf oc
+    "HTTP/1.0 %s\r\nContent-Type: text/plain; version=0.0.4\r\n\
+     Content-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status (String.length body) body;
+  flush oc
+
+let handle_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let finish () = try Unix.close fd with Unix.Unix_error _ -> () in
+  match input_line ic with
+  | exception End_of_file -> finish ()
+  | first ->
+      if
+        String.length first >= 4
+        && (String.sub first 0 4 = "GET " || String.sub first 0 5 = "HEAD ")
+      then (
+        (try serve_http t ic oc first
+         with Sys_error _ | Unix.Unix_error _ -> ());
+        finish ())
+      else begin
+        let rec loop line =
+          let line = strip_cr line in
+          if line <> "" then begin
+            output_string oc (handle_line t line);
+            output_char oc '\n';
+            flush oc
+          end;
+          match input_line ic with
+          | next -> loop next
+          | exception End_of_file -> ()
+        in
+        (try loop first with Sys_error _ | Unix.Unix_error _ -> ());
+        finish ()
+      end
+
+(* --- sockets and process structure ----------------------------------------- *)
+
+let stop = ref false
+
+let listen_fd config =
+  match config.address with
+  | Unix_socket path ->
+      (* A stale socket file from a crashed daemon would make bind fail;
+         nothing can be listening on it if we are starting. *)
+      if Sys.file_exists path then (
+        try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } ->
+              failwith ("cannot resolve " ^ host)
+          | h -> h.Unix.h_addr_list.(0)
+          | exception Not_found -> failwith ("cannot resolve " ^ host))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 64;
+      fd
+
+let accept_loop t fd =
+  while not !stop do
+    match Unix.accept fd with
+    | client, _ -> (
+        try handle_connection t client
+        with e ->
+          (try Unix.close client with Unix.Unix_error _ -> ());
+          Ccs.Log.error t.config.log "connection handler raised"
+            [ ("exn", Ccs.Json.String (Printexc.to_string e)) ])
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let cleanup config fd =
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  match config.address with
+  | Unix_socket path -> (
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ()
+
+let clear_stale_snapshots config =
+  let dir = Filename.concat config.dir "metrics" in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".json" then
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)
+
+let install_stop_handlers () =
+  let handler = Sys.Signal_handle (fun _ -> stop := true) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let worker config fd =
+  (* Children die on SIGTERM outright (the parent reaps them); only the
+     parent runs the graceful-cleanup path. *)
+  Sys.set_signal Sys.sigterm Sys.Signal_default;
+  Sys.set_signal Sys.sigint Sys.Signal_default;
+  let t = { config; m = make_metrics () } in
+  publish_metrics t;
+  accept_loop t fd;
+  exit 0
+
+let run config =
+  install_stop_handlers ();
+  Plan_cache.ensure_dir config.dir;
+  clear_stale_snapshots config;
+  let fd = listen_fd config in
+  Ccs.Log.info config.log "listening"
+    [
+      ("address", Ccs.Json.String (pp_address config.address));
+      ("dir", Ccs.Json.String config.dir);
+      ("workers", Ccs.Json.Int config.workers);
+    ];
+  if config.workers <= 0 then begin
+    (* Inline mode: one process, sequential connections. *)
+    let t = { config; m = make_metrics () } in
+    publish_metrics t;
+    accept_loop t fd;
+    cleanup config fd
+  end
+  else begin
+    let spawn () =
+      match Unix.fork () with 0 -> worker config fd | pid -> pid
+    in
+    let children = ref (List.init config.workers (fun _ -> spawn ())) in
+    let nap () =
+      try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    in
+    (* Supervise: respawn workers that die while we are not shutting
+       down, so one crashed connection handler cannot drain the pool. *)
+    while not !stop do
+      match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+      | 0, _ -> nap ()
+      | pid, _ ->
+          children := List.filter (fun p -> p <> pid) !children;
+          if not !stop then children := spawn () :: !children
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> nap ()
+    done;
+    List.iter
+      (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+      !children;
+    List.iter
+      (fun pid ->
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      !children;
+    cleanup config fd
+  end
+
+(* --- client side ----------------------------------------------------------- *)
+
+let connect address =
+  match address with
+  | Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+  | Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      fd
+
+let request address line =
+  let fd = connect address in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      input_line ic)

@@ -1,0 +1,58 @@
+(** The scheduling daemon: sockets, workers, metrics, shutdown.
+
+    [run config] binds the configured address (a Unix-domain socket path
+    or a TCP host/port), then either serves connections inline
+    ([workers <= 0]: one process, sequential connections — the mode unit
+    tests use) or preforks [workers] children that [accept] from the
+    shared listening socket.  Each connection speaks the line protocol
+    ({!Protocol}); a connection whose first line is an HTTP [GET]/[HEAD]
+    instead gets a one-shot HTTP/1.0 answer — [GET /metrics] returns the
+    Prometheus page merged across every worker's published snapshot
+    ({!Snapshot}).
+
+    All durable state lives under [config.dir]: the plan cache in
+    [dir/plans] ({!Plan_cache}) and per-worker metrics snapshots in
+    [dir/metrics].  Workers share the cache directory without
+    coordination — records are atomically written and keyed by content,
+    so races between workers are benign.
+
+    [SIGTERM]/[SIGINT] shut down cleanly: workers are terminated and
+    reaped, the listening socket is closed and its socket file removed,
+    and [run] returns (the CLI then exits 0).  [SIGPIPE] is ignored — a
+    client disconnecting mid-response must not kill the daemon. *)
+
+type address = Unix_socket of string | Tcp of string * int
+
+type config = {
+  address : address;
+  dir : string;  (** State directory: plan cache + metrics snapshots. *)
+  workers : int;  (** [<= 0]: serve inline in this process. *)
+  log : Ccs.Log.t;
+}
+
+val pp_address : address -> string
+
+val run : config -> unit
+(** Serve until [SIGTERM]/[SIGINT]; returns after cleanup. *)
+
+(** {2 Client side} — used by [ccsched submit] and the tests. *)
+
+val connect : address -> Unix.file_descr
+val request : address -> string -> string
+(** One round-trip: connect, send one request line, read one response
+    line, close.
+    @raise Unix.Unix_error if the daemon is unreachable. *)
+
+(** {2 Exposed for tests} *)
+
+type t
+
+val make : config -> t
+(** A daemon state without any socket — drive it with {!handle_line}. *)
+
+val handle_line : t -> string -> string
+(** Handle one request line (the daemon's core), returning the response
+    line (without the trailing newline). *)
+
+val scrape : t -> string
+(** The merged Prometheus page. *)

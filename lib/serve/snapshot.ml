@@ -1,0 +1,198 @@
+module Json = Ccs.Json
+
+type data =
+  | Value of int
+  | Histo of { count : int; sum : int; buckets : (int * int) list }
+      (** [buckets]: (inclusive upper bound, non-cumulative count),
+          ascending. *)
+
+type series = {
+  name : string;
+  labels : (string * string) list;
+  help : string;
+  kind : [ `Counter | `Gauge | `Histogram ];
+  data : data;
+}
+
+(* --- parsing Metrics.to_json documents ------------------------------------ *)
+
+let labels_of v =
+  match Json.member "labels" v with
+  | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_str v))
+        fields
+  | _ -> []
+
+let series_of kind v =
+  match Json.member "name" v with
+  | Some (Json.String name) ->
+      let help =
+        match Json.member "help" v with Some (Json.String h) -> h | _ -> ""
+      in
+      let int_field f =
+        Option.bind (Json.member f v) Json.to_int |> Option.value ~default:0
+      in
+      let data =
+        match kind with
+        | `Counter | `Gauge -> Value (int_field "value")
+        | `Histogram ->
+            let buckets =
+              match Json.member "buckets" v with
+              | Some (Json.List bs) ->
+                  List.filter_map
+                    (fun b ->
+                      match
+                        ( Option.bind (Json.member "le" b) Json.to_int,
+                          Option.bind (Json.member "count" b) Json.to_int )
+                      with
+                      | Some le, Some n -> Some (le, n)
+                      | _ -> None)
+                    bs
+              | _ -> []
+            in
+            Histo { count = int_field "count"; sum = int_field "sum"; buckets }
+      in
+      Some { name; labels = labels_of v; help; kind; data }
+  | _ -> None
+
+let of_json doc =
+  let section key kind =
+    match Json.member key doc with
+    | Some (Json.List items) -> List.filter_map (series_of kind) items
+    | _ -> []
+  in
+  section "counters" `Counter
+  @ section "gauges" `Gauge
+  @ section "histograms" `Histogram
+
+(* --- merging --------------------------------------------------------------- *)
+
+let merge_buckets a b =
+  (* Both lists are ascending by bound; merge like a sorted-list union,
+     summing counts at equal bounds. *)
+  let rec go a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | (la, na) :: ta, (lb, _) :: _ when la < lb -> (la, na) :: go ta b
+    | (la, _) :: _, (lb, nb) :: tb when lb < la -> (lb, nb) :: go a tb
+    | (la, na) :: ta, (_, nb) :: tb -> (la, na + nb) :: go ta tb
+  in
+  go a b
+
+let merge_data a b =
+  match (a, b) with
+  | Value x, Value y -> Value (x + y)
+  | Histo x, Histo y ->
+      Histo
+        {
+          count = x.count + y.count;
+          sum = x.sum + y.sum;
+          buckets = merge_buckets x.buckets y.buckets;
+        }
+  | _, _ -> a
+
+let merge docs =
+  (* Sum per-worker snapshots by (name, labels), preserving first-seen
+     order so the merged page is stable across scrapes. *)
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun doc ->
+      List.iter
+        (fun s ->
+          let id = (s.name, s.labels) in
+          match Hashtbl.find_opt tbl id with
+          | None ->
+              Hashtbl.add tbl id s;
+              order := id :: !order
+          | Some prev ->
+              Hashtbl.replace tbl id
+                {
+                  prev with
+                  data = merge_data prev.data s.data;
+                  help = (if prev.help = "" then s.help else prev.help);
+                })
+        (of_json doc))
+    docs;
+  List.rev_map (Hashtbl.find tbl) !order
+
+(* --- Prometheus text exposition -------------------------------------------- *)
+
+(* Mirrors Metrics.to_prometheus so single-worker and merged multi-worker
+   pages render identically. *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_labels buf labels =
+  if labels <> [] then begin
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        escape buf v;
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}'
+  end
+
+let sample buf name labels v =
+  Buffer.add_string buf name;
+  add_labels buf labels;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int v);
+  Buffer.add_char buf '\n'
+
+let to_prometheus series =
+  let buf = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  let header s =
+    if not (Hashtbl.mem seen_header s.name) then begin
+      Hashtbl.add seen_header s.name ();
+      if s.help <> "" then begin
+        Buffer.add_string buf "# HELP ";
+        Buffer.add_string buf s.name;
+        Buffer.add_char buf ' ';
+        escape buf s.help;
+        Buffer.add_char buf '\n'
+      end;
+      Buffer.add_string buf "# TYPE ";
+      Buffer.add_string buf s.name;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf
+        (match s.kind with
+        | `Counter -> "counter"
+        | `Gauge -> "gauge"
+        | `Histogram -> "histogram");
+      Buffer.add_char buf '\n'
+    end
+  in
+  List.iter
+    (fun s ->
+      header s;
+      match s.data with
+      | Value v -> sample buf s.name s.labels v
+      | Histo { count; sum; buckets } ->
+          let cumulative = ref 0 in
+          List.iter
+            (fun (le, n) ->
+              cumulative := !cumulative + n;
+              sample buf (s.name ^ "_bucket")
+                (s.labels @ [ ("le", string_of_int le) ])
+                !cumulative)
+            buckets;
+          sample buf (s.name ^ "_bucket") (s.labels @ [ ("le", "+Inf") ]) count;
+          sample buf (s.name ^ "_sum") s.labels sum;
+          sample buf (s.name ^ "_count") s.labels count)
+    series;
+  Buffer.contents buf

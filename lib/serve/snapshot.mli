@@ -1,0 +1,35 @@
+(** Merging per-worker metrics snapshots for one [/metrics] page.
+
+    Each daemon worker owns a private {!Ccs.Metrics} registry (plain int
+    cells — nothing shareable across [fork]) and publishes it after every
+    request as a {!Ccs.Metrics.to_json} document, atomically written to
+    the shared state directory.  Whichever worker receives a scrape reads
+    all published documents, sums them by [(name, labels)], and renders
+    one Prometheus page.  The rendering mirrors
+    {!Ccs.Metrics.to_prometheus} — cumulative [_bucket] series with an
+    always-present [+Inf], [_sum]/[_count], one HELP/TYPE pair per metric
+    — so single-worker and merged multi-worker pages look identical. *)
+
+type data =
+  | Value of int
+  | Histo of { count : int; sum : int; buckets : (int * int) list }
+      (** [buckets]: (inclusive upper bound, non-cumulative count),
+          ascending. *)
+
+type series = {
+  name : string;
+  labels : (string * string) list;
+  help : string;
+  kind : [ `Counter | `Gauge | `Histogram ];
+  data : data;
+}
+
+val of_json : Ccs.Json.value -> series list
+(** Parse one {!Ccs.Metrics.to_json} document.  Malformed entries are
+    dropped, not errors — a half-written snapshot must not take down the
+    scrape (and cannot occur under the atomic-write discipline anyway). *)
+
+val merge : Ccs.Json.value list -> series list
+(** Sum documents by [(name, labels)], preserving first-seen order. *)
+
+val to_prometheus : series list -> string

@@ -1,0 +1,561 @@
+(* The scheduling daemon, from the protocol up: request parsing,
+   composite cache keys, the persistent plan cache's framing/mismatch
+   discipline, the request pipeline (driven through handle_line, no
+   sockets), and a forked-daemon soak test — concurrent clients over a
+   Unix socket, responses bit-identical to single-shot planning, metrics
+   accounting exact, malformed lines answered structurally without
+   dropping the connection, clean SIGTERM shutdown. *)
+
+module E = Ccs.Error
+module Json = Ccs.Json
+module Srv = Ccs_serve.Server
+module Proto = Ccs_serve.Protocol
+module Cache = Ccs_serve.Plan_cache
+
+let tmp_dir () =
+  let path = Filename.temp_file "ccs-serve" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let plan_line ?(m = 2048) ?(b = 16) ?ways ?capacities ?(dry_run = false) graph
+    =
+  let fields =
+    [
+      ("op", Json.String "plan");
+      ("graph", Json.String graph);
+      ("cache_words", Json.Int m);
+      ("block_words", Json.Int b);
+    ]
+    @ (match ways with None -> [] | Some w -> [ ("ways", Json.Int w) ])
+    @ (match capacities with
+      | None -> []
+      | Some caps ->
+          [ ("capacities", Json.List (List.map (fun c -> Json.Int c) caps)) ])
+    @ if dry_run then [ ("dry_run", Json.Bool true) ] else []
+  in
+  Json.to_string (Json.Obj fields)
+
+let app_graph name =
+  match Ccs_apps.Suite.find name with
+  | Some entry -> Ccs.Serial.to_text (entry.Ccs_apps.Suite.graph ())
+  | None -> Alcotest.failf "unknown app %s" name
+
+let error_code line =
+  match Json.of_string line with
+  | Ok v -> (
+      match Option.bind (Json.member "error" v) (Json.member "code") with
+      | Some (Json.String c) -> Some c
+      | _ -> None)
+  | Error _ -> None
+
+let is_cached line =
+  match Json.of_string line with
+  | Ok v -> Json.member "cached" v = Some (Json.Bool true)
+  | Error _ -> false
+
+let is_ok line =
+  match Json.of_string line with
+  | Ok v -> Json.member "ok" v = Some (Json.Bool true)
+  | Error _ -> false
+
+(* Everything except the hit/miss flag and the latency must be
+   byte-identical between a cold build and a cache hit. *)
+let normalize line =
+  match Json.of_string line with
+  | Ok (Json.Obj fields) ->
+      Json.to_string
+        (Json.Obj
+           (List.filter
+              (fun (k, _) -> k <> "cached" && k <> "elapsed_us")
+              fields))
+  | Ok _ | Error _ -> Alcotest.failf "unparseable response %s" line
+
+let make_daemon () =
+  Srv.make
+    {
+      Srv.address = Srv.Unix_socket "/nonexistent";
+      dir = tmp_dir ();
+      workers = 0;
+      log = Ccs.Log.null;
+    }
+
+(* --- protocol -------------------------------------------------------------- *)
+
+let check_invalid name line =
+  match Proto.parse_request line with
+  | Error (E.Request_invalid _) -> ()
+  | Error e -> Alcotest.failf "%s: wrong error %s" name (E.to_string e)
+  | Ok _ -> Alcotest.failf "%s: parsed" name
+
+let test_parse_rejects () =
+  check_invalid "garbage" "this is not json";
+  check_invalid "non-object" "[1,2,3]";
+  check_invalid "no op" "{}";
+  check_invalid "unknown op" {|{"op":"nope"}|};
+  check_invalid "mistyped op" {|{"op":7}|};
+  check_invalid "plan without graph" {|{"op":"plan","cache_words":256}|};
+  check_invalid "plan without cache"
+    {|{"op":"plan","graph":"module a 1 1 1\n"}|};
+  check_invalid "mistyped capacities"
+    {|{"op":"plan","graph":"g","cache_words":256,"capacities":["x"]}|};
+  check_invalid "mistyped dry_run"
+    {|{"op":"plan","graph":"g","cache_words":256,"dry_run":3}|}
+
+let test_parse_plan () =
+  match Proto.parse_request (plan_line ~ways:2 ~capacities:[ 4; 4 ] "G") with
+  | Ok (Proto.Plan r) ->
+      Alcotest.(check string) "graph" "G" r.graph_text;
+      Alcotest.(check int) "m" 2048 r.cache_words;
+      Alcotest.(check int) "b" 16 r.block_words;
+      Alcotest.(check (option int)) "ways" (Some 2) r.ways;
+      Alcotest.(check bool) "caps" true (r.capacities = Some [| 4; 4 |]);
+      Alcotest.(check bool) "dry_run" false r.dry_run
+  | Ok Proto.Ping -> Alcotest.fail "parsed as ping"
+  | Error e -> Alcotest.failf "rejected: %s" (E.to_string e)
+
+let test_parse_ping () =
+  match Proto.parse_request {|{"op":"ping"}|} with
+  | Ok Proto.Ping -> ()
+  | _ -> Alcotest.fail "ping did not parse"
+
+(* --- plan keys ------------------------------------------------------------- *)
+
+let key_fixture () =
+  let g = Ccs.Generators.uniform_pipeline ~n:4 ~state:8 () in
+  let cache = Ccs.Cache.config ~size_words:256 ~block_words:16 () in
+  Ccs.Plan_key.of_graph g ~cache ~capacities:[| 4; 4; 4 |] ~planner_version:1
+
+let expect_mismatch field expected found =
+  match Ccs.Plan_key.check ~path:"k" ~expected ~found with
+  | Error (E.Checkpoint_mismatch m) ->
+      Alcotest.(check string) "field" field m.field
+  | Error e -> Alcotest.failf "wrong error %s" (E.to_string e)
+  | Ok () -> Alcotest.fail "mismatch accepted"
+
+let test_key_mismatch_fields () =
+  let k = key_fixture () in
+  expect_mismatch "graph" k { k with graph_digest = "0000" };
+  expect_mismatch "cache" k
+    { k with cache_config = { k.cache_config with size_words = 512 } };
+  expect_mismatch "capacities" k { k with capacities = [| 4; 4; 8 |] };
+  expect_mismatch "planner version" k { k with planner_version = 2 };
+  match Ccs.Plan_key.check ~path:"k" ~expected:k ~found:k with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "equal key rejected: %s" (E.to_string e)
+
+let test_key_digest_separates () =
+  let k = key_fixture () in
+  let digests =
+    [
+      Ccs.Plan_key.digest k;
+      Ccs.Plan_key.digest { k with graph_digest = "0000" };
+      Ccs.Plan_key.digest
+        { k with cache_config = { k.cache_config with size_words = 512 } };
+      Ccs.Plan_key.digest { k with capacities = [||] };
+      Ccs.Plan_key.digest { k with planner_version = 2 };
+    ]
+  in
+  Alcotest.(check int)
+    "all distinct"
+    (List.length digests)
+    (List.length (List.sort_uniq String.compare digests))
+
+(* --- plan cache ------------------------------------------------------------ *)
+
+let artifact_fixture () =
+  {
+    Proto.plan_name = "partitioned-batch-T64";
+    batch = 64;
+    components = [| 0; 0; 1; 1 |];
+    capacities = [| 4; 4; 4 |];
+    period =
+      Ccs.Schedule.Seq
+        [
+          Ccs.Schedule.Repeat (64, Ccs.Schedule.Fire 0);
+          Ccs.Schedule.Fire 1;
+          Ccs.Schedule.Repeat
+            (2, Ccs.Schedule.Seq [ Ccs.Schedule.Fire 2; Ccs.Schedule.Fire 3 ]);
+        ];
+    predicted_mpi = 0.125;
+    bandwidth_per_input = 2.5;
+    buffer_words = 12;
+  }
+
+let test_cache_roundtrip () =
+  let dir = tmp_dir () in
+  let key = key_fixture () in
+  let a = artifact_fixture () in
+  (match Cache.lookup ~dir ~key with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "empty cache should miss");
+  Cache.store ~dir ~key a;
+  match Cache.lookup ~dir ~key with
+  | Ok (Some b) ->
+      Alcotest.(check string) "name" a.Proto.plan_name b.Proto.plan_name;
+      Alcotest.(check int) "batch" a.Proto.batch b.Proto.batch;
+      Alcotest.(check bool)
+        "components" true
+        (a.Proto.components = b.Proto.components);
+      Alcotest.(check bool)
+        "capacities" true
+        (a.Proto.capacities = b.Proto.capacities);
+      Alcotest.(check bool)
+        "period" true
+        (Ccs.Schedule.equivalent a.Proto.period b.Proto.period);
+      Alcotest.(check (float 0.)) "mpi" a.Proto.predicted_mpi
+        b.Proto.predicted_mpi;
+      Alcotest.(check (float 0.))
+        "bw" a.Proto.bandwidth_per_input b.Proto.bandwidth_per_input;
+      Alcotest.(check int) "buffer" a.Proto.buffer_words b.Proto.buffer_words
+  | Ok None -> Alcotest.fail "stored record missed"
+  | Error e -> Alcotest.failf "lookup failed: %s" (E.to_string e)
+
+let test_cache_rejects_corruption () =
+  let dir = tmp_dir () in
+  let key = key_fixture () in
+  Cache.store ~dir ~key (artifact_fixture ());
+  let path = Cache.path ~dir key in
+  let bytes =
+    In_channel.with_open_bin path In_channel.input_all |> Bytes.of_string
+  in
+  Bytes.set bytes
+    (Bytes.length bytes - 3)
+    (Char.chr (Char.code (Bytes.get bytes (Bytes.length bytes - 3)) lxor 0x40));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc bytes);
+  match Cache.lookup ~dir ~key with
+  | Error (E.Checkpoint_corrupt _) -> ()
+  | Error e -> Alcotest.failf "wrong error %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "corrupt record served"
+
+let test_cache_rejects_renamed_record () =
+  (* A record renamed onto another key's filename (or a digest collision)
+     must be rejected by the embedded key, naming the differing field. *)
+  let dir = tmp_dir () in
+  let key = key_fixture () in
+  let other =
+    { key with cache_config = { key.cache_config with size_words = 512 } }
+  in
+  Cache.store ~dir ~key (artifact_fixture ());
+  Sys.rename (Cache.path ~dir key) (Cache.path ~dir other);
+  match Cache.lookup ~dir ~key:other with
+  | Error (E.Checkpoint_mismatch m) ->
+      Alcotest.(check string) "field" "cache" m.field
+  | Error e -> Alcotest.failf "wrong error %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "mis-keyed record served"
+
+(* --- request pipeline (no sockets) ----------------------------------------- *)
+
+let test_miss_then_hit_identical () =
+  let t = make_daemon () in
+  let line = plan_line ~dry_run:true (app_graph "fm-radio") in
+  let r1 = Srv.handle_line t line in
+  let r2 = Srv.handle_line t line in
+  Alcotest.(check bool) "first ok" true (is_ok r1);
+  Alcotest.(check bool) "first is a miss" false (is_cached r1);
+  Alcotest.(check bool) "second is a hit" true (is_cached r2);
+  Alcotest.(check string) "bit-identical" (normalize r1) (normalize r2)
+
+let test_config_change_misses () =
+  (* The regression the composite key exists for: changing any cache
+     parameter must miss, never serve the other configuration's plan. *)
+  let t = make_daemon () in
+  let graph = app_graph "fft" in
+  let r1 = Srv.handle_line t (plan_line ~m:2048 graph) in
+  Alcotest.(check bool) "cold miss" false (is_cached r1);
+  Alcotest.(check bool) "same config hits" true
+    (is_cached (Srv.handle_line t (plan_line ~m:2048 graph)));
+  Alcotest.(check bool) "cache size change misses" false
+    (is_cached (Srv.handle_line t (plan_line ~m:4096 graph)));
+  Alcotest.(check bool) "block size change misses" false
+    (is_cached (Srv.handle_line t (plan_line ~m:2048 ~b:32 graph)));
+  Alcotest.(check bool) "associativity change misses" false
+    (is_cached (Srv.handle_line t (plan_line ~m:2048 ~ways:2 graph)));
+  Alcotest.(check bool) "original config still hits" true
+    (is_cached (Srv.handle_line t (plan_line ~m:2048 graph)))
+
+let test_pinned_capacities () =
+  let t = make_daemon () in
+  let g = Ccs.Generators.uniform_pipeline ~n:4 ~state:8 () in
+  let graph = Ccs.Serial.to_text g in
+  let caps = [ 8; 8; 8 ] in
+  let r = Srv.handle_line t (plan_line ~m:256 ~capacities:caps graph) in
+  Alcotest.(check bool) "ok" true (is_ok r);
+  (match Json.of_string r with
+  | Ok v ->
+      let got =
+        Option.bind (Json.member "plan" v) (Json.member "capacities")
+      in
+      Alcotest.(check bool)
+        "capacities pinned" true
+        (got = Some (Json.List (List.map (fun c -> Json.Int c) caps)))
+  | Error _ -> Alcotest.fail "unparseable");
+  Alcotest.(check bool) "pinned request hits its own cache line" true
+    (is_cached (Srv.handle_line t (plan_line ~m:256 ~capacities:caps graph)));
+  Alcotest.(check bool) "unpinned is a different cache line" false
+    (is_cached (Srv.handle_line t (plan_line ~m:256 graph)))
+
+let test_structured_errors () =
+  let t = make_daemon () in
+  let check name expected line =
+    match error_code (Srv.handle_line t line) with
+    | Some code -> Alcotest.(check string) name expected code
+    | None -> Alcotest.failf "%s: no structured error" name
+  in
+  check "malformed line" "request-invalid" "{{{";
+  check "bad graph text" "parse"
+    (plan_line "module a 1 1\nthis is not a graph\n");
+  check "bad cache numbers" "cache-config-invalid"
+    (plan_line ~m:0 (app_graph "fm-radio"));
+  check "bad associativity" "cache-config-invalid"
+    (plan_line ~ways:100000 (app_graph "fm-radio"));
+  check "wrong capacity count" "request-invalid"
+    (plan_line ~capacities:[ 1 ] (app_graph "fm-radio"))
+
+let test_dry_run_matches_codegen () =
+  let t = make_daemon () in
+  let name = "fm-radio" in
+  let r = Srv.handle_line t (plan_line ~dry_run:true (app_graph name)) in
+  let dry = Json.of_string r |> Result.get_ok |> Json.member "dry_run" in
+  let field f =
+    Option.bind dry (Json.member f) |> Option.get |> Json.to_float |> Option.get
+  in
+  (* The same plan lowered locally must reproduce the daemon's answer. *)
+  let entry = Option.get (Ccs_apps.Suite.find name) in
+  let g = entry.Ccs_apps.Suite.graph () in
+  let cfg = Ccs.Config.make ~cache_words:2048 ~block_words:16 () in
+  let choice = Ccs.Auto.plan ~dynamic:false g cfg in
+  let lowered =
+    Ccs.Lowering.exn g ~plan:choice.Ccs.Auto.plan
+      ~cache:(Ccs.Config.cache_config cfg)
+  in
+  let c = Ccs.Compiled.create lowered in
+  Ccs.Compiled.run_periods c 1;
+  Alcotest.(check (float 0.))
+    "outputs"
+    (float_of_int (Ccs.Compiled.outputs c))
+    (field "outputs");
+  Alcotest.(check (float 0.)) "checksum" (Ccs.Compiled.checksum c)
+    (field "checksum")
+
+let metric page name =
+  let prefix = name ^ " " in
+  String.split_on_char '\n' page
+  |> List.find_map (fun l ->
+         if String.starts_with ~prefix l then
+           int_of_string_opt
+             (String.sub l (String.length prefix)
+                (String.length l - String.length prefix))
+         else None)
+  |> Option.value ~default:(-1)
+
+let test_metrics_accounting () =
+  let t = make_daemon () in
+  let graph = app_graph "bitonic" in
+  ignore (Srv.handle_line t (plan_line graph));
+  ignore (Srv.handle_line t (plan_line graph));
+  ignore (Srv.handle_line t (plan_line graph));
+  ignore (Srv.handle_line t "not json");
+  ignore (Srv.handle_line t {|{"op":"ping"}|});
+  let page = Srv.scrape t in
+  Alcotest.(check int) "requests" 5 (metric page "ccs_serve_requests_total");
+  Alcotest.(check int) "misses" 1 (metric page "ccs_serve_cache_misses_total");
+  Alcotest.(check int) "hits" 2 (metric page "ccs_serve_cache_hits_total");
+  Alcotest.(check int) "errors" 1 (metric page "ccs_serve_errors_total");
+  Alcotest.(check int) "plan builds" 1
+    (metric page "ccs_serve_plan_builds_total");
+  Alcotest.(check int) "request latency count" 5
+    (metric page "ccs_serve_request_us_count");
+  Alcotest.(check int) "plan latency count" 1
+    (metric page "ccs_serve_plan_us_count")
+
+(* --- the soak test: a real forked daemon ----------------------------------- *)
+
+let wait_for_socket sock =
+  let rec go n =
+    if Sys.file_exists sock then ()
+    else if n = 0 then Alcotest.fail "daemon socket never appeared"
+    else (
+      Unix.sleepf 0.05;
+      go (n - 1))
+  in
+  go 200
+
+let scrape_http address =
+  let fd = Srv.connect address in
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  output_string oc "GET /metrics HTTP/1.0\r\n\r\n";
+  flush oc;
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Buffer.contents buf
+
+let test_soak () =
+  let dir = tmp_dir () in
+  let sock = Filename.concat dir "d.sock" in
+  let config =
+    {
+      Srv.address = Srv.Unix_socket sock;
+      dir = Filename.concat dir "state";
+      workers = 2;
+      log = Ccs.Log.null;
+    }
+  in
+  flush stdout;
+  flush stderr;
+  let server_pid =
+    match Unix.fork () with
+    | 0 ->
+        (try Srv.run config with _ -> ());
+        Unix._exit 0
+    | pid -> pid
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill server_pid Sys.sigterm with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] server_pid) with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  wait_for_socket sock;
+  let apps = Ccs_apps.Suite.names in
+  let lines = List.map (fun name -> plan_line (app_graph name)) apps in
+  (* Round 1: every app once; all misses (cold cache). *)
+  let round1 = List.map (Srv.request config.Srv.address) lines in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "round-1 ok" true (is_ok r);
+      Alcotest.(check bool) "round-1 miss" false (is_cached r))
+    round1;
+  (* Round 2: concurrent clients replaying the full suite; every response
+     must be a hit, bit-identical to round 1's build. *)
+  let nclients = 4 in
+  let out i = Filename.concat dir (Printf.sprintf "client-%d.out" i) in
+  let spawn i =
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        let ok =
+          try
+            let oc = open_out (out i) in
+            List.iter
+              (fun line ->
+                output_string oc (Srv.request config.Srv.address line);
+                output_char oc '\n')
+              lines;
+            close_out oc;
+            true
+          with _ -> false
+        in
+        Unix._exit (if ok then 0 else 1)
+    | pid -> pid
+  in
+  let clients = List.init nclients spawn in
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "soak client failed")
+    clients;
+  let expected = List.map normalize round1 in
+  List.iter
+    (fun i ->
+      let got =
+        In_channel.with_open_text (out i) In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check int) "client answered all" (List.length apps)
+        (List.length got);
+      List.iter2
+        (fun want r ->
+          Alcotest.(check bool) "round-2 hit" true (is_cached r);
+          Alcotest.(check string) "round-2 identical" want (normalize r))
+        expected got)
+    (List.init nclients Fun.id);
+  (* Malformed lines: structured error, connection stays usable. *)
+  let fd = Srv.connect config.Srv.address in
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  output_string oc "this is not json\n";
+  flush oc;
+  let r = input_line ic in
+  Alcotest.(check (option string))
+    "malformed -> structured error" (Some "request-invalid") (error_code r);
+  output_string oc "{\"op\":\"ping\"}\n";
+  flush oc;
+  Alcotest.(check bool) "connection survives" true (is_ok (input_line ic));
+  Unix.close fd;
+  (* A config change is a miss even with a hot cache. *)
+  let r =
+    Srv.request config.Srv.address (plan_line ~m:4096 (app_graph "fm-radio"))
+  in
+  Alcotest.(check bool) "config change misses" false (is_cached r);
+  (* Metrics, merged across both workers, account for every request:
+     12 misses + 48 hits + 1 miss (config change) + 1 error + 1 ping. *)
+  let page = scrape_http config.Srv.address in
+  let n = metric page in
+  Alcotest.(check int) "requests" 63 (n "ccs_serve_requests_total");
+  Alcotest.(check int) "hits" 48 (n "ccs_serve_cache_hits_total");
+  Alcotest.(check int) "misses" 13 (n "ccs_serve_cache_misses_total");
+  Alcotest.(check int) "errors" 1 (n "ccs_serve_errors_total");
+  Alcotest.(check int)
+    "hits + misses + errors + pings = requests"
+    (n "ccs_serve_requests_total")
+    (n "ccs_serve_cache_hits_total"
+    + n "ccs_serve_cache_misses_total"
+    + n "ccs_serve_errors_total"
+    + 1);
+  (* Clean shutdown: SIGTERM -> exit 0, socket file removed. *)
+  Unix.kill server_pid Sys.sigterm;
+  (match Unix.waitpid [] server_pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> Alcotest.fail "daemon did not exit cleanly on SIGTERM");
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists sock)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "rejects malformed requests" `Quick
+            test_parse_rejects;
+          Alcotest.test_case "parses plan requests" `Quick test_parse_plan;
+          Alcotest.test_case "parses ping" `Quick test_parse_ping;
+        ] );
+      ( "plan key",
+        [
+          Alcotest.test_case "mismatch names the field" `Quick
+            test_key_mismatch_fields;
+          Alcotest.test_case "digest separates every component" `Quick
+            test_key_digest_separates;
+        ] );
+      ( "plan cache",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "rejects corruption" `Quick
+            test_cache_rejects_corruption;
+          Alcotest.test_case "rejects a renamed record" `Quick
+            test_cache_rejects_renamed_record;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "miss then hit, identical" `Quick
+            test_miss_then_hit_identical;
+          Alcotest.test_case "config change misses" `Quick
+            test_config_change_misses;
+          Alcotest.test_case "pinned capacities" `Quick test_pinned_capacities;
+          Alcotest.test_case "structured errors" `Quick test_structured_errors;
+          Alcotest.test_case "dry run matches codegen" `Quick
+            test_dry_run_matches_codegen;
+          Alcotest.test_case "metrics accounting" `Quick
+            test_metrics_accounting;
+        ] );
+      ("soak", [ Alcotest.test_case "forked daemon" `Slow test_soak ]);
+    ]

@@ -171,6 +171,80 @@ let test_partition_dot () =
   Alcotest.(check bool) "cross edges bold" true (contains dot "style=bold");
   Alcotest.(check bool) "labels carry state" true (contains dot "(10)")
 
+(* --- Clock ------------------------------------------------------------------ *)
+
+let test_clock_monotone () =
+  let prev = ref (Ccs.Clock.now_us ()) in
+  for _ = 1 to 1000 do
+    let now = Ccs.Clock.now_us () in
+    Alcotest.(check bool) "never goes backwards" true (now >= !prev);
+    prev := now
+  done
+
+let test_clock_is_wall_time () =
+  (* The bug this replaces: Sys.time measures CPU seconds, so a sleeping
+     process reported ~zero latency.  Wall-clock time must see the sleep. *)
+  let t0 = Ccs.Clock.now_us () in
+  Unix.sleepf 0.02;
+  let elapsed = Ccs.Clock.elapsed_us ~since:t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "sleep visible (elapsed %dus)" elapsed)
+    true
+    (elapsed >= 10_000)
+
+(* --- Binio.write_atomic ----------------------------------------------------- *)
+
+let test_write_atomic_basic () =
+  let dir = Filename.temp_file "ccs-wa" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "out.txt" in
+  Ccs.Binio.write_atomic ~path "first\n";
+  Ccs.Binio.write_atomic ~path "second\n";
+  Alcotest.(check string)
+    "last write wins" "second\n"
+    (In_channel.with_open_text path In_channel.input_all);
+  Alcotest.(check (list string))
+    "no stray temp files" [ "out.txt" ]
+    (Array.to_list (Sys.readdir dir))
+
+let test_write_atomic_concurrent_writers () =
+  (* The clobber this discipline fixes: two processes writing the same
+     path with a fixed "path ^ .tmp" name can interleave create/rename
+     and install a torn file.  With unique temp names, every reader sees
+     one writer's complete document, and no temp files survive. *)
+  let dir = Filename.temp_file "ccs-wa" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "contended.txt" in
+  let writers = 4 and rounds = 50 in
+  let payload w = String.concat "" (List.init 64 (fun _ -> string_of_int w)) in
+  flush stdout;
+  flush stderr;
+  let spawn w =
+    match Unix.fork () with
+    | 0 ->
+        for _ = 1 to rounds do
+          Ccs.Binio.write_atomic ~path (payload w)
+        done;
+        Unix._exit 0
+    | pid -> pid
+  in
+  let pids = List.init writers spawn in
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "writer process failed")
+    pids;
+  let final = In_channel.with_open_text path In_channel.input_all in
+  Alcotest.(check bool)
+    "final contents are one writer's complete document" true
+    (List.exists (fun w -> final = payload w) (List.init writers Fun.id));
+  Alcotest.(check (list string))
+    "no temp files left behind" [ "contended.txt" ]
+    (Array.to_list (Sys.readdir dir))
+
 let () =
   Alcotest.run "utilities"
     [
@@ -200,4 +274,16 @@ let () =
         ] );
       ( "dot",
         [ Alcotest.test_case "partition dot" `Quick test_partition_dot ] );
+      ( "clock",
+        [
+          Alcotest.test_case "monotone" `Quick test_clock_monotone;
+          Alcotest.test_case "wall time, not cpu time" `Quick
+            test_clock_is_wall_time;
+        ] );
+      ( "write-atomic",
+        [
+          Alcotest.test_case "basic" `Quick test_write_atomic_basic;
+          Alcotest.test_case "concurrent writers" `Quick
+            test_write_atomic_concurrent_writers;
+        ] );
     ]
