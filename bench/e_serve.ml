@@ -58,13 +58,9 @@ let e24 () =
         Fun.protect ~finally:(fun () -> remove_tree state) @@ fun () ->
         let daemon =
           Ccs_serve.Server.make
-            {
-              Ccs_serve.Server.address =
-                Ccs_serve.Server.Unix_socket "/nonexistent";
-              dir = state;
-              workers = 0;
-              log = Ccs.Log.null;
-            }
+            (Ccs_serve.Server.default_config
+               ~address:(Ccs_serve.Server.Unix_socket "/nonexistent")
+               ~dir:state)
         in
         let line =
           Ccs.Json.to_string
@@ -121,3 +117,245 @@ let e24 () =
     "warm requests skip the NP-hard partitioning entirely: one framed \
      read, validated against the composite cache key, answers \
      bit-identically to the cold build"
+
+(* E25: serve hardening — the bounded store across an eviction cycle, and
+   overload shedding under concurrent clients.
+
+   Part 1 drives an inline daemon whose plan store is bounded to half the
+   application suite (6 records for 12 apps) with the hot cache off, so
+   every request exercises the disk store.  Cycling the full suite twice
+   is the classic LRU-thrash shape — the second cycle gets zero hits,
+   because each build evicts exactly the record the cycle will want last
+   — and a third cycle over the store's working-set-sized tail gets all
+   hits.  Every re-build after an eviction must be bit-identical to the
+   first build (determinism is what makes eviction safe), and the
+   eviction count is exact, so all of part 1's fields gate the CI diff.
+
+   Part 2 forks a real daemon and hammers it with concurrent client
+   processes, once without shedding and once with [max_inflight] below
+   the client count so the daemon sheds and clients retry with jittered
+   backoff.  The deterministic contract — every request eventually
+   completes, zero lost — gates the diff; latency and shed rates are
+   wall-clock and therefore warn-only ([_us]/[per_sec] fields). *)
+
+let plan_request g m b =
+  Ccs.Json.to_string
+    (Ccs.Json.Obj
+       [
+         ("op", Ccs.Json.String "plan");
+         ("graph", Ccs.Json.String (Ccs.Serial.to_text g));
+         ("cache_words", Ccs.Json.Int m);
+         ("block_words", Ccs.Json.Int b);
+       ])
+
+let is_hit line =
+  response_field line "cached" = Some (Ccs.Json.Bool true)
+
+let e25_eviction_cycle () =
+  let m = 2048 and b = 16 in
+  let bound = 6 in
+  let state = fresh_state "e25-cycle" in
+  Fun.protect ~finally:(fun () -> remove_tree state) @@ fun () ->
+  let daemon =
+    Ccs_serve.Server.make
+      {
+        (Ccs_serve.Server.default_config
+           ~address:(Ccs_serve.Server.Unix_socket "/nonexistent")
+           ~dir:state)
+        with
+        Ccs_serve.Server.store_max_entries = bound;
+        hot_cache = 0 (* every lookup exercises the disk store *);
+      }
+  in
+  let apps = Ccs_apps.Suite.all in
+  let lines =
+    List.map
+      (fun e -> plan_request (e.Ccs_apps.Suite.graph ()) m b)
+      apps
+  in
+  let run_cycle ls = List.map (Ccs_serve.Server.handle_line daemon) ls in
+  let hits rs = List.length (List.filter is_hit rs) in
+  let cycle1 = run_cycle lines in
+  let cycle2 = run_cycle lines in
+  (* the store now holds the tail of the suite: its working set *)
+  let tail n l = List.filteri (fun i _ -> i >= List.length l - n) l in
+  let cycle3 = run_cycle (tail bound lines) in
+  let rebuilt_identical =
+    List.for_all2
+      (fun c1 c2 -> strip_volatile c1 = strip_volatile c2)
+      cycle1 cycle2
+  in
+  if Json.enabled () then
+    Json.point
+      [
+        ("kind", Json.String "serve_eviction_cycle");
+        ("apps", Json.Int (List.length apps));
+        ("store_max_entries", Json.Int bound);
+        ("cycle1_hits", Json.Int (hits cycle1));
+        ("cycle2_hits", Json.Int (hits cycle2));
+        ("cycle3_hits", Json.Int (hits cycle3));
+        ("rebuilt_identical", Json.Bool rebuilt_identical);
+      ];
+  Ccs.Table.print
+    ~header:[ "cycle"; "requests"; "hits"; "note" ]
+    ~rows:
+      [
+        [ "1 (cold)"; string_of_int (List.length cycle1);
+          string_of_int (hits cycle1); "all builds" ];
+        [ "2 (thrash)"; string_of_int (List.length cycle2);
+          string_of_int (hits cycle2); "LRU thrash: bound < working set" ];
+        [ "3 (tail)"; string_of_int (List.length cycle3);
+          string_of_int (hits cycle3); "working set fits: all hits" ];
+      ];
+  note
+    "every post-eviction rebuild bit-identical to the first build: %s"
+    (if rebuilt_identical then "yes" else "NO")
+
+(* One client process: [reqs] sequential round-trips with retry/backoff,
+   writing its per-request latencies (one integer per line, -1 for a
+   failure) to [out] for the parent to aggregate. *)
+let overload_client address line reqs seed out =
+  let lat = Buffer.create 256 in
+  for i = 1 to reqs do
+    let t0 = Ccs.Clock.now_us () in
+    let ok =
+      match
+        Ccs_serve.Server.request_retry ~retries:8 ~backoff_ms:5
+          ~timeout_ms:10_000 ~seed:(seed + i) address line
+      with
+      | r -> response_field r "ok" = Some (Ccs.Json.Bool true)
+      | exception _ -> false
+    in
+    Buffer.add_string lat
+      (string_of_int (if ok then Ccs.Clock.elapsed_us ~since:t0 else -1));
+    Buffer.add_char lat '\n'
+  done;
+  let oc = open_out out in
+  output_string oc (Buffer.contents lat);
+  close_out oc
+
+let percentile p sorted =
+  match Array.length sorted with
+  | 0 -> 0
+  | n -> sorted.(min (n - 1) (p * n / 100))
+
+let e25_overload_arm ~arm ~max_inflight ~clients ~reqs =
+  let state = fresh_state (Printf.sprintf "e25-%s" arm) in
+  Fun.protect ~finally:(fun () -> remove_tree state) @@ fun () ->
+  Unix.mkdir state 0o755;
+  let sock = Filename.concat state "d.sock" in
+  let address = Ccs_serve.Server.Unix_socket sock in
+  let config =
+    {
+      (Ccs_serve.Server.default_config ~address
+         ~dir:(Filename.concat state "serve"))
+      with
+      Ccs_serve.Server.workers = 1;
+      max_inflight;
+      retry_after_ms = 5;
+    }
+  in
+  flush stdout;
+  flush stderr;
+  let daemon =
+    match Unix.fork () with
+    | 0 ->
+        (try Ccs_serve.Server.run config with _ -> ());
+        Unix._exit 0
+    | pid -> pid
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill daemon Sys.sigterm with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] daemon) with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let rec wait n =
+    if n = 0 then failwith "daemon socket never appeared";
+    if not (Sys.file_exists sock) then begin
+      Unix.sleepf 0.05;
+      wait (n - 1)
+    end
+  in
+  wait 200;
+  let g = Ccs.Generators.uniform_pipeline ~n:6 ~state:64 () in
+  let line = plan_request g 2048 16 in
+  (* warm the store so the arms measure serving, not one plan build *)
+  ignore (Ccs_serve.Server.request_retry ~retries:8 ~backoff_ms:5 address line);
+  let t0 = Ccs.Clock.now_us () in
+  let kids =
+    List.init clients (fun i ->
+        flush stdout;
+        flush stderr;
+        match Unix.fork () with
+        | 0 ->
+            (try
+               overload_client address line reqs
+                 ((i * 7919) + 17)
+                 (Filename.concat state (Printf.sprintf "client-%d.lat" i))
+             with _ -> ());
+            Unix._exit 0
+        | pid -> pid)
+  in
+  List.iter (fun pid -> ignore (Unix.waitpid [] pid)) kids;
+  let wall_us = Ccs.Clock.elapsed_us ~since:t0 in
+  let lats =
+    List.concat_map
+      (fun i ->
+        let p = Filename.concat state (Printf.sprintf "client-%d.lat" i) in
+        if Sys.file_exists p then
+          In_channel.with_open_text p In_channel.input_lines
+          |> List.filter_map int_of_string_opt
+        else [])
+      (List.init clients Fun.id)
+  in
+  let ok = List.filter (fun l -> l >= 0) lats in
+  let sorted = Array.of_list ok in
+  Array.sort compare sorted;
+  let total = clients * reqs in
+  let completed = List.length ok in
+  if Json.enabled () then
+    Json.point
+      [
+        ("kind", Json.String "serve_overload");
+        ("arm", Json.String arm);
+        ("max_inflight", Json.Int max_inflight);
+        ("clients", Json.Int clients);
+        ("requests", Json.Int total);
+        ("completed", Json.Int completed);
+        ("lost", Json.Int (total - completed));
+        ("wall_us", Json.Int wall_us);
+        ("p50_us", Json.Int (percentile 50 sorted));
+        ("p95_us", Json.Int (percentile 95 sorted));
+        ( "requests_per_sec",
+          Json.Float
+            (ratio (float_of_int completed)
+               (float_of_int (max 1 wall_us) /. 1e6)) );
+      ];
+  [
+    arm;
+    string_of_int max_inflight;
+    string_of_int total;
+    string_of_int completed;
+    string_of_int (total - completed);
+    string_of_int (percentile 50 sorted);
+    string_of_int (percentile 95 sorted);
+  ]
+
+let e25 () =
+  section "E25-serve" "serve hardening: bounded store + overload shedding";
+  e25_eviction_cycle ();
+  let clients = 6 and reqs = 10 in
+  let rows =
+    [
+      e25_overload_arm ~arm:"no-shed" ~max_inflight:0 ~clients ~reqs;
+      e25_overload_arm ~arm:"shed" ~max_inflight:2 ~clients ~reqs;
+    ]
+  in
+  Ccs.Table.print
+    ~header:
+      [ "arm"; "max_inflight"; "sent"; "completed"; "lost"; "p50 us"; "p95 us" ]
+    ~rows;
+  note
+    "with shedding, excess clients get structured overloaded answers and \
+     retry with jittered backoff: every request still completes (zero \
+     lost), the daemon never queues silently"

@@ -892,7 +892,9 @@ let address_args =
   Term.(const resolve $ socket $ tcp)
 
 let serve_cmd =
-  let run address dir workers level =
+  let run address dir workers level backlog deadline_ms max_inflight
+      retry_after_ms store_max_bytes store_max_entries hot_cache min_uptime_ms
+      breaker chaos =
     let address = or_die address in
     let level =
       match Ccs.Log.level_of_string level with
@@ -900,7 +902,29 @@ let serve_cmd =
       | None -> or_die (Error (Printf.sprintf "unknown log level %S" level))
     in
     let log = Ccs.Log.to_channel ~level stderr in
-    Ccs_serve.Server.run { Ccs_serve.Server.address; dir; workers; log }
+    let chaos =
+      match chaos with
+      | None -> []
+      | Some spec -> (
+          try Ccs.Fault.parse_env spec
+          with Ccs.Error.Error e -> or_die (Error (Ccs.Error.to_string e)))
+    in
+    Ccs_serve.Server.run
+      {
+        (Ccs_serve.Server.default_config ~address ~dir) with
+        Ccs_serve.Server.workers;
+        log;
+        backlog;
+        deadline_ms;
+        max_inflight;
+        retry_after_ms;
+        store_max_bytes;
+        store_max_entries;
+        hot_cache;
+        min_uptime_ms;
+        breaker_limit = breaker;
+        chaos;
+      }
   in
   let dir =
     Arg.(
@@ -924,18 +948,105 @@ let serve_cmd =
       & info [ "log-level" ] ~docv:"LEVEL"
           ~doc:"Log level on stderr: debug, info, warn or error.")
   in
+  let backlog =
+    Arg.(
+      value & opt int 64
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"Kernel accept-queue depth for the listening socket.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request time budget covering read, plan build and write; \
+             a blown budget answers with a structured deadline-exceeded \
+             error.  0 disables.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 0
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Per-worker concurrent-connection limit; connections past it \
+             are answered with a structured overloaded error (carrying \
+             retry_after_ms) and closed.  0 disables shedding.")
+  in
+  let retry_after_ms =
+    Arg.(
+      value & opt int 50
+      & info [ "retry-after-ms" ] ~docv:"MS"
+          ~doc:"Backoff hint carried by overloaded responses.")
+  in
+  let store_max_bytes =
+    Arg.(
+      value & opt int 0
+      & info [ "store-max-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Evict least-recently-used plan-store records past this byte \
+             bound.  0 means unbounded.")
+  in
+  let store_max_entries =
+    Arg.(
+      value & opt int 0
+      & info [ "store-max-entries" ] ~docv:"N"
+          ~doc:
+            "Evict least-recently-used plan-store records past this entry \
+             bound.  0 means unbounded.")
+  in
+  let hot_cache =
+    Arg.(
+      value & opt int 64
+      & info [ "hot-cache" ] ~docv:"N"
+          ~doc:
+            "Per-worker in-memory artifact cache entries in front of the \
+             disk store.  0 disables.")
+  in
+  let min_uptime_ms =
+    Arg.(
+      value & opt int 1000
+      & info [ "min-uptime-ms" ] ~docv:"MS"
+          ~doc:
+            "A worker dying sooner than this counts as a rapid death to \
+             the crash-loop circuit breaker.")
+  in
+  let breaker =
+    Arg.(
+      value & opt int 5
+      & info [ "breaker" ] ~docv:"N"
+          ~doc:
+            "Quarantine a worker slot after this many consecutive rapid \
+             deaths instead of respawning it forever.")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Seeded serve-layer fault plan (testing only), e.g. \
+             kill@5,iofault@2:3,truncate@8 or srand@7:4 — epochs are \
+             per-worker request indices.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the scheduling daemon: accept graph specs over a socket, \
           answer with plans and predicted miss bounds, and memoise the \
-          NP-hard partitioning step in a persistent plan cache.  GET \
-          /metrics on the same socket returns Prometheus metrics.  \
-          SIGTERM shuts down cleanly.")
-    Term.(const run $ address_args $ dir $ workers $ level)
+          NP-hard partitioning step in a persistent plan cache.  The \
+          daemon is production-hardened: per-request deadlines, overload \
+          shedding, a size-bounded self-healing plan store, and a \
+          crash-loop circuit breaker around its workers.  GET /metrics \
+          on the same socket returns Prometheus metrics.  SIGTERM shuts \
+          down cleanly.")
+    Term.(
+      const run $ address_args $ dir $ workers $ level $ backlog
+      $ deadline_ms $ max_inflight $ retry_after_ms $ store_max_bytes
+      $ store_max_entries $ hot_cache $ min_uptime_ms $ breaker $ chaos)
 
 let submit_cmd =
-  let run address graph m b ways capacities dry_run =
+  let run address graph m b ways capacities dry_run retries backoff_ms
+      timeout_ms =
     let address = or_die address in
     with_graph graph @@ fun g ->
     let capacities =
@@ -966,13 +1077,23 @@ let submit_cmd =
     in
     let line = Ccs.Json.to_string (Ccs.Json.Obj fields) in
     let response =
-      try Ccs_serve.Server.request address line
-      with Unix.Unix_error (e, _, _) ->
-        or_die
-          (Error
-             (Printf.sprintf "cannot reach daemon at %s: %s"
-                (Ccs_serve.Server.pp_address address)
-                (Unix.error_message e)))
+      (* Retries are safe: plan requests are idempotent by plan key, so
+         a replay after a lost answer hits the record it stored. *)
+      try
+        Ccs_serve.Server.request_retry ~retries ~backoff_ms ~timeout_ms
+          ~seed:(Unix.getpid ()) address line
+      with
+      | Unix.Unix_error (e, _, _) ->
+          or_die
+            (Error
+               (Printf.sprintf "cannot reach daemon at %s: %s"
+                  (Ccs_serve.Server.pp_address address)
+                  (Unix.error_message e)))
+      | End_of_file | Sys_blocked_io ->
+          or_die
+            (Error
+               (Printf.sprintf "no response from daemon at %s"
+                  (Ccs_serve.Server.pp_address address)))
     in
     print_endline response;
     match Ccs.Json.of_string response with
@@ -1003,6 +1124,30 @@ let submit_cmd =
             "Also run one period of the plan on the compiled backend and \
              report its output count and checksum.")
   in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Replay the request up to N times on transport failure or an \
+             overloaded response (jittered exponential backoff, honouring \
+             the daemon's retry_after_ms hint).  Safe: plan requests are \
+             idempotent by plan key.")
+  in
+  let backoff_ms =
+    Arg.(
+      value & opt int 50
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base retry backoff; doubles per attempt, plus jitter.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Socket send/receive timeout per attempt; a stalled daemon \
+             becomes a retryable transport error.  0 waits forever.")
+  in
   Cmd.v
     (Cmd.info "submit"
        ~doc:
@@ -1010,7 +1155,8 @@ let submit_cmd =
           response line; exit nonzero on an error response.")
     Term.(
       const run $ address_args $ graph_args $ cache_words_arg
-      $ block_words_arg $ ways $ capacities $ dry_run)
+      $ block_words_arg $ ways $ capacities $ dry_run $ retries $ backoff_ms
+      $ timeout_ms)
 
 let () =
   let doc = "cache-conscious scheduling of streaming applications (SPAA'12)" in

@@ -95,6 +95,14 @@ type env_event =
   | Cache_ways of int
   | Burst of { mult : int; len : int }
   | Io_fault of { len : int }
+  (* Serve-layer events: the daemon chaos harness misbehaves around the
+     scheduling service rather than around one run.  For these, "epoch"
+     means the per-worker request index (requests served since the worker
+     was spawned), the daemon's natural reaction points. *)
+  | Worker_kill
+  | Record_truncate
+  | Slow_client of { ms : int }
+  | Flood of { count : int }
 
 type env_site = { at_epoch : int; event : env_event }
 type env = env_site list
@@ -122,6 +130,10 @@ let env_of_sites sites =
           invalid_arg "Fault.env_of_sites: burst needs mult >= 2, len >= 1"
       | Io_fault { len } when len < 1 ->
           invalid_arg "Fault.env_of_sites: io fault length must be >= 1"
+      | Slow_client { ms } when ms < 1 ->
+          invalid_arg "Fault.env_of_sites: slow-client stall must be >= 1 ms"
+      | Flood { count } when count < 1 ->
+          invalid_arg "Fault.env_of_sites: flood count must be >= 1"
       | _ -> ())
     sites;
   (* Stable sort: simultaneous events apply in spec order. *)
@@ -146,6 +158,28 @@ let env_plan ?(horizon = 32) ~seed ~count () =
   in
   env_of_sites (List.init count draw)
 
+(* Seeded draw over the serve-layer grammar: worker kills, plan-store
+   I/O faults, truncated records, stalled clients, malformed floods —
+   the daemon soak's schedule is a pure function of its seed, exactly
+   like the cache-adversity plans above. *)
+let serve_plan ?(horizon = 32) ~seed ~count () =
+  if horizon <= 0 then invalid_arg "Fault.serve_plan: horizon must be positive";
+  if count < 0 then invalid_arg "Fault.serve_plan: count must be >= 0";
+  let next = rng (seed lxor 0x5eed) in
+  let draw _ =
+    let at_epoch = next horizon in
+    let event =
+      match next 5 with
+      | 0 -> Worker_kill
+      | 1 -> Io_fault { len = 1 + next 2 }
+      | 2 -> Record_truncate
+      | 3 -> Slow_client { ms = 10 * (1 + next 20) }
+      | _ -> Flood { count = 1 + next 8 }
+    in
+    { at_epoch; event }
+  in
+  env_of_sites (List.init count draw)
+
 (* [conditions_at env epoch] folds every event scheduled at or before
    [epoch], windowed events ([Burst], [Io_fault]) counting only while
    [epoch] lies inside their window.  [Cache_restore] clears both the
@@ -164,8 +198,18 @@ let conditions_at env epoch =
             else c
         | Io_fault { len } ->
             if epoch < s.at_epoch + len then { c with io_faulty = true }
-            else c)
+            else c
+        (* Serve events are instantaneous, not ambient conditions; the
+           daemon consumes them through [events_at]. *)
+        | Worker_kill | Record_truncate | Slow_client _ | Flood _ -> c)
     nominal env
+
+(* The instantaneous events pinned to exactly [epoch], in spec order —
+   how the daemon (and the soak driver) consumes serve-layer chaos. *)
+let events_at env epoch =
+  List.filter_map
+    (fun s -> if s.at_epoch = epoch then Some s.event else None)
+    env
 
 (* The cache configuration the environment imposes on a base config: the
    capacity divided by the shrink divisor (never below one block) and the
@@ -196,6 +240,13 @@ let env_cache_config base c =
      burst@E:MxL    demand burst: multiplier M for L epochs starting at E
      iofault@E:L    checkpoint-directory I/O faults for L epochs from E
      rand@S:C[:H]   C seeded-random events (seed S) over horizon H (def. 32)
+
+   Serve-layer events (epoch = per-worker request index for the daemon):
+     kill@E         worker process dies after serving request E
+     truncate@E     the record written/read at request E is truncated
+     slow@E:MS      client stalls mid-line for MS milliseconds at request E
+     flood@E:N      N malformed lines flood the connection at request E
+     srand@S:C[:H]  C seeded-random serve events over horizon H (def. 32)
 *)
 
 let parse_env spec =
@@ -253,11 +304,35 @@ let parse_env spec =
             [
               { at_epoch = int_of atom "epoch" e; event = Io_fault { len } };
             ]
+        | "kill", [ e ] ->
+            [ { at_epoch = int_of atom "epoch" e; event = Worker_kill } ]
+        | "truncate", [ e ] ->
+            [ { at_epoch = int_of atom "epoch" e; event = Record_truncate } ]
+        | "slow", [ e; ms ] ->
+            let ms = int_of atom "stall" ms in
+            if ms < 1 then fail_atom atom "stall must be >= 1 ms";
+            [
+              { at_epoch = int_of atom "epoch" e; event = Slow_client { ms } };
+            ]
+        | "flood", [ e; n ] ->
+            let count = int_of atom "count" n in
+            if count < 1 then fail_atom atom "count must be >= 1";
+            [
+              { at_epoch = int_of atom "epoch" e; event = Flood { count } };
+            ]
         | "rand", [ s; c ] ->
             env_plan ~seed:(int_of atom "seed" s)
               ~count:(int_of atom "count" c) ()
         | "rand", [ s; c; h ] ->
             env_plan
+              ~horizon:(int_of atom "horizon" h)
+              ~seed:(int_of atom "seed" s)
+              ~count:(int_of atom "count" c) ()
+        | "srand", [ s; c ] ->
+            serve_plan ~seed:(int_of atom "seed" s)
+              ~count:(int_of atom "count" c) ()
+        | "srand", [ s; c; h ] ->
+            serve_plan
               ~horizon:(int_of atom "horizon" h)
               ~seed:(int_of atom "seed" s)
               ~count:(int_of atom "count" c) ()
@@ -286,6 +361,10 @@ let env_event_to_string = function
   | Cache_ways w -> Printf.sprintf "ways:%d" w
   | Burst { mult; len } -> Printf.sprintf "burst:%dx%d" mult len
   | Io_fault { len } -> Printf.sprintf "iofault:%d" len
+  | Worker_kill -> "kill"
+  | Record_truncate -> "truncate"
+  | Slow_client { ms } -> Printf.sprintf "slow:%d" ms
+  | Flood { count } -> Printf.sprintf "flood:%d" count
 
 let env_to_string env =
   String.concat ","
@@ -297,7 +376,11 @@ let env_to_string env =
          | Cache_ways w -> Printf.sprintf "ways@%d:%d" s.at_epoch w
          | Burst { mult; len } ->
              Printf.sprintf "burst@%d:%dx%d" s.at_epoch mult len
-         | Io_fault { len } -> Printf.sprintf "iofault@%d:%d" s.at_epoch len)
+         | Io_fault { len } -> Printf.sprintf "iofault@%d:%d" s.at_epoch len
+         | Worker_kill -> Printf.sprintf "kill@%d" s.at_epoch
+         | Record_truncate -> Printf.sprintf "truncate@%d" s.at_epoch
+         | Slow_client { ms } -> Printf.sprintf "slow@%d:%d" s.at_epoch ms
+         | Flood { count } -> Printf.sprintf "flood@%d:%d" s.at_epoch count)
        env)
 
 let pp_env fmt env =

@@ -77,7 +77,22 @@ type env_event =
       (** Demand burst: the epoch workload is multiplied by [mult] for
           [len] epochs. *)
   | Io_fault of { len : int }
-      (** Checkpoint-directory writes fail for [len] epochs. *)
+      (** Checkpoint-directory writes fail for [len] epochs.  In the serve
+          context: plan-store writes fail for [len] requests. *)
+  | Worker_kill
+      (** Serve: the worker process dies right after this request's
+          response is flushed — exercises the parent's respawn
+          supervision and the circuit breaker ([kill@0] crash-loops). *)
+  | Record_truncate
+      (** Serve: the plan-store record touched by this request is
+          truncated after the write — the next reader must reject it as
+          [Checkpoint_corrupt] and rebuild. *)
+  | Slow_client of { ms : int }
+      (** Serve (client-side): the client stalls mid-line for [ms]
+          milliseconds — exercises the request deadline. *)
+  | Flood of { count : int }
+      (** Serve (client-side): [count] malformed lines flood the
+          connection — each must get exactly one structured error. *)
 
 type env_site = { at_epoch : int; event : env_event }
 
@@ -110,7 +125,22 @@ val env_plan : ?horizon:int -> seed:int -> count:int -> unit -> env
     [horizon]. *)
 
 val conditions_at : env -> int -> conditions
-(** The conditions in force at a given epoch index. *)
+(** The conditions in force at a given epoch index.  Serve-layer events
+    ([Worker_kill], [Record_truncate], [Slow_client], [Flood]) are
+    instantaneous and do not contribute; consume them with
+    {!events_at}. *)
+
+val events_at : env -> int -> env_event list
+(** The events pinned to exactly this epoch, in spec order — how the
+    daemon and the soak driver consume serve-layer chaos. *)
+
+val serve_plan : ?horizon:int -> seed:int -> count:int -> unit -> env
+(** [serve_plan ~seed ~count ()] draws [count] random serve-layer events
+    (worker kills, plan-store I/O faults, truncated records, stalled
+    clients, malformed floods) at request indices below [horizon]
+    (default 32).  Deterministic in [seed].
+    @raise Invalid_argument on negative [count] or non-positive
+    [horizon]. *)
 
 val env_cache_config :
   Ccs_cache.Cache.config -> conditions -> Ccs_cache.Cache.config
@@ -122,7 +152,8 @@ val env_cache_config :
 val parse_env : string -> env
 (** Parse a chaos spec: comma-separated events
     [shrink@E:D], [restore@E], [ways@E:N], [burst@E:MxL], [iofault@E:L],
-    [rand@SEED:COUNT[:HORIZON]].
+    [rand@SEED:COUNT[:HORIZON]]; serve-layer events [kill@E],
+    [truncate@E], [slow@E:MS], [flood@E:N], [srand@SEED:COUNT[:HORIZON]].
     @raise Ccs_sdf.Error.Error with a [Failure_msg] naming the offending
     atom on malformed input. *)
 

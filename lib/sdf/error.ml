@@ -70,6 +70,8 @@ type t =
   | Fault of { node : string; fault : fault_class; detail : string }
   | Failure_msg of { context : string; reason : string }
   | Request_invalid of { reason : string }
+  | Deadline_exceeded of { stage : string; budget_ms : int }
+  | Overloaded of { inflight : int; limit : int; retry_after_ms : int }
   | Checkpoint_corrupt of { path : string; reason : string }
   | Checkpoint_version of { path : string; found : int; expected : int }
   | Checkpoint_mismatch of {
@@ -128,6 +130,8 @@ let rec code = function
   | Fault { fault; _ } -> "fault-" ^ fault_class_to_string fault
   | Failure_msg _ -> "failure"
   | Request_invalid _ -> "request-invalid"
+  | Deadline_exceeded _ -> "deadline-exceeded"
+  | Overloaded _ -> "overloaded"
   | Checkpoint_corrupt _ -> "checkpoint-corrupt"
   | Checkpoint_version _ -> "checkpoint-version"
   | Checkpoint_mismatch _ -> "checkpoint-mismatch"
@@ -261,6 +265,14 @@ let rec pp fmt = function
       Format.fprintf fmt "%s: %s" context reason
   | Request_invalid { reason } ->
       Format.fprintf fmt "invalid request: %s" reason
+  | Deadline_exceeded { stage; budget_ms } ->
+      Format.fprintf fmt
+        "request exceeded its %d ms deadline during %s" budget_ms stage
+  | Overloaded { inflight; limit; retry_after_ms } ->
+      Format.fprintf fmt
+        "server overloaded (%d connections in flight, limit %d); retry \
+         after %d ms"
+        inflight limit retry_after_ms
   | Checkpoint_corrupt { path; reason } ->
       Format.fprintf fmt "checkpoint %s is unusable: %s" path reason
   | Checkpoint_version { path; found; expected } ->

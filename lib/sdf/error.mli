@@ -103,6 +103,16 @@ type t =
           a missing/mistyped field, or an unknown operation.  The daemon
           answers these with a structured error response and keeps the
           connection open. *)
+  | Deadline_exceeded of { stage : string; budget_ms : int }
+      (** A serve request blew its per-request time budget — during
+          [stage] ("read", "plan" or "write").  Slow clients and runaway
+          planner runs both land here: the daemon answers with this
+          structured error and reclaims the worker instead of hanging. *)
+  | Overloaded of { inflight : int; limit : int; retry_after_ms : int }
+      (** The daemon is at its in-flight connection limit and is shedding
+          rather than queueing.  [retry_after_ms] is the backoff hint the
+          response carries; requests are idempotent by plan key, so a
+          retry is always safe. *)
   | Checkpoint_corrupt of { path : string; reason : string }
       (** A checkpoint file that fails framing validation: bad magic,
           truncation, checksum mismatch, or a malformed payload. *)

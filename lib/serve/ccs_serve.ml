@@ -10,6 +10,7 @@
     Prometheus scrapes ({!Snapshot}, {!Server.scrape}). *)
 
 module Protocol = Protocol
+module Lru_index = Lru_index
 module Plan_cache = Plan_cache
 module Snapshot = Snapshot
 module Server = Server

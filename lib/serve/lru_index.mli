@@ -1,0 +1,40 @@
+(** Intrusive, weighted LRU index over string keys.
+
+    The plan store's in-memory index and the per-worker hot cache: the
+    cache simulator's intrusive-array {!Ccs_cache.Lru} idiom (recency as
+    a doubly-linked list through int arrays, an open-addressed table
+    with backward-shift deletion), generalised to string keys carrying a
+    weight and a value, with slot arrays that grow by doubling.  The
+    cache-conscious scheduler's own plan store is itself a bounded
+    cache — eviction order here decides which [.ccsplan] records
+    survive.
+
+    Not thread-safe; each daemon worker owns its instances. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+(** Live entries. *)
+
+val total_weight : 'a t -> int
+(** Sum of live entries' weights (the store's byte total). *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup without promoting. *)
+
+val touch : 'a t -> string -> 'a option
+(** Lookup and promote to most-recently-used. *)
+
+val add : 'a t -> string -> weight:int -> 'a -> unit
+(** Insert as most-recently-used; re-adding an existing key updates its
+    weight/value and promotes it. *)
+
+val remove : 'a t -> string -> bool
+
+val evict_lru : 'a t -> (string * int * 'a) option
+(** Pop the least-recently-used entry, or [None] if empty. *)
+
+val to_list_mru_first : 'a t -> string list
+(** Keys in recency order (for tests). *)

@@ -36,3 +36,48 @@ val lookup :
     ([Checkpoint_corrupt]), format skew ([Checkpoint_version]) or a
     record whose embedded key disagrees with [key]
     ([Checkpoint_mismatch]). *)
+
+(** A size-bounded view of the store with LRU eviction and self-healing.
+
+    The durable index is the directory itself — one file per record,
+    mtime as recency (bumped on every hit) — so it is crash-safe by
+    construction; {!Bounded.create} rebuilds an in-memory
+    {!Lru_index} mirror with a startup sweep that validates every
+    record and moves torn or mismatched ones to [dir/quarantine/].
+    Eviction re-scans the directory first, so records written by
+    sibling daemon workers count against the bound and the globally
+    least-recent record goes first. *)
+module Bounded : sig
+  type bounds = { max_bytes : int; max_entries : int }
+  (** [0] means unbounded on that axis. *)
+
+  val unbounded : bounds
+
+  type t
+
+  val create : ?log:Ccs.Log.t -> dir:string -> bounds:bounds -> unit -> t
+  (** Open (creating [dir] if needed), sweep, quarantine invalid
+      records, and enforce [bounds] on what survives. *)
+
+  val store : t -> key:Ccs.Plan_key.t -> Protocol.artifact -> unit
+  (** Persist and enforce bounds (the new record is most-recent, so it
+      survives unless it alone exceeds [max_bytes]).
+      @raise Sys_error on I/O failure. *)
+
+  val lookup : t -> key:Ccs.Plan_key.t -> Protocol.artifact option
+  (** Hit bumps recency.  A corrupt, truncated or key-mismatched record
+      is quarantined and reported as a miss: the caller rebuilds, and
+      determinism makes the rebuilt record bit-identical to a healthy
+      one. *)
+
+  val bytes : t -> int
+  (** Bytes of live records, per the mirror (feeds the store gauge). *)
+
+  val entries : t -> int
+
+  val evictions : t -> int
+  (** Records evicted over this handle's lifetime. *)
+
+  val quarantined : t -> int
+  (** Records quarantined over this handle's lifetime. *)
+end

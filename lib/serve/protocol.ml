@@ -154,13 +154,22 @@ let plan_response ~cached ~key ~artifact ~dry_run ~elapsed_us =
 let pong = Json.Obj [ ("ok", Json.Bool true); ("pong", Json.Bool true) ]
 
 let error_response err =
+  (* Machine-actionable context rides along with the code: an overloaded
+     response tells the client when to come back. *)
+  let extra =
+    match err with
+    | E.Overloaded { retry_after_ms; _ } ->
+        [ ("retry_after_ms", Json.Int retry_after_ms) ]
+    | _ -> []
+  in
   Json.Obj
     [
       ("ok", Json.Bool false);
       ( "error",
         Json.Obj
-          [
-            ("code", Json.String (E.code err));
-            ("message", Json.String (E.to_string err));
-          ] );
+          ([
+             ("code", Json.String (E.code err));
+             ("message", Json.String (E.to_string err));
+           ]
+          @ extra) );
     ]

@@ -1,5 +1,6 @@
 module E = Ccs.Error
 module Metrics = Ccs.Metrics
+module Fault = Ccs.Fault
 
 type address = Unix_socket of string | Tcp of string * int
 
@@ -8,7 +9,35 @@ type config = {
   dir : string;
   workers : int;
   log : Ccs.Log.t;
+  backlog : int;
+  deadline_ms : int;
+  max_inflight : int;
+  retry_after_ms : int;
+  store_max_bytes : int;
+  store_max_entries : int;
+  hot_cache : int;
+  min_uptime_ms : int;
+  breaker_limit : int;
+  chaos : Fault.env;
 }
+
+let default_config ~address ~dir =
+  {
+    address;
+    dir;
+    workers = 0;
+    log = Ccs.Log.null;
+    backlog = 64;
+    deadline_ms = 0;
+    max_inflight = 0;
+    retry_after_ms = 50;
+    store_max_bytes = 0;
+    store_max_entries = 0;
+    hot_cache = 64;
+    min_uptime_ms = 1000;
+    breaker_limit = 5;
+    chaos = [];
+  }
 
 let pp_address = function
   | Unix_socket path -> path
@@ -23,6 +52,13 @@ type metrics = {
   misses : Metrics.counter;
   errors : Metrics.counter;
   plan_builds : Metrics.counter;
+  shed : Metrics.counter;
+  deadline_exceeded : Metrics.counter;
+  cache_evictions : Metrics.counter;
+  worker_restarts : Metrics.counter;
+  inflight : Metrics.gauge;
+  store_bytes : Metrics.gauge;
+  store_entries : Metrics.gauge;
   request_us : Metrics.histogram;
   plan_us : Metrics.histogram;
 }
@@ -30,13 +66,15 @@ type metrics = {
 let make_metrics () =
   let registry = Metrics.create () in
   let c name help = Metrics.counter registry ~help name in
+  let g name help = Metrics.gauge registry ~help name in
   let h name help = Metrics.histogram registry ~help name in
   {
     registry;
     requests = c "ccs_serve_requests_total" "Protocol requests received.";
     hits =
       c "ccs_serve_cache_hits_total"
-        "Plan requests answered from the persistent plan cache.";
+        "Plan requests answered from the hot cache or the persistent plan \
+         store.";
     misses =
       c "ccs_serve_cache_misses_total"
         "Plan requests that had to run the planner.";
@@ -44,6 +82,27 @@ let make_metrics () =
       c "ccs_serve_errors_total"
         "Requests answered with a structured error response.";
     plan_builds = c "ccs_serve_plan_builds_total" "Planner pipeline runs.";
+    shed =
+      c "ccs_serve_shed_total"
+        "Connections answered with a structured overloaded response and \
+         closed because the worker was at its in-flight limit.";
+    deadline_exceeded =
+      c "ccs_serve_deadline_exceeded_total"
+        "Requests that blew their time budget (slow client or runaway \
+         plan build).";
+    cache_evictions =
+      c "ccs_serve_cache_evictions_total"
+        "Plan-store records evicted to stay within the configured bound.";
+    worker_restarts =
+      c "ccs_serve_worker_restarts_total"
+        "Worker processes respawned by the parent after an unexpected \
+         death.";
+    inflight =
+      g "ccs_serve_inflight" "Connections currently being served.";
+    store_bytes =
+      g "ccs_serve_store_bytes" "Bytes of live plan-store records.";
+    store_entries =
+      g "ccs_serve_store_entries" "Live plan-store records.";
     request_us =
       h "ccs_serve_request_us"
         "End-to-end request latency, wall-clock microseconds.";
@@ -51,12 +110,43 @@ let make_metrics () =
       h "ccs_serve_plan_us" "Planner pipeline latency, wall-clock microseconds.";
   }
 
-type t = { config : config; m : metrics }
+type t = {
+  config : config;
+  m : metrics;
+  store : Plan_cache.Bounded.t;
+  hot : Protocol.artifact Lru_index.t;
+  mutable req_index : int;
+      (* per-worker request counter: the epoch axis of serve-layer chaos *)
+  mutable evictions_seen : int;
+  mutable report_store : bool;
+      (* exactly one process per daemon publishes the store gauges, so the
+         merged scrape does not multiply them by the worker count *)
+  mutable die_after_flush : bool; (* a chaos Worker_kill is pending *)
+}
 
-let make config = { config; m = make_metrics () }
-
-let cache_dir t = Filename.concat t.config.dir "plans"
+let cache_dir config = Filename.concat config.dir "plans"
 let metrics_dir t = Filename.concat t.config.dir "metrics"
+
+let make config =
+  let store =
+    Plan_cache.Bounded.create ~log:config.log ~dir:(cache_dir config)
+      ~bounds:
+        {
+          Plan_cache.Bounded.max_bytes = config.store_max_bytes;
+          max_entries = config.store_max_entries;
+        }
+      ()
+  in
+  {
+    config;
+    m = make_metrics ();
+    store;
+    hot = Lru_index.create ();
+    req_index = 0;
+    evictions_seen = 0;
+    report_store = true;
+    die_after_flush = false;
+  }
 
 let snapshot_path t =
   Filename.concat (metrics_dir t)
@@ -65,6 +155,10 @@ let snapshot_path t =
 (* Publish this worker's registry for /metrics scrapes (from any worker).
    Atomic rename, so a concurrent scrape never reads a torn document. *)
 let publish_metrics t =
+  if t.report_store then begin
+    Metrics.set t.m.store_bytes (Plan_cache.Bounded.bytes t.store);
+    Metrics.set t.m.store_entries (Plan_cache.Bounded.entries t.store)
+  end;
   Plan_cache.ensure_dir (metrics_dir t);
   Ccs.Binio.write_atomic ~path:(snapshot_path t)
     (Metrics.to_json_string t.m.registry ^ "\n")
@@ -88,6 +182,51 @@ let scrape t =
       files
   in
   Snapshot.to_prometheus (Snapshot.merge docs)
+
+(* --- deadlines ------------------------------------------------------------- *)
+
+exception Deadline
+(* Raised by the SIGALRM handler: [ITIMER_REAL] preempts a CPU-bound plan
+   build at its next allocation point, so a runaway partitioner run
+   cannot hold a worker past the request budget. *)
+
+let install_alarm () =
+  Sys.set_signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Deadline))
+
+let disarm_alarm () =
+  ignore
+    (Unix.setitimer Unix.ITIMER_REAL
+       { Unix.it_value = 0.0; Unix.it_interval = 0.0 })
+
+(* Run [f] under the remaining budget (absolute deadline in [Clock]
+   microseconds); a blown budget becomes a structured error, never a hung
+   worker.  [deadline_at = None] means no budget is in force. *)
+let with_deadline t ~deadline_at f =
+  match deadline_at with
+  | None -> f ()
+  | Some at ->
+      let budget_ms = t.config.deadline_ms in
+      let remaining = at - Ccs.Clock.now_us () in
+      if remaining <= 0 then
+        E.fail (E.Deadline_exceeded { stage = "plan"; budget_ms })
+      else begin
+        ignore
+          (Unix.setitimer Unix.ITIMER_REAL
+             {
+               Unix.it_value = float_of_int remaining /. 1e6;
+               Unix.it_interval = 0.0;
+             });
+        match f () with
+        | v ->
+            disarm_alarm ();
+            v
+        | exception Deadline ->
+            disarm_alarm ();
+            E.fail (E.Deadline_exceeded { stage = "plan"; budget_ms })
+        | exception e ->
+            disarm_alarm ();
+            raise e
+      end
 
 (* --- the planning pipeline ------------------------------------------------- *)
 
@@ -172,7 +311,66 @@ let build_artifact t (req : Protocol.plan_request) g cache : Protocol.artifact =
   Metrics.observe t.m.plan_us (Ccs.Clock.elapsed_us ~since:t0);
   artifact
 
-let handle_plan t ~t0 (req : Protocol.plan_request) =
+(* --- the hot cache and the bounded store ----------------------------------- *)
+
+let hot_put t digest artifact =
+  if t.config.hot_cache > 0 then begin
+    Lru_index.add t.hot digest ~weight:1 artifact;
+    while Lru_index.size t.hot > t.config.hot_cache do
+      ignore (Lru_index.evict_lru t.hot)
+    done
+  end
+
+(* Hot cache in front of the disk store: a hot hit answers without
+   touching the filesystem at all, and is bit-identical to a disk hit
+   because both serve the very same artifact value. *)
+let lookup_artifact t ~key =
+  let digest = Ccs.Plan_key.digest key in
+  match
+    if t.config.hot_cache > 0 then Lru_index.touch t.hot digest else None
+  with
+  | Some a -> Some a
+  | None -> (
+      match Plan_cache.Bounded.lookup t.store ~key with
+      | Some a ->
+          hot_put t digest a;
+          Some a
+      | None -> None)
+
+let truncate_record t key =
+  let p = Plan_cache.path ~dir:(cache_dir t.config) key in
+  match Unix.stat p with
+  | exception Unix.Unix_error _ -> ()
+  | st ->
+      let keep = max 0 (st.Unix.st_size - 3) in
+      let fd = Unix.openfile p [ Unix.O_WRONLY ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> Unix.ftruncate fd keep);
+      Ccs.Log.warn t.config.log "chaos: plan-store record truncated"
+        [ ("path", Ccs.Json.String p) ]
+
+(* Store under chaos: an [iofault@E] window makes plan-store writes fail
+   (the response is still served — durability is best-effort), and a
+   [truncate@E] tears the record just written so the next reader must
+   quarantine and rebuild it. *)
+let store_artifact t ~key artifact =
+  let epoch = t.req_index in
+  if (Fault.conditions_at t.config.chaos epoch).Fault.io_faulty then
+    Ccs.Log.warn t.config.log "chaos: plan-store write suppressed"
+      [ ("key", Ccs.Json.String (Ccs.Plan_key.digest key)) ]
+  else begin
+    Plan_cache.Bounded.store t.store ~key artifact;
+    if List.mem Fault.Record_truncate (Fault.events_at t.config.chaos epoch)
+    then truncate_record t key
+  end;
+  let ev = Plan_cache.Bounded.evictions t.store in
+  if ev > t.evictions_seen then begin
+    Metrics.add t.m.cache_evictions (ev - t.evictions_seen);
+    t.evictions_seen <- ev
+  end
+
+let handle_plan t ~t0 ~deadline_at (req : Protocol.plan_request) =
   fail_report
     (Ccs.Check.cache_config ?ways:req.ways ~size_words:req.cache_words
        ~block_words:req.block_words ());
@@ -192,26 +390,17 @@ let handle_plan t ~t0 (req : Protocol.plan_request) =
       ~capacities:(Option.value req.capacities ~default:[||])
       ~planner_version:Ccs.Auto.planner_version
   in
-  let dir = cache_dir t in
   let cached, artifact =
-    match Plan_cache.lookup ~dir ~key with
-    | Ok (Some artifact) -> (true, artifact)
-    | Ok None ->
-        let artifact = build_artifact t req g cache in
+    match lookup_artifact t ~key with
+    | Some artifact -> (true, artifact)
+    | None ->
+        let artifact =
+          with_deadline t ~deadline_at (fun () -> build_artifact t req g cache)
+        in
         (* Store before responding: once a client has seen an answer, a
            repeat of the same request is guaranteed to hit. *)
-        Plan_cache.store ~dir ~key artifact;
-        (false, artifact)
-    | Error e ->
-        (* A damaged record is the daemon's problem, not the client's:
-           log the structured finding, rebuild, overwrite. *)
-        Ccs.Log.warn t.config.log "plan-cache record rejected"
-          [
-            ("code", Ccs.Json.String (E.code e));
-            ("detail", Ccs.Json.String (E.to_string e));
-          ];
-        let artifact = build_artifact t req g cache in
-        Plan_cache.store ~dir ~key artifact;
+        store_artifact t ~key artifact;
+        hot_put t (Ccs.Plan_key.digest key) artifact;
         (false, artifact)
   in
   Metrics.inc (if cached then t.m.hits else t.m.misses);
@@ -219,9 +408,10 @@ let handle_plan t ~t0 (req : Protocol.plan_request) =
   Protocol.plan_response ~cached ~key:(Ccs.Plan_key.digest key) ~artifact
     ~dry_run ~elapsed_us:(Ccs.Clock.elapsed_us ~since:t0)
 
-let handle_line t line =
+let handle_line_at t ~deadline_at line =
   let t0 = Ccs.Clock.now_us () in
   Metrics.inc t.m.requests;
+  let epoch = t.req_index in
   let response =
     match Protocol.parse_request line with
     | Error e ->
@@ -229,17 +419,25 @@ let handle_line t line =
         Protocol.error_response e
     | Ok Protocol.Ping -> Protocol.pong
     | Ok (Protocol.Plan req) -> (
-        match E.protect (fun () -> handle_plan t ~t0 req) with
+        match E.protect (fun () -> handle_plan t ~t0 ~deadline_at req) with
         | Ok json -> json
         | Error e ->
             Metrics.inc t.m.errors;
+            (match e with
+            | E.Deadline_exceeded _ -> Metrics.inc t.m.deadline_exceeded
+            | _ -> ());
             Protocol.error_response e)
   in
+  if List.mem Fault.Worker_kill (Fault.events_at t.config.chaos epoch) then
+    t.die_after_flush <- true;
+  t.req_index <- t.req_index + 1;
   Metrics.observe t.m.request_us (Ccs.Clock.elapsed_us ~since:t0);
   (* Snapshot before responding, so a client that has seen the answer
      also sees it reflected in the next scrape. *)
   publish_metrics t;
   Ccs.Json.to_string response
+
+let handle_line t line = handle_line_at t ~deadline_at:None line
 
 (* --- connection handling --------------------------------------------------- *)
 
@@ -249,14 +447,7 @@ let strip_cr line =
 
 (* Minimal HTTP/1.0 response for Prometheus scrapes; everything else on
    the socket is the line protocol. *)
-let serve_http t ic oc first_line =
-  let rec drain_headers () =
-    match input_line ic with
-    | "" | "\r" -> ()
-    | _ -> drain_headers ()
-    | exception End_of_file -> ()
-  in
-  drain_headers ();
+let http_page t first_line =
   let target =
     match String.split_on_char ' ' (strip_cr first_line) with
     | _ :: target :: _ -> target
@@ -266,84 +457,303 @@ let serve_http t ic oc first_line =
     if target = "/metrics" then ("200 OK", scrape t)
     else ("404 Not Found", "not found\n")
   in
-  Printf.fprintf oc
+  Printf.sprintf
     "HTTP/1.0 %s\r\nContent-Type: text/plain; version=0.0.4\r\n\
      Content-Length: %d\r\nConnection: close\r\n\r\n%s"
-    status (String.length body) body;
-  flush oc
+    status (String.length body) body
 
-let handle_connection t fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let finish () = try Unix.close fd with Unix.Unix_error _ -> () in
-  match input_line ic with
-  | exception End_of_file -> finish ()
-  | first ->
-      if
-        String.length first >= 4
-        && (String.sub first 0 4 = "GET " || String.sub first 0 5 = "HEAD ")
-      then (
-        (try serve_http t ic oc first
-         with Sys_error _ | Unix.Unix_error _ -> ());
-        finish ())
-      else begin
-        let rec loop line =
-          let line = strip_cr line in
-          if line <> "" then begin
-            output_string oc (handle_line t line);
-            output_char oc '\n';
-            flush oc
-          end;
-          match input_line ic with
-          | next -> loop next
-          | exception End_of_file -> ()
+let is_http line =
+  let has p =
+    let n = String.length p in
+    String.length line >= n && String.sub line 0 n = p
+  in
+  has "GET " || has "HEAD "
+
+(* Per-connection state in the worker's event loop.  [out]/[out_off] is
+   the unflushed tail of the response stream; [deadline_at] is armed by
+   the first byte of a request and cleared when its response has fully
+   drained, so the budget covers read, plan build and write. *)
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable out : string;
+  mutable out_off : int;
+  mutable deadline_at : int; (* Clock us; 0 = no budget armed *)
+  mutable started : bool; (* saw the first line (protocol decided) *)
+  mutable closing : bool; (* close once [out] drains *)
+}
+
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* The worker event loop: a single [select]-driven process multiplexing
+   the shared listening socket and up to [max_inflight] connections.
+   Concurrency is what makes shedding meaningful — a worker saturated
+   with slow clients still accepts, answers [overloaded] and closes,
+   instead of leaving connects queued in the kernel backlog. *)
+let serve_loop t listen_fd ~stop =
+  if t.config.deadline_ms > 0 then install_alarm ();
+  Unix.set_nonblock listen_fd;
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let inflight () = Hashtbl.length conns in
+  let note_inflight () = Metrics.set t.m.inflight (inflight ()) in
+  let drop c =
+    Hashtbl.remove conns c.fd;
+    close_fd c.fd;
+    note_inflight ()
+  in
+  let enqueue c s =
+    if c.out_off > 0 then begin
+      (* compact before appending so offsets stay small *)
+      c.out <- String.sub c.out c.out_off (String.length c.out - c.out_off);
+      c.out_off <- 0
+    end;
+    c.out <- c.out ^ s
+  in
+  let flush_pending c =
+    (* opportunistic write; the remainder waits for writability *)
+    let len = String.length c.out - c.out_off in
+    if len > 0 then
+      match Unix.write_substring c.fd c.out c.out_off len with
+      | n -> c.out_off <- c.out_off + n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error (_, _, _) -> c.closing <- true
+  in
+  let drained c = String.length c.out = c.out_off in
+  (* A response just left the wire in full: only then is the request's
+     deadline discharged.  [out] is reset so an empty buffer always means
+     "no response pending" — [readable] must not treat a conn that has
+     not answered anything yet as having drained a response (that would
+     disarm a mid-read deadline the moment the first bytes arrive). *)
+  let after_drain c =
+    c.out <- "";
+    c.out_off <- 0;
+    c.deadline_at <- 0;
+    if t.die_after_flush then begin
+      (* chaos Worker_kill: the response is on the wire, so the contract
+         "every accepted request gets exactly one response" holds; dying
+         here exercises the parent's respawn path. *)
+      Ccs.Log.warn t.config.log "chaos: worker exiting" [];
+      exit 70
+    end;
+    if c.closing then drop c
+  in
+  let accept_one () =
+    match Unix.accept ~cloexec:true listen_fd with
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | cfd, _ ->
+        Unix.set_nonblock cfd;
+        let c =
+          {
+            fd = cfd;
+            inbuf = Buffer.create 256;
+            out = "";
+            out_off = 0;
+            deadline_at = 0;
+            started = false;
+            closing = false;
+          }
         in
-        (try loop first with Sys_error _ | Unix.Unix_error _ -> ());
-        finish ()
-      end
+        if t.config.max_inflight > 0 && inflight () >= t.config.max_inflight
+        then begin
+          (* Shed: a structured answer and a clean close, so the client
+             backs off instead of timing out against a silent queue. *)
+          Metrics.inc t.m.shed;
+          let err =
+            E.Overloaded
+              {
+                inflight = inflight ();
+                limit = t.config.max_inflight;
+                retry_after_ms = t.config.retry_after_ms;
+              }
+          in
+          enqueue c (Ccs.Json.to_string (Protocol.error_response err) ^ "\n");
+          c.closing <- true;
+          Hashtbl.replace conns cfd c;
+          publish_metrics t;
+          flush_pending c;
+          if drained c then drop c
+        end
+        else begin
+          Hashtbl.replace conns cfd c;
+          note_inflight ()
+        end
+  in
+  let process_lines c =
+    let data = Buffer.contents c.inbuf in
+    if (not c.started) && String.contains data '\n' && is_http data then begin
+      c.started <- true;
+      enqueue c (http_page t data);
+      c.closing <- true
+    end
+    else begin
+      let rec go start =
+        match String.index_from_opt data start '\n' with
+        | None ->
+            Buffer.clear c.inbuf;
+            Buffer.add_substring c.inbuf data start (String.length data - start)
+        | Some nl ->
+            c.started <- true;
+            let line = strip_cr (String.sub data start (nl - start)) in
+            if line <> "" then begin
+              let deadline_at =
+                if c.deadline_at > 0 then Some c.deadline_at else None
+              in
+              let response =
+                (* Last-resort containment: no input line may crash the
+                   worker or go unanswered — anything that escapes the
+                   structured paths still yields exactly one error line. *)
+                try handle_line_at t ~deadline_at line
+                with e ->
+                  disarm_alarm ();
+                  Metrics.inc t.m.errors;
+                  Ccs.Log.error t.config.log "request handler raised"
+                    [ ("exn", Ccs.Json.String (Printexc.to_string e)) ];
+                  Ccs.Json.to_string
+                    (Protocol.error_response
+                       (E.Failure_msg
+                          {
+                            context = "serve";
+                            reason = Printexc.to_string e;
+                          }))
+              in
+              enqueue c (response ^ "\n")
+            end;
+            go (nl + 1)
+      in
+      go 0
+    end
+  in
+  let readable c =
+    let bytes = Bytes.create 4096 in
+    match Unix.read c.fd bytes 0 4096 with
+    | 0 -> if drained c then drop c else c.closing <- true
+    | n ->
+        if c.deadline_at = 0 && t.config.deadline_ms > 0 then
+          c.deadline_at <-
+            Ccs.Clock.now_us () + (t.config.deadline_ms * 1000);
+        Buffer.add_subbytes c.inbuf bytes 0 n;
+        process_lines c;
+        flush_pending c;
+        if String.length c.out > 0 && drained c then after_drain c
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error (_, _, _) -> drop c
+  in
+  let writable c =
+    flush_pending c;
+    if drained c then after_drain c
+  in
+  let expire_deadlines () =
+    if t.config.deadline_ms > 0 then begin
+      let now = Ccs.Clock.now_us () in
+      let expired =
+        Hashtbl.fold
+          (fun _ c acc ->
+            if c.deadline_at > 0 && now >= c.deadline_at then c :: acc else acc)
+          conns []
+      in
+      List.iter
+        (fun c ->
+          Metrics.inc t.m.deadline_exceeded;
+          if drained c then begin
+            (* mid-read stall: answer the half-sent request and close *)
+            let err =
+              E.Deadline_exceeded
+                { stage = "read"; budget_ms = t.config.deadline_ms }
+            in
+            enqueue c
+              (Ccs.Json.to_string (Protocol.error_response err) ^ "\n");
+            c.closing <- true;
+            publish_metrics t;
+            flush_pending c;
+            if drained c then drop c else c.deadline_at <- 0
+          end
+          else
+            (* mid-write stall: the client is not reading its response;
+               reclaim the worker slot *)
+            drop c)
+        expired
+    end
+  in
+  (* [die_after_flush] is acted on in [after_drain] (never here), so a
+     pending chaos kill cannot tear a half-written response. *)
+  while not (stop ()) do
+    let rs =
+      listen_fd
+      :: Hashtbl.fold (fun fd c acc -> if c.closing then acc else fd :: acc)
+           conns []
+    in
+    let ws =
+      Hashtbl.fold (fun fd c acc -> if drained c then acc else fd :: acc)
+        conns []
+    in
+    match Unix.select rs ws [] 0.1 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        (* a signal (e.g. SIGCHLD in single-process setups) must not
+           abort accepting *)
+        ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+        (* a connection died under us between building the sets and
+           selecting; reap closed fds lazily via their next event *)
+        ()
+    | rs', ws', _ ->
+        if List.memq listen_fd rs' then accept_one ();
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt conns fd with
+            | Some c -> writable c
+            | None -> ())
+          ws';
+        List.iter
+          (fun fd ->
+            if fd != listen_fd then
+              match Hashtbl.find_opt conns fd with
+              | Some c -> readable c
+              | None -> ())
+          rs';
+        expire_deadlines ()
+  done;
+  Hashtbl.iter (fun _ c -> close_fd c.fd) conns
 
 (* --- sockets and process structure ----------------------------------------- *)
 
 let stop = ref false
 
 let listen_fd config =
-  match config.address with
-  | Unix_socket path ->
-      (* A stale socket file from a crashed daemon would make bind fail;
-         nothing can be listening on it if we are starting. *)
-      if Sys.file_exists path then (
-        try Unix.unlink path with Unix.Unix_error _ -> ());
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.bind fd (Unix.ADDR_UNIX path);
-      Unix.listen fd 64;
-      fd
-  | Tcp (host, port) ->
-      let addr =
-        try Unix.inet_addr_of_string host
-        with Failure _ -> (
-          match Unix.gethostbyname host with
-          | { Unix.h_addr_list = [||]; _ } ->
-              failwith ("cannot resolve " ^ host)
-          | h -> h.Unix.h_addr_list.(0)
-          | exception Not_found -> failwith ("cannot resolve " ^ host))
-      in
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.setsockopt fd Unix.SO_REUSEADDR true;
-      Unix.bind fd (Unix.ADDR_INET (addr, port));
-      Unix.listen fd 64;
-      fd
-
-let accept_loop t fd =
-  while not !stop do
-    match Unix.accept fd with
-    | client, _ -> (
-        try handle_connection t client
-        with e ->
-          (try Unix.close client with Unix.Unix_error _ -> ());
-          Ccs.Log.error t.config.log "connection handler raised"
-            [ ("exn", Ccs.Json.String (Printexc.to_string e)) ])
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  done
+  let fd =
+    match config.address with
+    | Unix_socket path ->
+        (* A stale socket file from a crashed daemon would make bind
+           fail; nothing can be listening on it if we are starting. *)
+        if Sys.file_exists path then (
+          try Unix.unlink path with Unix.Unix_error _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        fd
+    | Tcp (host, port) ->
+        let addr =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } ->
+                failwith ("cannot resolve " ^ host)
+            | h -> h.Unix.h_addr_list.(0)
+            | exception Not_found -> failwith ("cannot resolve " ^ host))
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (addr, port));
+        fd
+  in
+  Unix.listen fd (max 1 config.backlog);
+  fd
 
 let cleanup config fd =
   (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -372,10 +782,150 @@ let worker config fd =
      parent runs the graceful-cleanup path. *)
   Sys.set_signal Sys.sigterm Sys.Signal_default;
   Sys.set_signal Sys.sigint Sys.Signal_default;
-  let t = { config; m = make_metrics () } in
+  let t = make config in
+  t.report_store <- false;
   publish_metrics t;
-  accept_loop t fd;
+  serve_loop t fd ~stop:(fun () -> !stop);
   exit 0
+
+(* --- parent supervision: respawn backoff and the circuit breaker ----------- *)
+
+type supervisor = {
+  sm : metrics; (* the parent's own registry: restarts + store gauges *)
+  mutable spawned_at : (int * int) list; (* pid -> Clock us at spawn *)
+  mutable rapid_deaths : int; (* consecutive deaths under min_uptime *)
+  mutable quarantined : int; (* worker slots the breaker has retired *)
+  mutable respawn_due : int option; (* Clock us; backoff gate *)
+  mutable want : int; (* workers we should be running *)
+}
+
+let parent_snapshot_path config =
+  Filename.concat (Filename.concat config.dir "metrics") "parent.json"
+
+let publish_parent config s ~quarantined_gauge =
+  (* The parent owns the store gauges: one process scanning the shared
+     directory reports the truth once, instead of every worker's mirror
+     being summed by the scrape merge. *)
+  let bytes, entries =
+    match Sys.readdir (cache_dir config) with
+    | exception Sys_error _ -> (0, 0)
+    | files ->
+        Array.fold_left
+          (fun (b, n) f ->
+            if Filename.check_suffix f ".ccsplan" then
+              match Unix.stat (Filename.concat (cache_dir config) f) with
+              | st -> (b + st.Unix.st_size, n + 1)
+              | exception Unix.Unix_error _ -> (b, n)
+            else (b, n))
+          (0, 0) files
+  in
+  Metrics.set s.sm.store_bytes bytes;
+  Metrics.set s.sm.store_entries entries;
+  Metrics.set quarantined_gauge s.quarantined;
+  Plan_cache.ensure_dir (Filename.concat config.dir "metrics");
+  Ccs.Binio.write_atomic ~path:(parent_snapshot_path config)
+    (Metrics.to_json_string s.sm.registry ^ "\n")
+
+let supervise config fd =
+  let sm = make_metrics () in
+  let quarantined_gauge =
+    Metrics.gauge sm.registry
+      ~help:"Worker slots retired by the crash-loop circuit breaker."
+      "ccs_serve_workers_quarantined"
+  in
+  let s =
+    {
+      sm;
+      spawned_at = [];
+      rapid_deaths = 0;
+      quarantined = 0;
+      respawn_due = None;
+      want = config.workers;
+    }
+  in
+  let spawn () =
+    match Unix.fork () with
+    | 0 -> worker config fd
+    | pid -> s.spawned_at <- (pid, Ccs.Clock.now_us ()) :: s.spawned_at
+  in
+  for _ = 1 to config.workers do
+    spawn ()
+  done;
+  publish_parent config s ~quarantined_gauge;
+  let nap () =
+    try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let backoff_ms () =
+    (* 50ms, 100ms, ... doubling per consecutive rapid death, capped *)
+    min 5000 (50 * (1 lsl max 0 (s.rapid_deaths - 1)))
+  in
+  let on_death pid =
+    match List.assoc_opt pid s.spawned_at with
+    | None -> () (* not ours *)
+    | Some spawned ->
+        s.spawned_at <- List.remove_assoc pid s.spawned_at;
+        if not !stop then begin
+          let uptime_ms = (Ccs.Clock.now_us () - spawned) / 1000 in
+          if uptime_ms < config.min_uptime_ms then
+            s.rapid_deaths <- s.rapid_deaths + 1
+          else s.rapid_deaths <- 0;
+          if s.rapid_deaths >= config.breaker_limit then begin
+            (* Crash loop: retire the slot instead of burning CPU on a
+               deterministic failure.  Remaining workers keep serving. *)
+            s.quarantined <- s.quarantined + 1;
+            s.want <- s.want - 1;
+            s.rapid_deaths <- 0;
+            Ccs.Log.error config.log "worker slot quarantined"
+              [
+                ("pid", Ccs.Json.Int pid);
+                ("uptime_ms", Ccs.Json.Int uptime_ms);
+                ("remaining", Ccs.Json.Int s.want);
+              ]
+          end
+          else begin
+            Metrics.inc s.sm.worker_restarts;
+            let delay = if s.rapid_deaths = 0 then 0 else backoff_ms () in
+            Ccs.Log.warn config.log "worker died, respawning"
+              [
+                ("pid", Ccs.Json.Int pid);
+                ("uptime_ms", Ccs.Json.Int uptime_ms);
+                ("backoff_ms", Ccs.Json.Int delay);
+              ];
+            let due = Ccs.Clock.now_us () + (delay * 1000) in
+            s.respawn_due <-
+              Some
+                (match s.respawn_due with
+                | None -> due
+                | Some d -> max d due)
+          end;
+          publish_parent config s ~quarantined_gauge
+        end
+  in
+  let tick = ref 0 in
+  while not !stop do
+    (match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+    | 0, _ -> nap ()
+    | pid, _ -> on_death pid
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> nap ());
+    (match s.respawn_due with
+    | Some due
+      when Ccs.Clock.now_us () >= due
+           && List.length s.spawned_at < s.want && not !stop ->
+        s.respawn_due <- None;
+        spawn ()
+    | _ -> ());
+    incr tick;
+    if !tick mod 20 = 0 then publish_parent config s ~quarantined_gauge
+  done;
+  List.iter
+    (fun (pid, _) ->
+      try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+    s.spawned_at;
+  List.iter
+    (fun (pid, _) ->
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    s.spawned_at
 
 let run config =
   install_stop_handlers ();
@@ -387,40 +937,19 @@ let run config =
       ("address", Ccs.Json.String (pp_address config.address));
       ("dir", Ccs.Json.String config.dir);
       ("workers", Ccs.Json.Int config.workers);
+      ("backlog", Ccs.Json.Int config.backlog);
+      ("deadline_ms", Ccs.Json.Int config.deadline_ms);
+      ("max_inflight", Ccs.Json.Int config.max_inflight);
     ];
   if config.workers <= 0 then begin
-    (* Inline mode: one process, sequential connections. *)
-    let t = { config; m = make_metrics () } in
+    (* Inline mode: one process runs the worker loop itself. *)
+    let t = make config in
     publish_metrics t;
-    accept_loop t fd;
+    serve_loop t fd ~stop:(fun () -> !stop);
     cleanup config fd
   end
   else begin
-    let spawn () =
-      match Unix.fork () with 0 -> worker config fd | pid -> pid
-    in
-    let children = ref (List.init config.workers (fun _ -> spawn ())) in
-    let nap () =
-      try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    in
-    (* Supervise: respawn workers that die while we are not shutting
-       down, so one crashed connection handler cannot drain the pool. *)
-    while not !stop do
-      match Unix.waitpid [ Unix.WNOHANG ] (-1) with
-      | 0, _ -> nap ()
-      | pid, _ ->
-          children := List.filter (fun p -> p <> pid) !children;
-          if not !stop then children := spawn () :: !children
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> nap ()
-    done;
-    List.iter
-      (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
-      !children;
-    List.iter
-      (fun pid ->
-        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
-      !children;
+    supervise config fd;
     cleanup config fd
   end
 
@@ -441,8 +970,15 @@ let connect address =
       Unix.connect fd (Unix.ADDR_INET (addr, port));
       fd
 
-let request address line =
+let request ?(timeout_ms = 0) address line =
   let fd = connect address in
+  if timeout_ms > 0 then begin
+    (* socket-level timeouts: a stalled daemon surfaces as a transport
+       error the retry loop can act on, not a hung client *)
+    let s = float_of_int timeout_ms /. 1000.0 in
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+  end;
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   Fun.protect
@@ -452,3 +988,59 @@ let request address line =
       output_char oc '\n';
       flush oc;
       input_line ic)
+
+(* Retrying client: jittered exponential backoff over transport errors,
+   mid-stream EOF and structured [overloaded] responses (honouring their
+   [retry_after_ms] hint).  Safe because plan requests are idempotent by
+   {!Ccs.Plan_key} digest — a replay either hits the record the lost
+   answer stored, or rebuilds the identical artifact. *)
+let overloaded_retry_after line =
+  match Ccs.Json.of_string line with
+  | Ok v -> (
+      match Ccs.Json.member "error" v with
+      | Some err -> (
+          match Ccs.Json.member "code" err with
+          | Some (Ccs.Json.String "overloaded") ->
+              Some
+                (Option.value ~default:0
+                   (Option.bind
+                      (Ccs.Json.member "retry_after_ms" err)
+                      Ccs.Json.to_int))
+          | _ -> None)
+      | None -> None)
+  | Error _ -> None
+
+let request_retry ?(retries = 0) ?(backoff_ms = 50) ?(timeout_ms = 0)
+    ?(seed = 0) address line =
+  (* xorshift64*, seeded per call so concurrent clients spread out *)
+  let rng = ref (Int64.of_int ((seed lxor 0x9e3779b9) lor 1)) in
+  let next_jitter bound =
+    let x = !rng in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    rng := x;
+    if bound <= 0 then 0
+    else Int64.to_int (Int64.rem (Int64.shift_right_logical x 3) (Int64.of_int bound))
+  in
+  let sleep_ms ms =
+    if ms > 0 then
+      try Unix.sleepf (float_of_int ms /. 1000.0)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let rec go attempt =
+    let retry hint =
+      let base = backoff_ms * (1 lsl min attempt 10) in
+      sleep_ms (max hint base + next_jitter (max 1 base));
+      go (attempt + 1)
+    in
+    match request ~timeout_ms address line with
+    | line -> (
+        match overloaded_retry_after line with
+        | Some hint when attempt < retries -> retry hint
+        | _ -> line (* out of retries: surface the overloaded response *))
+    | exception (Unix.Unix_error _ | End_of_file | Sys_error _ | Sys_blocked_io)
+      when attempt < retries ->
+        retry 0
+  in
+  go 0

@@ -1,20 +1,45 @@
-(** The scheduling daemon: sockets, workers, metrics, shutdown.
+(** The scheduling daemon: sockets, workers, deadlines, shedding,
+    supervision, metrics, shutdown.
 
     [run config] binds the configured address (a Unix-domain socket path
-    or a TCP host/port), then either serves connections inline
-    ([workers <= 0]: one process, sequential connections — the mode unit
-    tests use) or preforks [workers] children that [accept] from the
-    shared listening socket.  Each connection speaks the line protocol
-    ({!Protocol}); a connection whose first line is an HTTP [GET]/[HEAD]
-    instead gets a one-shot HTTP/1.0 answer — [GET /metrics] returns the
-    Prometheus page merged across every worker's published snapshot
-    ({!Snapshot}).
+    or a TCP host/port), then either serves inline ([workers <= 0]: one
+    process running the worker event loop — the mode unit tests use) or
+    preforks [workers] children that share the listening socket.  Each
+    worker multiplexes its connections with [select], so a stalled
+    client never blocks the others; each connection speaks the line
+    protocol ({!Protocol}), and a connection whose first line is an HTTP
+    [GET]/[HEAD] instead gets a one-shot HTTP/1.0 answer —
+    [GET /metrics] returns the Prometheus page merged across every
+    published snapshot ({!Snapshot}).
+
+    Production hardening:
+    - {b Deadlines} ([deadline_ms > 0]): each request has a time budget
+      covering read, plan build and write.  A stalled client gets a
+      structured [deadline-exceeded] answer; a runaway plan build is
+      preempted with [ITIMER_REAL]/[SIGALRM] and answers the same way.
+    - {b Shedding} ([max_inflight > 0]): a worker at its in-flight limit
+      answers new connections with a structured [overloaded] response
+      carrying [retry_after_ms], then closes — never silent queueing.
+      The kernel accept queue depth is [backlog].
+    - {b Bounded store}: the plan cache ([dir/plans]) is a
+      {!Plan_cache.Bounded} store — LRU eviction under
+      [store_max_bytes]/[store_max_entries], mtime as crash-safe
+      recency, corrupt records quarantined.  A per-worker in-memory hot
+      cache ([hot_cache] entries) sits in front of it.
+    - {b Circuit breaker}: the parent respawns dead workers with
+      exponential backoff and, after [breaker_limit] consecutive deaths
+      under [min_uptime_ms], retires the crash-looping slot instead of
+      burning CPU on it.
+    - {b Chaos} ([chaos]): a seeded {!Ccs.Fault} serve-layer plan keyed
+      on the per-worker request index — worker kills after the response
+      is flushed, suppressed plan-store writes, torn records.
 
     All durable state lives under [config.dir]: the plan cache in
-    [dir/plans] ({!Plan_cache}) and per-worker metrics snapshots in
-    [dir/metrics].  Workers share the cache directory without
-    coordination — records are atomically written and keyed by content,
-    so races between workers are benign.
+    [dir/plans] and metrics snapshots in [dir/metrics].  Workers share
+    the cache directory without coordination — records are atomically
+    written and keyed by content, so races between workers are benign,
+    and eviction re-scans the directory so every worker's records count
+    against the bound.
 
     [SIGTERM]/[SIGINT] shut down cleanly: workers are terminated and
     reaped, the listening socket is closed and its socket file removed,
@@ -28,7 +53,24 @@ type config = {
   dir : string;  (** State directory: plan cache + metrics snapshots. *)
   workers : int;  (** [<= 0]: serve inline in this process. *)
   log : Ccs.Log.t;
+  backlog : int;  (** [listen(2)] queue depth. *)
+  deadline_ms : int;  (** Per-request budget; [0] = none. *)
+  max_inflight : int;
+      (** Per-worker concurrent-connection cap; [0] = unlimited. *)
+  retry_after_ms : int;  (** Backoff hint in [overloaded] responses. *)
+  store_max_bytes : int;  (** Plan-store byte bound; [0] = unbounded. *)
+  store_max_entries : int;  (** Plan-store entry bound; [0] = unbounded. *)
+  hot_cache : int;  (** In-memory artifact cache entries; [0] = off. *)
+  min_uptime_ms : int;
+      (** A worker dying sooner counts as a rapid death to the breaker. *)
+  breaker_limit : int;
+      (** Consecutive rapid deaths before a worker slot is retired. *)
+  chaos : Ccs.Fault.env;  (** Serve-layer fault plan; [[]] = none. *)
 }
+
+val default_config : address:address -> dir:string -> config
+(** Production defaults, chaos-free and unbounded: override fields with
+    [{ (default_config ~address ~dir) with ... }]. *)
 
 val pp_address : address -> string
 
@@ -38,17 +80,36 @@ val run : config -> unit
 (** {2 Client side} — used by [ccsched submit] and the tests. *)
 
 val connect : address -> Unix.file_descr
-val request : address -> string -> string
+
+val request : ?timeout_ms:int -> address -> string -> string
 (** One round-trip: connect, send one request line, read one response
-    line, close.
+    line, close.  [timeout_ms > 0] arms socket send/receive timeouts so
+    a stalled daemon surfaces as an error instead of a hang.
     @raise Unix.Unix_error if the daemon is unreachable. *)
+
+val request_retry :
+  ?retries:int ->
+  ?backoff_ms:int ->
+  ?timeout_ms:int ->
+  ?seed:int ->
+  address ->
+  string ->
+  string
+(** {!request} with up to [retries] replays on transport failure,
+    mid-stream EOF, or a structured [overloaded] response (sleeping at
+    least its [retry_after_ms] hint).  Backoff doubles from [backoff_ms]
+    per attempt with seeded jitter.  Safe because plan requests are
+    idempotent by {!Ccs.Plan_key} digest.  With retries exhausted, the
+    last response (or transport exception) is surfaced as-is. *)
 
 (** {2 Exposed for tests} *)
 
 type t
 
 val make : config -> t
-(** A daemon state without any socket — drive it with {!handle_line}. *)
+(** A daemon state without any socket — drive it with {!handle_line}.
+    Opens the bounded plan store (sweeping and quarantining, so this
+    touches [config.dir]). *)
 
 val handle_line : t -> string -> string
 (** Handle one request line (the daemon's core), returning the response

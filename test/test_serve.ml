@@ -73,12 +73,8 @@ let normalize line =
 
 let make_daemon () =
   Srv.make
-    {
-      Srv.address = Srv.Unix_socket "/nonexistent";
-      dir = tmp_dir ();
-      workers = 0;
-      log = Ccs.Log.null;
-    }
+    (Srv.default_config ~address:(Srv.Unix_socket "/nonexistent")
+       ~dir:(tmp_dir ()))
 
 (* --- protocol -------------------------------------------------------------- *)
 
@@ -372,15 +368,31 @@ let test_metrics_accounting () =
 
 (* --- the soak test: a real forked daemon ----------------------------------- *)
 
+(* Poll with a real connection, not just the socket file: the file
+   appears at [bind], a moment before [listen] — a connect in that
+   window is refused. *)
 let wait_for_socket sock =
+  let ready () =
+    Sys.file_exists sock
+    &&
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+    match Unix.connect fd (Unix.ADDR_UNIX sock) with
+    | () -> true
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+        false
+  in
   let rec go n =
-    if Sys.file_exists sock then ()
-    else if n = 0 then Alcotest.fail "daemon socket never appeared"
+    if ready () then ()
+    else if n = 0 then Alcotest.fail "daemon socket never came up"
     else (
       Unix.sleepf 0.05;
       go (n - 1))
   in
-  go 200
+  go 200;
+  (* let the daemon reap the probe connection before the test counts
+     in-flight slots *)
+  Unix.sleepf 0.15
 
 let scrape_http address =
   let fd = Srv.connect address in
@@ -402,10 +414,10 @@ let test_soak () =
   let sock = Filename.concat dir "d.sock" in
   let config =
     {
-      Srv.address = Srv.Unix_socket sock;
-      dir = Filename.concat dir "state";
-      workers = 2;
-      log = Ccs.Log.null;
+      (Srv.default_config ~address:(Srv.Unix_socket sock)
+         ~dir:(Filename.concat dir "state"))
+      with
+      Srv.workers = 2;
     }
   in
   flush stdout;
@@ -519,6 +531,540 @@ let test_soak () =
   | _, _ -> Alcotest.fail "daemon did not exit cleanly on SIGTERM");
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists sock)
 
+(* --- the weighted LRU index ------------------------------------------------ *)
+
+module Lru = Ccs_serve.Lru_index
+
+(* Differential test against a naive association-list model: same ops,
+   same observable state (recency order, size, total weight, returned
+   values) at every step.  Deterministic LCG so failures replay. *)
+let test_lru_index_differential () =
+  let t = Lru.create () in
+  let model = ref [] in
+  (* model: (key, (weight, value)) list, MRU first *)
+  let m_remove k = model := List.remove_assoc k !model in
+  let seed = ref 0x2545F491 in
+  let next () =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed
+  in
+  let agree step =
+    Alcotest.(check int)
+      (Printf.sprintf "size @%d" step)
+      (List.length !model) (Lru.size t);
+    Alcotest.(check int)
+      (Printf.sprintf "weight @%d" step)
+      (List.fold_left (fun acc (_, (w, _)) -> acc + w) 0 !model)
+      (Lru.total_weight t);
+    Alcotest.(check (list string))
+      (Printf.sprintf "recency @%d" step)
+      (List.map fst !model) (Lru.to_list_mru_first t)
+  in
+  for step = 1 to 3000 do
+    let k = "key-" ^ string_of_int (next () mod 40) in
+    let check_opt name want got =
+      Alcotest.(check (option int)) (Printf.sprintf "%s @%d" name step) want
+        got
+    in
+    (match next () mod 5 with
+    | 0 | 1 ->
+        let w = 1 + (next () mod 100) and v = next () in
+        Lru.add t k ~weight:w v;
+        m_remove k;
+        model := (k, (w, v)) :: !model
+    | 2 ->
+        check_opt "touch" (Option.map snd (List.assoc_opt k !model))
+          (Lru.touch t k);
+        (match List.assoc_opt k !model with
+        | Some e ->
+            m_remove k;
+            model := (k, e) :: !model
+        | None -> ())
+    | 3 ->
+        check_opt "find" (Option.map snd (List.assoc_opt k !model))
+          (Lru.find t k);
+        Alcotest.(check bool)
+          (Printf.sprintf "remove @%d" step)
+          (List.mem_assoc k !model) (Lru.remove t k);
+        m_remove k
+    | _ -> (
+        match Lru.evict_lru t with
+        | None ->
+            Alcotest.(check bool)
+              (Printf.sprintf "evict-empty @%d" step)
+              true (!model = [])
+        | Some (ek, ew, ev) -> (
+            match List.rev !model with
+            | (mk, (mw, mv)) :: _ ->
+                Alcotest.(check string)
+                  (Printf.sprintf "evict key @%d" step)
+                  mk ek;
+                Alcotest.(check int) "evict weight" mw ew;
+                Alcotest.(check int) "evict value" mv ev;
+                m_remove mk
+            | [] -> Alcotest.fail "evicted from an empty model")));
+    agree step
+  done
+
+let test_lru_index_update_and_growth () =
+  let t = Lru.create () in
+  (* grow well past the initial 16 slots *)
+  for i = 0 to 99 do
+    Lru.add t (string_of_int i) ~weight:i i
+  done;
+  Alcotest.(check int) "size" 100 (Lru.size t);
+  Alcotest.(check int) "weight" 4950 (Lru.total_weight t);
+  (* re-adding updates weight/value in place and promotes *)
+  Lru.add t "0" ~weight:1000 7;
+  Alcotest.(check int) "updated weight" (4950 - 0 + 1000) (Lru.total_weight t);
+  Alcotest.(check (option int)) "updated value" (Some 7) (Lru.find t "0");
+  (match Lru.to_list_mru_first t with
+  | mru :: _ -> Alcotest.(check string) "promoted" "0" mru
+  | [] -> Alcotest.fail "empty");
+  (* and the LRU is now key 1 *)
+  match Lru.evict_lru t with
+  | Some (k, _, _) -> Alcotest.(check string) "lru" "1" k
+  | None -> Alcotest.fail "evict failed"
+
+(* --- the bounded plan store ------------------------------------------------ *)
+
+let mk_key i =
+  let g = Ccs.Generators.uniform_pipeline ~n:4 ~state:8 () in
+  let cache = Ccs.Cache.config ~size_words:256 ~block_words:16 () in
+  Ccs.Plan_key.of_graph g ~cache ~capacities:[| 4; 4; 4 + i |]
+    ~planner_version:1
+
+let read_bin p = In_channel.with_open_bin p In_channel.input_all
+
+let plan_files dir =
+  if Sys.file_exists dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ccsplan")
+  else []
+
+let test_store_entry_bound_and_rebuild () =
+  let dir = tmp_dir () in
+  let a = artifact_fixture () in
+  let b =
+    Cache.Bounded.create ~dir
+      ~bounds:{ Cache.Bounded.max_bytes = 0; max_entries = 2 }
+      ()
+  in
+  Cache.Bounded.store b ~key:(mk_key 0) a;
+  Unix.sleepf 0.02;
+  Cache.Bounded.store b ~key:(mk_key 1) a;
+  Unix.sleepf 0.02;
+  let k1_bytes = read_bin (Cache.path ~dir (mk_key 1)) in
+  (* a hit bumps recency, so key 0 is most-recent again *)
+  Alcotest.(check bool)
+    "hit" true
+    (Cache.Bounded.lookup b ~key:(mk_key 0) <> None);
+  Unix.sleepf 0.02;
+  Cache.Bounded.store b ~key:(mk_key 2) a;
+  (* over the bound: the least-recently-used record (key 1) went *)
+  Alcotest.(check int) "entries" 2 (Cache.Bounded.entries b);
+  Alcotest.(check int) "evictions" 1 (Cache.Bounded.evictions b);
+  Alcotest.(check int) "files" 2 (List.length (plan_files dir));
+  Alcotest.(check bool)
+    "evicted misses" true
+    (Cache.Bounded.lookup b ~key:(mk_key 1) = None);
+  Alcotest.(check bool)
+    "survivor hits" true
+    (Cache.Bounded.lookup b ~key:(mk_key 2) <> None);
+  (* rebuilding the evicted record reproduces it bit-identically *)
+  Unix.sleepf 0.02;
+  Cache.Bounded.store b ~key:(mk_key 1) a;
+  Alcotest.(check int) "still bounded" 2 (Cache.Bounded.entries b);
+  Alcotest.(check string)
+    "rebuilt bit-identical" k1_bytes
+    (read_bin (Cache.path ~dir (mk_key 1)))
+
+let test_store_byte_bound () =
+  let dir = tmp_dir () in
+  let a = artifact_fixture () in
+  (* measure one record, then bound the store to just over two of them *)
+  Cache.store ~dir ~key:(mk_key 0) a;
+  let record = String.length (read_bin (Cache.path ~dir (mk_key 0))) in
+  let bound = (2 * record) + (record / 2) in
+  let b =
+    Cache.Bounded.create ~dir
+      ~bounds:{ Cache.Bounded.max_bytes = bound; max_entries = 0 }
+      ()
+  in
+  Unix.sleepf 0.02;
+  Cache.Bounded.store b ~key:(mk_key 1) a;
+  Unix.sleepf 0.02;
+  Cache.Bounded.store b ~key:(mk_key 2) a;
+  Alcotest.(check bool)
+    "bytes within bound" true
+    (Cache.Bounded.bytes b <= bound);
+  Alcotest.(check int) "entries" 2 (Cache.Bounded.entries b);
+  Alcotest.(check bool)
+    "oldest evicted" true
+    (Cache.Bounded.lookup b ~key:(mk_key 0) = None)
+
+let truncate_file p =
+  let size = (Unix.stat p).Unix.st_size in
+  let fd = Unix.openfile p [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (size / 2);
+  Unix.close fd
+
+let test_store_sweep_quarantines () =
+  let dir = tmp_dir () in
+  let a = artifact_fixture () in
+  Cache.store ~dir ~key:(mk_key 0) a;
+  Cache.store ~dir ~key:(mk_key 1) a;
+  truncate_file (Cache.path ~dir (mk_key 0));
+  let b = Cache.Bounded.create ~dir ~bounds:Cache.Bounded.unbounded () in
+  Alcotest.(check int) "quarantined" 1 (Cache.Bounded.quarantined b);
+  Alcotest.(check int) "kept" 1 (Cache.Bounded.entries b);
+  Alcotest.(check int) "quarantine dir" 1
+    (Array.length (Sys.readdir (Filename.concat dir "quarantine")));
+  Alcotest.(check bool)
+    "torn record misses" true
+    (Cache.Bounded.lookup b ~key:(mk_key 0) = None);
+  Alcotest.(check bool)
+    "healthy record hits" true
+    (Cache.Bounded.lookup b ~key:(mk_key 1) <> None);
+  (* the caller rebuilds; the store is whole again *)
+  Cache.Bounded.store b ~key:(mk_key 0) a;
+  Alcotest.(check bool)
+    "rebuilt record hits" true
+    (Cache.Bounded.lookup b ~key:(mk_key 0) <> None)
+
+let test_store_self_heals_at_lookup () =
+  let dir = tmp_dir () in
+  let a = artifact_fixture () in
+  let b = Cache.Bounded.create ~dir ~bounds:Cache.Bounded.unbounded () in
+  Cache.Bounded.store b ~key:(mk_key 0) a;
+  let healthy = read_bin (Cache.path ~dir (mk_key 0)) in
+  truncate_file (Cache.path ~dir (mk_key 0));
+  (* a torn record reads as a miss (quarantined), never an error *)
+  Alcotest.(check bool)
+    "torn -> miss" true
+    (Cache.Bounded.lookup b ~key:(mk_key 0) = None);
+  Alcotest.(check int) "quarantined" 1 (Cache.Bounded.quarantined b);
+  Cache.Bounded.store b ~key:(mk_key 0) a;
+  Alcotest.(check string)
+    "rebuilt bit-identical" healthy
+    (read_bin (Cache.path ~dir (mk_key 0)))
+
+(* --- protocol fuzzing ------------------------------------------------------ *)
+
+(* Whatever bytes arrive, the daemon's core must answer with exactly one
+   line of well-formed JSON carrying an "ok" verdict — never raise,
+   never go silent. *)
+let responds_structurally t line =
+  let r = Srv.handle_line t line in
+  (not (String.contains r '\n'))
+  &&
+  match Json.of_string r with
+  | Ok v -> (
+      match Json.member "ok" v with Some (Json.Bool _) -> true | _ -> false)
+  | Error _ -> false
+
+let fuzz_random_bytes =
+  let t = lazy (make_daemon ()) in
+  QCheck2.Test.make ~name:"random bytes get one structured answer" ~count:300
+    QCheck2.Gen.(string_size ~gen:char (int_range 0 120))
+    (fun s -> responds_structurally (Lazy.force t) s)
+
+let fuzz_mutated_json =
+  let t = lazy (make_daemon ()) in
+  let base =
+    plan_line ~m:256
+      (Ccs.Serial.to_text (Ccs.Generators.uniform_pipeline ~n:4 ~state:8 ()))
+  in
+  let gen =
+    QCheck2.Gen.(
+      map2
+        (fun i c ->
+          let b = Bytes.of_string base in
+          Bytes.set b (i mod Bytes.length b) c;
+          Bytes.to_string b)
+        (int_range 0 (String.length base - 1))
+        char)
+  in
+  QCheck2.Test.make ~name:"mutated requests get one structured answer"
+    ~count:200 gen
+    (fun s -> responds_structurally (Lazy.force t) s)
+
+(* --- live-daemon hardening ------------------------------------------------- *)
+
+let ping = {|{"op":"ping"}|}
+
+let with_daemon config sock f =
+  flush stdout;
+  flush stderr;
+  let pid =
+    match Unix.fork () with
+    | 0 ->
+        (try Srv.run config with _ -> ());
+        Unix._exit 0
+    | pid -> pid
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  wait_for_socket sock;
+  f pid
+
+(* A metric from one published snapshot document (e.g. the parent's). *)
+let file_metric path name =
+  match
+    In_channel.with_open_text path In_channel.input_all |> Json.of_string
+  with
+  | Error _ | (exception Sys_error _) -> None
+  | Ok doc ->
+      let section key =
+        match Json.member key doc with
+        | Some (Json.List items) ->
+            List.find_map
+              (fun it ->
+                match (Json.member "name" it, Json.member "value" it) with
+                | Some (Json.String n), Some v when n = name -> Json.to_int v
+                | _ -> None)
+              items
+        | _ -> None
+      in
+      (match section "counters" with
+      | Some v -> Some v
+      | None -> section "gauges")
+
+let test_deadline_slow_client () =
+  let dir = tmp_dir () in
+  let sock = Filename.concat dir "d.sock" in
+  let config =
+    {
+      (Srv.default_config ~address:(Srv.Unix_socket sock)
+         ~dir:(Filename.concat dir "state"))
+      with
+      Srv.deadline_ms = 200;
+    }
+  in
+  with_daemon config sock @@ fun _ ->
+  (* a stalled half-request gets a structured answer, then the close *)
+  let fd = Srv.connect config.Srv.address in
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  output_string oc "{\"op";
+  flush oc;
+  let r = input_line ic in
+  Alcotest.(check (option string))
+    "deadline code" (Some "deadline-exceeded") (error_code r);
+  (match input_line ic with
+  | exception End_of_file -> ()
+  | l -> Alcotest.failf "connection not closed, got %s" l);
+  Unix.close fd;
+  (* the worker is free again: a prompt request succeeds *)
+  Alcotest.(check bool)
+    "daemon alive" true
+    (is_ok (Srv.request config.Srv.address ping))
+
+let test_overload_shed () =
+  let dir = tmp_dir () in
+  let sock = Filename.concat dir "d.sock" in
+  let config =
+    {
+      (Srv.default_config ~address:(Srv.Unix_socket sock)
+         ~dir:(Filename.concat dir "state"))
+      with
+      Srv.max_inflight = 1;
+      retry_after_ms = 7;
+    }
+  in
+  with_daemon config sock @@ fun _ ->
+  (* one idle connection fills the worker; the next is shed *)
+  let a = Srv.connect config.Srv.address in
+  Unix.sleepf 0.15;
+  let b = Srv.connect config.Srv.address in
+  let ic = Unix.in_channel_of_descr b in
+  let r = input_line ic in
+  Alcotest.(check (option string)) "shed code" (Some "overloaded")
+    (error_code r);
+  (match Json.of_string r with
+  | Ok v ->
+      Alcotest.(check (option int))
+        "retry hint" (Some 7)
+        (Option.bind (Json.member "error" v) (fun e ->
+             Option.bind (Json.member "retry_after_ms" e) Json.to_int))
+  | Error _ -> Alcotest.fail "unparseable shed response");
+  (match input_line ic with
+  | exception End_of_file -> ()
+  | l -> Alcotest.failf "shed connection not closed, got %s" l);
+  Unix.close b;
+  (* a retrying client rides out the contention window: the slot frees
+     while it backs off, and the replay succeeds *)
+  flush stdout;
+  flush stderr;
+  let client =
+    match Unix.fork () with
+    | 0 ->
+        (* drop the inherited copy of [a]: the parent's close must be
+           the one that frees the worker slot *)
+        Unix.close a;
+        let r =
+          try
+            Srv.request_retry ~retries:6 ~backoff_ms:40 ~seed:1
+              config.Srv.address ping
+          with _ -> ""
+        in
+        Unix._exit (if is_ok r then 0 else 1)
+    | pid -> pid
+  in
+  Unix.sleepf 0.3;
+  Unix.close a;
+  (match Unix.waitpid [] client with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "retrying client never got through")
+
+let test_breaker_quarantines_crash_loop () =
+  let dir = tmp_dir () in
+  let sock = Filename.concat dir "d.sock" in
+  let state = Filename.concat dir "state" in
+  let config =
+    {
+      (Srv.default_config ~address:(Srv.Unix_socket sock) ~dir:state) with
+      Srv.workers = 1;
+      chaos = Ccs.Fault.parse_env "kill@0";
+      min_uptime_ms = 600_000;
+      (* every death is "rapid" *)
+      breaker_limit = 2;
+    }
+  in
+  with_daemon config sock @@ fun _ ->
+  (* each worker dies right after its first response: death one is
+     respawned (with backoff), death two trips the breaker *)
+  Alcotest.(check bool)
+    "first response" true
+    (is_ok (Srv.request config.Srv.address ping));
+  Alcotest.(check bool)
+    "respawned worker answers" true
+    (is_ok (Srv.request config.Srv.address ping));
+  let parent = Filename.concat (Filename.concat state "metrics") "parent.json" in
+  let rec await n =
+    match file_metric parent "ccs_serve_workers_quarantined" with
+    | Some 1 -> ()
+    | _ when n = 0 -> Alcotest.fail "breaker never quarantined the slot"
+    | _ ->
+        Unix.sleepf 0.05;
+        await (n - 1)
+  in
+  await 100;
+  Alcotest.(check (option int))
+    "one respawn before the breaker opened" (Some 1)
+    (file_metric parent "ccs_serve_worker_restarts_total")
+
+let test_live_fuzz_flood () =
+  let dir = tmp_dir () in
+  let sock = Filename.concat dir "d.sock" in
+  let config =
+    Srv.default_config ~address:(Srv.Unix_socket sock)
+      ~dir:(Filename.concat dir "state")
+  in
+  with_daemon config sock @@ fun _ ->
+  let fd = Srv.connect config.Srv.address in
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  (* a seeded flood of junk lines: every line gets exactly one
+     structured error and the connection survives all of them *)
+  let seed = ref 0xbadf00d in
+  let next () =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed
+  in
+  let n = 40 in
+  for _ = 1 to n do
+    let len = 1 + (next () mod 40) in
+    let line =
+      String.init len (fun i ->
+          if i = 0 then 'z'
+          else
+            match Char.chr (1 + (next () mod 255)) with
+            | '\n' | '\r' -> ' '
+            | c -> c)
+    in
+    output_string oc line;
+    output_char oc '\n'
+  done;
+  flush oc;
+  for i = 1 to n do
+    let r = input_line ic in
+    if error_code r = None then
+      Alcotest.failf "flood line %d: unstructured answer %s" i r
+  done;
+  output_string oc (ping ^ "\n");
+  flush oc;
+  Alcotest.(check bool) "connection survives flood" true (is_ok (input_line ic));
+  Unix.close fd
+
+(* --- the daemon chaos soak ------------------------------------------------- *)
+
+let test_chaos_soak () =
+  let dir = tmp_dir () in
+  let sock = Filename.concat dir "d.sock" in
+  let state = Filename.concat dir "state" in
+  let store_bound = 6 in
+  let config =
+    {
+      (Srv.default_config ~address:(Srv.Unix_socket sock) ~dir:state) with
+      Srv.workers = 2;
+      chaos = Ccs.Fault.parse_env "iofault@1:2,truncate@3,kill@5";
+      store_max_entries = store_bound;
+      min_uptime_ms = 0;
+      (* chaos deaths are expected; never trip the breaker here *)
+    }
+  in
+  (* the fault-free reference: the same requests through an inline
+     daemon, no chaos, no bounds *)
+  let reference =
+    Srv.make
+      (Srv.default_config ~address:(Srv.Unix_socket "/nonexistent")
+         ~dir:(tmp_dir ()))
+  in
+  let apps = Ccs_apps.Suite.names in
+  let lines = List.map (fun name -> plan_line (app_graph name)) apps in
+  let expected = List.map (fun l -> normalize (Srv.handle_line reference l)) lines in
+  with_daemon config sock @@ fun _ ->
+  (* two full rounds under chaos: worker kills, suppressed stores, torn
+     records, LRU eviction pressure (12 apps against a 6-record bound).
+     Every request must get exactly one well-formed response, and every
+     plan must be bit-identical to the fault-free run. *)
+  List.iteri
+    (fun round _ ->
+      List.iteri
+        (fun i (line, want) ->
+          let r =
+            Srv.request_retry ~retries:6 ~backoff_ms:20 ~timeout_ms:10_000
+              ~seed:((round * 100) + i)
+              config.Srv.address line
+          in
+          if not (is_ok r) then
+            Alcotest.failf "round %d app %d: error response %s" round i r;
+          Alcotest.(check string)
+            (Printf.sprintf "round %d app %d bit-identical" round i)
+            want (normalize r))
+        (List.combine lines expected))
+    [ 0; 1 ];
+  (* the plan store never exceeds its configured bound *)
+  let files = plan_files (Filename.concat state "plans") in
+  if List.length files > store_bound then
+    Alcotest.failf "store over bound: %d records" (List.length files);
+  (* at least one chaos kill happened and was supervised back up:
+     24 requests over 2 workers pigeonhole some worker past epoch 5 *)
+  let parent = Filename.concat (Filename.concat state "metrics") "parent.json" in
+  let rec await n =
+    match file_metric parent "ccs_serve_worker_restarts_total" with
+    | Some r when r >= 1 -> ()
+    | _ when n = 0 -> Alcotest.fail "no worker restart was recorded"
+    | _ ->
+        Unix.sleepf 0.05;
+        await (n - 1)
+  in
+  await 100
+
 let () =
   Alcotest.run "serve"
     [
@@ -557,5 +1103,39 @@ let () =
           Alcotest.test_case "metrics accounting" `Quick
             test_metrics_accounting;
         ] );
+      ( "lru index",
+        [
+          Alcotest.test_case "differential vs model" `Quick
+            test_lru_index_differential;
+          Alcotest.test_case "update and growth" `Quick
+            test_lru_index_update_and_growth;
+        ] );
+      ( "bounded store",
+        [
+          Alcotest.test_case "entry bound, LRU eviction, rebuild" `Quick
+            test_store_entry_bound_and_rebuild;
+          Alcotest.test_case "byte bound" `Quick test_store_byte_bound;
+          Alcotest.test_case "sweep quarantines torn records" `Quick
+            test_store_sweep_quarantines;
+          Alcotest.test_case "self-heals at lookup" `Quick
+            test_store_self_heals_at_lookup;
+        ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest fuzz_random_bytes;
+          QCheck_alcotest.to_alcotest fuzz_mutated_json;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "deadline on a stalled client" `Slow
+            test_deadline_slow_client;
+          Alcotest.test_case "overload shed + retrying client" `Slow
+            test_overload_shed;
+          Alcotest.test_case "breaker quarantines a crash loop" `Slow
+            test_breaker_quarantines_crash_loop;
+          Alcotest.test_case "live flood of junk lines" `Slow
+            test_live_fuzz_flood;
+        ] );
       ("soak", [ Alcotest.test_case "forked daemon" `Slow test_soak ]);
+      ("chaos", [ Alcotest.test_case "seeded chaos soak" `Slow test_chaos_soak ]);
     ]
