@@ -37,7 +37,8 @@ let strip_volatile line =
       Ccs.Json.to_string
         (Ccs.Json.Obj
            (List.filter
-              (fun (k, _) -> k <> "cached" && k <> "elapsed_us")
+              (fun (k, _) ->
+                k <> "cached" && k <> "elapsed_us" && k <> "trace_id")
               fields))
   | _ -> line
 
@@ -359,3 +360,118 @@ let e25 () =
     "with shedding, excess clients get structured overloaded answers and \
      retry with jittered backoff: every request still completes (zero \
      lost), the daemon never queues silently"
+
+(* E26: serve tracing overhead.  For every app in the suite, the same
+   cold+warm request pair is driven through two inline daemons — one
+   with tracing off (the default) and one with per-stage span recording
+   on.  The observability contract gates the diff exactly: the traced
+   responses must be bit-identical to the untraced ones (modulo the
+   volatile cached/elapsed_us/trace_id fields, with the client-supplied
+   trace_id echoed by both arms), and the cache hit/miss counters read
+   back from each daemon's registry must agree — tracing must never
+   change what the daemon computes, only record when it happened.  The
+   per-request overhead is wall-clock and therefore warn-only [_us]
+   fields. *)
+
+let e26 () =
+  section "E26-serve" "serve tracing overhead (spans on vs off)";
+  let m = 2048 and b = 16 in
+  let arm ~tracing app g =
+    let state = fresh_state (Printf.sprintf "e26-%s" app) in
+    Fun.protect ~finally:(fun () -> remove_tree state) @@ fun () ->
+    let daemon =
+      Ccs_serve.Server.make
+        {
+          (Ccs_serve.Server.default_config
+             ~address:(Ccs_serve.Server.Unix_socket "/nonexistent")
+             ~dir:state)
+          with
+          Ccs_serve.Server.tracing;
+        }
+    in
+    let line =
+      Ccs.Json.to_string
+        (Ccs.Json.Obj
+           [
+             ("op", Ccs.Json.String "plan");
+             ("graph", Ccs.Json.String (Ccs.Serial.to_text g));
+             ("cache_words", Ccs.Json.Int m);
+             ("block_words", Ccs.Json.Int b);
+             ("trace_id", Ccs.Json.String ("e26-" ^ app));
+           ])
+    in
+    let t0 = Ccs.Clock.now_us () in
+    let cold = Ccs_serve.Server.handle_line daemon line in
+    let cold_us = Ccs.Clock.elapsed_us ~since:t0 in
+    let t1 = Ccs.Clock.now_us () in
+    let warm = Ccs_serve.Server.handle_line daemon line in
+    let warm_us = Ccs.Clock.elapsed_us ~since:t1 in
+    let counter name =
+      Option.value
+        (Ccs_serve.Server.metric_value daemon name)
+        ~default:(-1)
+    in
+    (cold, warm, cold_us, warm_us, counter "ccs_serve_cache_misses_total",
+     counter "ccs_serve_cache_hits_total")
+  in
+  let rows =
+    List.map
+      (fun entry ->
+        let app = entry.Ccs_apps.Suite.name in
+        let g = entry.Ccs_apps.Suite.graph () in
+        let cold_off, warm_off, cold_off_us, warm_off_us, miss_off, hit_off =
+          arm ~tracing:false app g
+        in
+        let cold_on, warm_on, cold_on_us, warm_on_us, miss_on, hit_on =
+          arm ~tracing:true app g
+        in
+        let identical =
+          strip_volatile cold_off = strip_volatile cold_on
+          && strip_volatile warm_off = strip_volatile warm_on
+        in
+        let echoed =
+          response_field cold_on "trace_id"
+          = Some (Ccs.Json.String ("e26-" ^ app))
+          && response_field cold_off "trace_id"
+             = Some (Ccs.Json.String ("e26-" ^ app))
+        in
+        let counters_equal = miss_off = miss_on && hit_off = hit_on in
+        if Json.enabled () then
+          Json.point
+            [
+              ("kind", Json.String "serve_tracing_overhead");
+              ("graph", Json.String app);
+              ("m", Json.Int m);
+              ("b", Json.Int b);
+              ("identical", Json.Bool identical);
+              ("trace_id_echoed", Json.Bool echoed);
+              ("counters_equal", Json.Bool counters_equal);
+              ("cache_misses", Json.Int miss_on);
+              ("cache_hits", Json.Int hit_on);
+              ("cold_off_us", Json.Int cold_off_us);
+              ("cold_on_us", Json.Int cold_on_us);
+              ("warm_off_us", Json.Int warm_off_us);
+              ("warm_on_us", Json.Int warm_on_us);
+            ];
+        [
+          app;
+          string_of_int cold_off_us;
+          string_of_int cold_on_us;
+          string_of_int warm_off_us;
+          string_of_int warm_on_us;
+          (if identical then "yes" else "NO");
+          (if counters_equal then "yes" else "NO");
+        ])
+      Ccs_apps.Suite.all
+  in
+  Ccs.Table.print
+    ~header:
+      [
+        "app"; "cold off us"; "cold on us"; "warm off us"; "warm on us";
+        "identical"; "counters";
+      ]
+    ~rows;
+  note
+    "tracing is observation only: responses bit-identical and cache \
+     hit/miss counters exactly equal with spans on or off; the _us \
+     overhead columns are warn-only timing fields"

@@ -41,12 +41,13 @@ let experiments : (string * string * (unit -> unit)) list =
     ("E23", "compiled backend vs interpreted machine", E_compiled.e23);
     ("E24", "serve plan-cache effectiveness", E_serve.e24);
     ("E25", "serve hardening: bounded store + overload shedding", E_serve.e25);
+    ("E26", "serve tracing overhead", E_serve.e26);
   ]
 
 (* Sub-second experiments plus the micro-benchmarks: the CI smoke set. *)
 let quick_ids =
   [ "E1"; "E4"; "E5"; "E7"; "E9"; "E13"; "E15"; "E18"; "E19"; "E23"; "E24";
-    "E25"; "E12" ]
+    "E25"; "E26"; "E12" ]
 
 let usage () =
   Printf.eprintf

@@ -565,7 +565,7 @@ let bench_cmd =
 (* --- profile --------------------------------------------------------------- *)
 
 let profile_cmd =
-  let run graph m b outputs trace_out top =
+  let run graph m b outputs trace_out top format =
     with_graph graph @@ fun g ->
     let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
     let choice = Ccs.Auto.plan ~dynamic:false g cfg in
@@ -577,27 +577,86 @@ let profile_cmd =
         ~cache:(Ccs.Config.cache_config cfg)
         ~plan ~outputs ()
     in
-    Format.printf "%a@." Ccs.Runner.pp_result profile.Ccs.Profile.result;
     let rec take k = function
       | x :: rest when k > 0 -> x :: take (k - 1) rest
       | _ -> []
     in
     let rows = take top (Ccs.Profile.per_entity profile) in
-    Ccs.Table.print
-      ~header:[ "entity"; "accesses"; "misses" ]
-      ~rows:
-        (List.map
-           (fun (label, accesses, misses) ->
-             [ label; string_of_int accesses; string_of_int misses ])
-           rows);
-    Printf.printf "attributed misses: %d of %d\n"
-      (Ccs.Profile.attributed_misses profile)
-      profile.Ccs.Profile.result.Ccs.Runner.misses;
     let table =
       Ccs.Profile.component_table profile choice.Ccs.Auto.partition
         ~t:choice.Ccs.Auto.batch
     in
-    Format.printf "%a@." Ccs.Profile.pp_table table;
+    (match format with
+    | `Text ->
+        Format.printf "%a@." Ccs.Runner.pp_result profile.Ccs.Profile.result;
+        Ccs.Table.print
+          ~header:[ "entity"; "accesses"; "misses" ]
+          ~rows:
+            (List.map
+               (fun (label, accesses, misses) ->
+                 [ label; string_of_int accesses; string_of_int misses ])
+               rows);
+        Printf.printf "attributed misses: %d of %d\n"
+          (Ccs.Profile.attributed_misses profile)
+          profile.Ccs.Profile.result.Ccs.Runner.misses;
+        Format.printf "%a@." Ccs.Profile.pp_table table
+    | `Json ->
+        let open Ccs.Json in
+        let r = profile.Ccs.Profile.result in
+        let row_json (row : Ccs.Profile.row) =
+          Obj
+            [
+              ("label", String row.Ccs.Profile.label);
+              ("measured", Int row.Ccs.Profile.measured);
+              ("predicted", Int row.Ccs.Profile.predicted);
+            ]
+        in
+        let doc =
+          Obj
+            [
+              ( "result",
+                Obj
+                  [
+                    ("plan", String r.Ccs.Runner.plan_name);
+                    ("inputs", Int r.Ccs.Runner.inputs);
+                    ("outputs", Int r.Ccs.Runner.outputs);
+                    ("misses", Int r.Ccs.Runner.misses);
+                    ("accesses", Int r.Ccs.Runner.accesses);
+                    ( "misses_per_input",
+                      Float r.Ccs.Runner.misses_per_input );
+                    ("buffer_words", Int r.Ccs.Runner.buffer_words);
+                    ( "address_space_words",
+                      Int r.Ccs.Runner.address_space_words );
+                  ] );
+              ( "attributed_misses",
+                Int (Ccs.Profile.attributed_misses profile) );
+              ( "entities",
+                List
+                  (List.map
+                     (fun (label, accesses, misses) ->
+                       Obj
+                         [
+                           ("entity", String label);
+                           ("accesses", Int accesses);
+                           ("misses", Int misses);
+                         ])
+                     rows) );
+              ( "component_table",
+                Obj
+                  [
+                    ("batch", Int choice.Ccs.Auto.batch);
+                    ("batches", Int table.Ccs.Profile.batches);
+                    ( "components",
+                      List (List.map row_json table.Ccs.Profile.components)
+                    );
+                    ("cross", List (List.map row_json table.Ccs.Profile.cross));
+                    ("measured_total", Int table.Ccs.Profile.measured_total);
+                    ( "predicted_total",
+                      Int table.Ccs.Profile.predicted_total );
+                  ] );
+            ]
+        in
+        print_endline (to_string doc));
     match trace_out with
     | None -> ()
     | Some path ->
@@ -624,6 +683,16 @@ let profile_cmd =
       & info [ "top" ] ~docv:"N"
           ~doc:"Show the N heaviest entities (by misses).")
   in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,text) (tables, the default) or $(b,json) \
+             (one machine-readable document with the run result, per-entity \
+             rows and the Lemma-4/8 component table).")
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
@@ -632,7 +701,7 @@ let profile_cmd =
           (Lemmas 4/8), and optionally a Chrome trace.")
     Term.(
       const run $ graph_args $ cache_words_arg $ block_words_arg $ outputs_arg
-      $ trace_out $ top)
+      $ trace_out $ top $ format)
 
 (* --- compare --------------------------------------------------------------- *)
 
@@ -737,8 +806,7 @@ let codegen_cmd =
 (* --- trace ----------------------------------------------------------------- *)
 
 let trace_cmd =
-  let run graph m b outputs =
-    with_graph graph @@ fun g ->
+  let run_graph g m b outputs =
     let cfg = Ccs.Config.make ~cache_words:m ~block_words:b () in
     let choice = Ccs.Auto.plan ~dynamic:false g cfg in
     let plan = choice.Ccs.Auto.plan in
@@ -765,12 +833,180 @@ let trace_cmd =
            (fun (c, miss) -> [ string_of_int c; string_of_int miss ])
            (Ccs.Trace_analysis.miss_curve ~distances:d ~capacities:caps))
   in
+  (* Flight mode: merge a serve daemon's flight dumps and live trace
+     files into a per-stage latency breakdown.  Corrupt dumps are
+     skipped with their structured error on stderr — post-mortem
+     tooling must never crash on the evidence. *)
+  let run_flight dir chrome =
+    (* a typo'd --dir is an error; a real daemon dir whose flight/ or
+       trace/ subdirs don't exist yet (nothing dumped) is just empty *)
+    if not (Sys.file_exists dir && Sys.is_directory dir) then
+      or_die (Error (Printf.sprintf "no such directory: %s" dir));
+    let files_in sub =
+      let d = Filename.concat dir sub in
+      match Sys.readdir d with
+      | exception Sys_error _ -> []
+      | files ->
+          Array.to_list files
+          |> List.filter (fun f -> Filename.check_suffix f ".ccsflight")
+          |> List.sort String.compare
+          |> List.map (fun f -> (Filename.concat sub f, Filename.concat d f))
+    in
+    let loaded, rejected =
+      List.fold_left
+        (fun (ok, bad) (label, path) ->
+          match Ccs.Flight.load ~path with
+          | Ok d -> ((label, d) :: ok, bad)
+          | Error e ->
+              Printf.eprintf "ccsched: skipping %s: %s\n%!" path
+                (Ccs.Error.to_string e);
+              (ok, bad + 1))
+        ([], 0)
+        (files_in "flight" @ files_in "trace")
+    in
+    let loaded = List.rev loaded in
+    if loaded = [] then
+      Printf.printf
+        "no flight dumps or live traces under %s (%d rejected)\n" dir
+        rejected
+    else begin
+      Ccs.Table.print
+        ~header:[ "dump"; "trigger"; "pid"; "seq"; "spans"; "dropped"; "logs" ]
+        ~rows:
+          (List.map
+             (fun (label, (d : Ccs.Flight.dump)) ->
+               [
+                 label; d.Ccs.Flight.trigger; string_of_int d.Ccs.Flight.pid;
+                 string_of_int d.Ccs.Flight.seq;
+                 string_of_int (List.length d.Ccs.Flight.spans);
+                 string_of_int d.Ccs.Flight.dropped_spans;
+                 string_of_int (List.length d.Ccs.Flight.logs);
+               ])
+             loaded);
+      let spans =
+        List.concat_map
+          (fun (label, (d : Ccs.Flight.dump)) ->
+            List.map (fun s -> (label, s)) d.Ccs.Flight.spans)
+          loaded
+      in
+      (* per-stage latency distribution (nearest-rank percentiles) *)
+      let stages = Hashtbl.create 8 in
+      List.iter
+        (fun (_, (s : Ccs.Span.span)) ->
+          let durs =
+            Option.value
+              (Hashtbl.find_opt stages s.Ccs.Span.stage)
+              ~default:[]
+          in
+          Hashtbl.replace stages s.Ccs.Span.stage
+            (Ccs.Span.duration_us s :: durs))
+        spans;
+      let pct sorted p =
+        let n = Array.length sorted in
+        sorted.(min (n - 1) (max 0 ((((n * p) + 99) / 100) - 1)))
+      in
+      let rows =
+        Hashtbl.fold
+          (fun stage durs acc ->
+            let a = Array.of_list durs in
+            Array.sort compare a;
+            ( stage,
+              [
+                stage; string_of_int (Array.length a);
+                string_of_int (pct a 50); string_of_int (pct a 95);
+                string_of_int (pct a 99);
+                string_of_int a.(Array.length a - 1);
+              ] )
+            :: acc)
+          stages []
+        |> List.sort compare |> List.map snd
+      in
+      if rows <> [] then
+        Ccs.Table.print
+          ~header:[ "stage"; "count"; "p50_us"; "p95_us"; "p99_us"; "max_us" ]
+          ~rows;
+      (* slowest-request exemplars: the heaviest root spans with their
+         per-stage breakdown *)
+      let roots =
+        List.filter (fun (_, s) -> s.Ccs.Span.stage = "request") spans
+        |> List.sort (fun (_, a) (_, b) ->
+               compare (Ccs.Span.duration_us b) (Ccs.Span.duration_us a))
+      in
+      let rec take k = function
+        | x :: rest when k > 0 -> x :: take (k - 1) rest
+        | _ -> []
+      in
+      List.iter
+        (fun (label, (root : Ccs.Span.span)) ->
+          let children =
+            List.filter
+              (fun (l, (s : Ccs.Span.span)) ->
+                l = label
+                && s.Ccs.Span.parent = root.Ccs.Span.span_id
+                && s.Ccs.Span.trace_id = root.Ccs.Span.trace_id)
+              spans
+          in
+          Printf.printf "slowest: trace_id=%s %dus (%s)%s\n"
+            root.Ccs.Span.trace_id
+            (Ccs.Span.duration_us root)
+            label
+            (String.concat ""
+               (List.map
+                  (fun (_, (s : Ccs.Span.span)) ->
+                    Printf.sprintf " %s=%dus" s.Ccs.Span.stage
+                      (Ccs.Span.duration_us s))
+                  children)))
+        (take 3 roots);
+      match chrome with
+      | None -> ()
+      | Some path ->
+          Ccs.Trace_export.write ~path
+            (Ccs.Trace_export.chrome_spans
+               (List.map
+                  (fun (label, (d : Ccs.Flight.dump)) ->
+                    (label, d.Ccs.Flight.spans))
+                  loaded));
+          Printf.printf
+            "wrote %s (%d spans from %d files); load it in Perfetto or \
+             chrome://tracing\n"
+            path (List.length spans) (List.length loaded)
+    end
+  in
+  let run graph m b outputs dir chrome =
+    match dir with
+    | Some dir -> run_flight dir chrome
+    | None -> with_graph graph @@ fun g -> run_graph g m b outputs
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"PATH"
+          ~doc:
+            "Flight mode: read a serve daemon's state directory instead \
+             of simulating a graph — merge DIR/flight dumps and \
+             DIR/trace live traces, print the per-stage p50/p95/p99 \
+             latency breakdown and the slowest-request exemplars.")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "With --dir: also export the merged span forest as Chrome \
+             trace-event JSON to $(docv).")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Record the partitioned schedule's block trace and print its \
-          reuse-distance histogram and LRU miss curve.")
-    Term.(const run $ graph_args $ cache_words_arg $ block_words_arg $ outputs_arg)
+          reuse-distance histogram and LRU miss curve; or, with --dir, \
+          inspect a serve daemon's flight-recorder dumps and live trace \
+          files.")
+    Term.(
+      const run $ graph_args $ cache_words_arg $ block_words_arg
+      $ outputs_arg $ dir $ chrome)
 
 (* --- multi ----------------------------------------------------------------- *)
 
@@ -894,14 +1130,19 @@ let address_args =
 let serve_cmd =
   let run address dir workers level backlog deadline_ms max_inflight
       retry_after_ms store_max_bytes store_max_entries hot_cache min_uptime_ms
-      breaker chaos =
+      breaker chaos tracing =
     let address = or_die address in
     let level =
       match Ccs.Log.level_of_string level with
       | Some l -> l
       | None -> or_die (Error (Printf.sprintf "unknown log level %S" level))
     in
-    let log = Ccs.Log.to_channel ~level stderr in
+    (* With tracing on, log lines carry ts_us so they correlate with
+       span timelines; without it, logs stay clock-free. *)
+    let log =
+      if tracing then Ccs.Log.to_channel ~level ~now:Ccs.Clock.now_us stderr
+      else Ccs.Log.to_channel ~level stderr
+    in
     let chaos =
       match chaos with
       | None -> []
@@ -924,6 +1165,7 @@ let serve_cmd =
         min_uptime_ms;
         breaker_limit = breaker;
         chaos;
+        tracing;
       }
   in
   let dir =
@@ -1028,6 +1270,16 @@ let serve_cmd =
              kill@5,iofault@2:3,truncate@8 or srand@7:4 — epochs are \
              per-worker request indices.")
   in
+  let tracing =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Record per-stage request spans: per-stage latency \
+             histograms on /metrics, live trace files under DIR/trace, \
+             richer flight dumps, and ts_us timestamps on log lines.  \
+             Responses are bit-identical with or without it.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1042,11 +1294,12 @@ let serve_cmd =
     Term.(
       const run $ address_args $ dir $ workers $ level $ backlog
       $ deadline_ms $ max_inflight $ retry_after_ms $ store_max_bytes
-      $ store_max_entries $ hot_cache $ min_uptime_ms $ breaker $ chaos)
+      $ store_max_entries $ hot_cache $ min_uptime_ms $ breaker $ chaos
+      $ tracing)
 
 let submit_cmd =
-  let run address graph m b ways capacities dry_run retries backoff_ms
-      timeout_ms =
+  let run address graph m b ways capacities dry_run trace_id retries
+      backoff_ms timeout_ms =
     let address = or_die address in
     with_graph graph @@ fun g ->
     let capacities =
@@ -1073,7 +1326,11 @@ let submit_cmd =
                   (Array.to_list
                      (Array.map (fun c -> Ccs.Json.Int c) caps)) );
             ])
-      @ if dry_run then [ ("dry_run", Ccs.Json.Bool true) ] else []
+      @ (if dry_run then [ ("dry_run", Ccs.Json.Bool true) ] else [])
+      @
+      match trace_id with
+      | None -> []
+      | Some id -> [ ("trace_id", Ccs.Json.String id) ]
     in
     let line = Ccs.Json.to_string (Ccs.Json.Obj fields) in
     let response =
@@ -1124,6 +1381,16 @@ let submit_cmd =
             "Also run one period of the plan on the compiled backend and \
              report its output count and checksum.")
   in
+  let trace_id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-id" ] ~docv:"ID"
+          ~doc:
+            "Correlation id carried with the request and echoed in the \
+             response, the daemon's log lines and its trace spans — pick \
+             any string unique enough to grep for.")
+  in
   let retries =
     Arg.(
       value & opt int 0
@@ -1155,8 +1422,8 @@ let submit_cmd =
           response line; exit nonzero on an error response.")
     Term.(
       const run $ address_args $ graph_args $ cache_words_arg
-      $ block_words_arg $ ways $ capacities $ dry_run $ retries $ backoff_ms
-      $ timeout_ms)
+      $ block_words_arg $ ways $ capacities $ dry_run $ trace_id $ retries
+      $ backoff_ms $ timeout_ms)
 
 let () =
   let doc = "cache-conscious scheduling of streaming applications (SPAA'12)" in

@@ -63,6 +63,8 @@ module Trace_export = Ccs_obs.Trace_export
 module Json = Ccs_obs.Json
 module Metrics = Ccs_obs.Metrics
 module Log = Ccs_obs.Log
+module Span = Ccs_obs.Span
+module Flight = Ccs_obs.Flight
 module Bench_diff = Bench_diff
 
 (* Partitioning *)

@@ -19,26 +19,47 @@ type t = {
   mutable threshold : level;
   sink : string -> unit;
   mutable seq : int; (* lines emitted, a deterministic per-run ordinal *)
+  now : (unit -> int) option;
+      (* opt-in wall clock: when set, each line carries "ts_us".  Off by
+         default so deterministic-seq tests and byte-identical
+         double-run gates are unchanged. *)
 }
 
-let make ?(level = Info) sink = { threshold = level; sink; seq = 0 }
+let make ?(level = Info) ?now sink = { threshold = level; sink; seq = 0; now }
 
 (* Flushed per line: channel loggers serve long-running processes
    (the daemon's preforked workers log to an inherited stderr and can
    die on a signal at any moment), so a line must be durable the
    moment it is emitted, not at channel-buffer pressure or exit. *)
-let to_channel ?level oc =
-  make ?level (fun line ->
+let to_channel ?level ?now oc =
+  make ?level ?now (fun line ->
       output_string oc line;
       output_char oc '\n';
       flush oc)
 
-let to_buffer ?level buf =
-  make ?level (fun line ->
+let to_buffer ?level ?now buf =
+  make ?level ?now (fun line ->
       Buffer.add_string buf line;
       Buffer.add_char buf '\n')
 
-let null = { threshold = Error; sink = ignore; seq = 0 }
+let null = { threshold = Error; sink = ignore; seq = 0; now = None }
+
+let tee t extra =
+  (* Mirrors every rendered line into [extra] as well as the original
+     sink — the daemon routes log lines into the flight recorder's ring
+     this way.  Shares nothing mutable with [t]: wrap once at process
+     start (each preforked worker wraps its inherited logger). *)
+  {
+    threshold = t.threshold;
+    sink =
+      (fun line ->
+        t.sink line;
+        extra line);
+    seq = t.seq;
+    now = t.now;
+  }
+
+let with_timestamps t now = { t with now = Some now }
 let set_level t level = t.threshold <- level
 let level t = t.threshold
 let enabled t l = level_rank l >= level_rank t.threshold
@@ -54,6 +75,11 @@ let log t l event fields =
     let buf = Buffer.create 96 in
     Buffer.add_string buf "{\"seq\":";
     Buffer.add_string buf (string_of_int t.seq);
+    (match t.now with
+    | None -> ()
+    | Some now ->
+        Buffer.add_string buf ",\"ts_us\":";
+        Buffer.add_string buf (string_of_int (now ())));
     Buffer.add_string buf ",\"lvl\":\"";
     Buffer.add_string buf (level_name l);
     Buffer.add_string buf "\",\"ev\":";

@@ -7,7 +7,9 @@
     integer comparison; above it, one buffer is built and handed to the
     sink.  There is no wall-clock timestamp by default — the simulators
     are deterministic and log logical quantities (epochs, ticks, firing
-    counts); callers that want real time can add it as a field. *)
+    counts); callers that want real time opt in with [?now] (the daemon
+    passes [Ccs.Clock.now_us]), which adds a ["ts_us"] member so log
+    lines correlate with {!Span} timelines. *)
 
 type level = Debug | Info | Warn | Error
 
@@ -17,20 +19,32 @@ val level_of_string : string -> level option
 
 type t
 
-val make : ?level:level -> (string -> unit) -> t
+val make : ?level:level -> ?now:(unit -> int) -> (string -> unit) -> t
 (** [make sink] routes each rendered line (without trailing newline) to
-    [sink].  Default threshold: [Info]. *)
+    [sink].  Default threshold: [Info].  When [now] is supplied each
+    line carries a ["ts_us"] member with its value; the default (no
+    clock) keeps output byte-deterministic. *)
 
-val to_channel : ?level:level -> out_channel -> t
+val to_channel : ?level:level -> ?now:(unit -> int) -> out_channel -> t
 (** Flushes the channel after every line, so each event is durable the
     moment it is emitted — channel loggers back long-running processes
     that may be killed by a signal at any point. *)
 
-val to_buffer : ?level:level -> Buffer.t -> t
+val to_buffer : ?level:level -> ?now:(unit -> int) -> Buffer.t -> t
 
 val null : t
 (** Drops everything below [Error] and sends the rest nowhere — a
     convenient default for optional [?log] parameters. *)
+
+val tee : t -> (string -> unit) -> t
+(** [tee t extra] is a new logger with [t]'s threshold, clock and sink
+    that additionally hands every rendered line to [extra] — used to
+    mirror log lines into the flight recorder ring.  The copy starts
+    from [t]'s current [seq] and the two do not share mutable state, so
+    wrap once at process start. *)
+
+val with_timestamps : t -> (unit -> int) -> t
+(** [with_timestamps t now] is [t] with the opt-in clock enabled. *)
 
 val set_level : t -> level -> unit
 val level : t -> level

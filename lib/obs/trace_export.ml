@@ -87,6 +87,43 @@ let chrome ?(process_name = "ccs simulated machine") ?(thread_names = [])
   Buffer.add_string buf "}}";
   Buffer.contents buf
 
+(* Span forest → Chrome trace_event JSON: one track (tid) per source
+   (worker/file), one complete "X" event per span with trace_id /
+   span_id / parent carried in args so Perfetto's flow queries can
+   stitch a request back together across stages. *)
+let chrome_spans ?(process_name = "ccsched serve") sources =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  metadata buf ~first:true ~name:"process_name" ~tid:0 ~value:process_name;
+  List.iteri
+    (fun tid (label, _) ->
+      metadata buf ~first:false ~name:"thread_name" ~tid ~value:label)
+    sources;
+  let total = ref 0 in
+  List.iteri
+    (fun tid (_, spans) ->
+      List.iter
+        (fun (s : Span.span) ->
+          incr total;
+          let extra = Buffer.create 96 in
+          Buffer.add_string extra
+            (Printf.sprintf ",\"dur\":%d,\"args\":{\"trace_id\":"
+               (Span.duration_us s));
+          escape extra s.Span.trace_id;
+          Buffer.add_string extra
+            (Printf.sprintf ",\"span_id\":%d,\"parent\":%d}" s.Span.span_id
+               s.Span.parent);
+          event buf ~first:false ~name:s.Span.stage ~cat:"serve" ~ph:"X"
+            ~ts:s.Span.start_us ~tid ~extra:(Buffer.contents extra))
+        spans)
+    sources;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\",\"ccs\":{";
+  escape buf "spans";
+  Buffer.add_char buf ':';
+  Buffer.add_string buf (string_of_int !total);
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
 (* Atomic write (the shared Binio discipline): a crash mid-export leaves
    the previous file (or nothing) on disk — never a truncated,
    unparseable JSON document — and concurrent exporters cannot clobber

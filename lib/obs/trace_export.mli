@@ -24,6 +24,14 @@ val chrome :
     emitted under a top-level ["ccs"] object (the attribution-sum check in
     CI reads ["total_misses"]/["attributed_misses"] from there). *)
 
+val chrome_spans :
+  ?process_name:string -> (string * Span.span list) list -> string
+(** [chrome_spans sources] serializes request-stage span lists (one
+    [(label, spans)] pair per worker or flight-dump file) as a Chrome
+    trace_event document: each source gets its own track named [label],
+    each span becomes a complete ["X"] event at its real microsecond
+    timestamps with [trace_id]/[span_id]/[parent] in [args]. *)
+
 val write : path:string -> string -> unit
 (** Write a serialized document to [path] (plus a trailing newline),
     atomically: the document is written to [path ^ ".tmp"] and renamed

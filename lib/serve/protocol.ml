@@ -8,6 +8,7 @@ type plan_request = {
   ways : int option;
   capacities : int array option;
   dry_run : bool;
+  trace_id : string option;
 }
 
 type request = Plan of plan_request | Ping
@@ -56,6 +57,14 @@ let opt_int_field name v =
       | Some i -> Ok (Some i)
       | None -> Error (invalid "field %S must be an integer or null" name))
 
+let opt_string_field name v =
+  match field name v with
+  | None | Some Json.Null -> Ok None
+  | Some j -> (
+      match Json.to_str j with
+      | Some s -> Ok (Some s)
+      | None -> Error (invalid "field %S must be a string or null" name))
+
 let bool_field ~default name v =
   match field name v with
   | None | Some Json.Null -> Ok default
@@ -88,8 +97,9 @@ let parse_request line =
           let* ways = opt_int_field "ways" v in
           let* capacities = capacities_field v in
           let* dry_run = bool_field ~default:false "dry_run" v in
+          let* trace_id = opt_string_field "trace_id" v in
           Ok (Plan { graph_text; cache_words; block_words; ways; capacities;
-                     dry_run })
+                     dry_run; trace_id })
       | op -> Error (invalid "unknown op %S (expected \"plan\" or \"ping\")" op))
   | Ok _ -> Error (invalid "request must be a JSON object")
 
@@ -129,7 +139,15 @@ let predicted_json (a : artifact) =
       ("bandwidth_per_input", Json.Float a.bandwidth_per_input);
     ]
 
-let plan_response ~cached ~key ~artifact ~dry_run ~elapsed_us =
+(* Echoed only when the client supplied one: a request without a
+   trace_id gets a byte-identical response whether server tracing is on
+   or off (the E26 bit-identity gate). *)
+let trace_id_json trace_id =
+  match trace_id with
+  | None -> []
+  | Some id -> [ ("trace_id", Json.String id) ]
+
+let plan_response ?trace_id ~cached ~key ~artifact ~dry_run ~elapsed_us () =
   Json.Obj
     ([
        ("ok", Json.Bool true);
@@ -149,11 +167,12 @@ let plan_response ~cached ~key ~artifact ~dry_run ~elapsed_us =
                   ("checksum", Json.Float d.checksum);
                 ] );
           ])
+    @ trace_id_json trace_id
     @ [ ("elapsed_us", Json.Int elapsed_us) ])
 
 let pong = Json.Obj [ ("ok", Json.Bool true); ("pong", Json.Bool true) ]
 
-let error_response err =
+let error_response ?trace_id err =
   (* Machine-actionable context rides along with the code: an overloaded
      response tells the client when to come back. *)
   let extra =
@@ -163,13 +182,14 @@ let error_response err =
     | _ -> []
   in
   Json.Obj
-    [
-      ("ok", Json.Bool false);
-      ( "error",
-        Json.Obj
-          ([
-             ("code", Json.String (E.code err));
-             ("message", Json.String (E.to_string err));
-           ]
-          @ extra) );
-    ]
+    ([
+       ("ok", Json.Bool false);
+       ( "error",
+         Json.Obj
+           ([
+              ("code", Json.String (E.code err));
+              ("message", Json.String (E.to_string err));
+            ]
+           @ extra) );
+     ]
+    @ trace_id_json trace_id)

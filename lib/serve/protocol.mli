@@ -5,11 +5,14 @@
 
     - [{"op":"ping"}] — liveness probe, answered with {!pong};
     - [{"op":"plan", "graph":"<Serial text>", "cache_words":m,
-       "block_words":b, "ways":w?, "capacities":[..]?, "dry_run":bool?}]
+       "block_words":b, "ways":w?, "capacities":[..]?, "dry_run":bool?,
+       "trace_id":"..."?}]
       — run the full pipeline (validation, rate analysis, partitioning,
       plan construction) and answer with the plan, its Lemma-4/8
       predicted miss bounds, and optionally a compiled-backend dry-run
-      checksum.
+      checksum.  A client-supplied [trace_id] is echoed in the response
+      and carried through server log lines and stage spans, so submit
+      output, logs and traces correlate.
 
     Malformed requests parse to a structured
     {!Ccs.Error.Request_invalid} and are answered with
@@ -27,6 +30,9 @@ type plan_request = {
   dry_run : bool;
       (** Run one period on the compiled backend and report its output
           count and checksum. *)
+  trace_id : string option;
+      (** Client-chosen correlation id, echoed verbatim in the response
+          and server telemetry; [None] = untraced request. *)
 }
 
 type request = Plan of plan_request | Ping
@@ -56,15 +62,20 @@ val schedule_to_json : Ccs.Schedule.t -> Ccs.Json.value
     [{"r":count,"b":body}]. *)
 
 val plan_response :
+  ?trace_id:string ->
   cached:bool ->
   key:string ->
   artifact:artifact ->
   dry_run:dry_run option ->
   elapsed_us:int ->
+  unit ->
   Ccs.Json.value
+(** [trace_id], when present, is echoed as a ["trace_id"] member; absent
+    requests get byte-identical responses whether tracing is on or off. *)
 
 val pong : Ccs.Json.value
 
-val error_response : Ccs.Error.t -> Ccs.Json.value
+val error_response : ?trace_id:string -> Ccs.Error.t -> Ccs.Json.value
 (** [{"ok":false,"error":{"code":...,"message":...}}] using the stable
-    {!Ccs.Error.code} tags. *)
+    {!Ccs.Error.code} tags, plus an echoed ["trace_id"] when the request
+    carried one. *)

@@ -19,6 +19,7 @@ type config = {
   min_uptime_ms : int;
   breaker_limit : int;
   chaos : Fault.env;
+  tracing : bool;
 }
 
 let default_config ~address ~dir =
@@ -37,6 +38,7 @@ let default_config ~address ~dir =
     min_uptime_ms = 1000;
     breaker_limit = 5;
     chaos = [];
+    tracing = false;
   }
 
 let pp_address = function
@@ -56,12 +58,23 @@ type metrics = {
   deadline_exceeded : Metrics.counter;
   cache_evictions : Metrics.counter;
   worker_restarts : Metrics.counter;
+  flight_dumps : Metrics.counter;
   inflight : Metrics.gauge;
   store_bytes : Metrics.gauge;
   store_entries : Metrics.gauge;
   request_us : Metrics.histogram;
   plan_us : Metrics.histogram;
+  stage_us : (string * Metrics.histogram) list;
 }
+
+(* Every stage of the request path gets its own labelled latency series.
+   Pre-registered so /metrics always shows the full set (at zero) and the
+   hot path never hashes a registration. *)
+let stage_names =
+  [
+    "request"; "read"; "parse"; "key"; "cache_lookup"; "plan_build"; "dry_run";
+    "write";
+  ]
 
 let make_metrics () =
   let registry = Metrics.create () in
@@ -97,6 +110,9 @@ let make_metrics () =
       c "ccs_serve_worker_restarts_total"
         "Worker processes respawned by the parent after an unexpected \
          death.";
+    flight_dumps =
+      c "ccs_serve_flight_dumps_total"
+        "Flight-recorder dumps written on anomaly triggers.";
     inflight =
       g "ccs_serve_inflight" "Connections currently being served.";
     store_bytes =
@@ -108,13 +124,33 @@ let make_metrics () =
         "End-to-end request latency, wall-clock microseconds.";
     plan_us =
       h "ccs_serve_plan_us" "Planner pipeline latency, wall-clock microseconds.";
+    stage_us =
+      List.map
+        (fun stage ->
+          ( stage,
+            Metrics.histogram registry
+              ~help:
+                "Per-stage request latency, wall-clock microseconds \
+                 (tracing only)."
+              ~labels:[ ("stage", stage) ]
+              "ccs_serve_stage_us" ))
+        stage_names;
   }
+
+(* The trace context of one in-flight request: [root] is the request
+   span's pre-allocated id so every stage span can parent to it before
+   the root itself is recorded.  [trace_id] is overwritten by a
+   client-supplied id the moment the parse stage sees one. *)
+type trace = { mutable trace_id : string; root : int; t_start : int }
 
 type t = {
   config : config;
   m : metrics;
   store : Plan_cache.Bounded.t;
   hot : Protocol.artifact Lru_index.t;
+  flight : Ccs.Flight.t;
+      (* always-on black box: span ring + recent log lines, dumped on
+         anomaly triggers *)
   mutable req_index : int;
       (* per-worker request counter: the epoch axis of serve-layer chaos *)
   mutable evictions_seen : int;
@@ -122,12 +158,23 @@ type t = {
       (* exactly one process per daemon publishes the store gauges, so the
          merged scrape does not multiply them by the worker count *)
   mutable die_after_flush : bool; (* a chaos Worker_kill is pending *)
+  mutable last_trace : (string * int) option;
+      (* (trace_id, root span id) of the request [handle_line_at] just
+         finished — the event loop picks it up to parent the write span *)
 }
 
 let cache_dir config = Filename.concat config.dir "plans"
+let flight_dir config = Filename.concat config.dir "flight"
+let trace_dir config = Filename.concat config.dir "trace"
 let metrics_dir t = Filename.concat t.config.dir "metrics"
 
 let make config =
+  let flight = Ccs.Flight.create () in
+  (* Mirror every log line into the flight ring: the dump then carries
+     the last-N log events alongside the last-N spans. *)
+  let config =
+    { config with log = Ccs.Log.tee config.log (Ccs.Flight.note_log flight) }
+  in
   let store =
     Plan_cache.Bounded.create ~log:config.log ~dir:(cache_dir config)
       ~bounds:
@@ -142,15 +189,82 @@ let make config =
     m = make_metrics ();
     store;
     hot = Lru_index.create ();
+    flight;
     req_index = 0;
     evictions_seen = 0;
     report_store = true;
     die_after_flush = false;
+    last_trace = None;
   }
 
 let snapshot_path t =
   Filename.concat (metrics_dir t)
     (Printf.sprintf "worker-%d.json" (Unix.getpid ()))
+
+(* --- spans and the flight recorder ----------------------------------------- *)
+
+let observe_stage t stage dur =
+  match List.assoc_opt stage t.m.stage_us with
+  | Some h -> Metrics.observe h dur
+  | None -> ()
+
+let record_span t (tr : trace) ~span_id ~parent ~stage ~start_us ~end_us =
+  Ccs.Span.record
+    (Ccs.Flight.spans t.flight)
+    ~trace_id:tr.trace_id ~span_id ~parent ~stage ~start_us ~end_us;
+  observe_stage t stage (max 0 (end_us - start_us))
+
+(* Time [f] as one child span of the current request.  [tr = None]
+   (tracing off) is a single comparison — the traced and untraced paths
+   run the very same [f], which is why responses are bit-identical either
+   way.  Exceptions still finish the span (a blown plan build leaves its
+   partial timing in the ring) and re-raise. *)
+let span t tr stage f =
+  match tr with
+  | None -> f ()
+  | Some tr -> (
+      let start_us = Ccs.Clock.now_us () in
+      let finish () =
+        record_span t tr
+          ~span_id:(Ccs.Span.fresh_id (Ccs.Flight.spans t.flight))
+          ~parent:tr.root ~stage ~start_us ~end_us:(Ccs.Clock.now_us ())
+      in
+      match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e)
+
+let fresh_trace t ~t_start =
+  {
+    trace_id = Printf.sprintf "w%d-r%d" (Unix.getpid ()) t.req_index;
+    root = Ccs.Span.fresh_id (Ccs.Flight.spans t.flight);
+    t_start;
+  }
+
+(* Dump the black box.  Best-effort by design: a full disk must not turn
+   an anomaly report into a crash, so failures are logged and dropped. *)
+let flight_dump t ~trigger =
+  Metrics.inc t.m.flight_dumps;
+  match
+    Ccs.Flight.dump t.flight ~dir:(flight_dir t.config) ~trigger
+      ~pid:(Unix.getpid ())
+      ~at_us:(Ccs.Clock.now_us ())
+  with
+  | path ->
+      Ccs.Log.warn t.config.log "flight recorder dumped"
+        [
+          ("trigger", Ccs.Json.String trigger);
+          ("path", Ccs.Json.String path);
+        ]
+  | exception Sys_error reason ->
+      Ccs.Log.error t.config.log "flight dump failed"
+        [
+          ("trigger", Ccs.Json.String trigger);
+          ("reason", Ccs.Json.String reason);
+        ]
 
 (* Publish this worker's registry for /metrics scrapes (from any worker).
    Atomic rename, so a concurrent scrape never reads a torn document. *)
@@ -161,7 +275,18 @@ let publish_metrics t =
   end;
   Plan_cache.ensure_dir (metrics_dir t);
   Ccs.Binio.write_atomic ~path:(snapshot_path t)
-    (Metrics.to_json_string t.m.registry ^ "\n")
+    (Metrics.to_json_string t.m.registry ^ "\n");
+  if t.config.tracing then
+    (* Live trace export: the span ring as of the last answered request,
+       readable by `ccsched trace` without waiting for an anomaly. *)
+    try
+      ignore
+        (Ccs.Flight.dump t.flight ~dir:(trace_dir t.config) ~trigger:"live"
+           ~pid:(Unix.getpid ())
+           ~at_us:(Ccs.Clock.now_us ()))
+    with Sys_error _ -> ()
+
+let metric_value t ?labels name = Metrics.value t.m.registry ?labels name
 
 let scrape t =
   let dir = metrics_dir t in
@@ -370,32 +495,38 @@ let store_artifact t ~key artifact =
     t.evictions_seen <- ev
   end
 
-let handle_plan t ~t0 ~deadline_at (req : Protocol.plan_request) =
-  fail_report
-    (Ccs.Check.cache_config ?ways:req.ways ~size_words:req.cache_words
-       ~block_words:req.block_words ());
-  let cache =
-    Ccs.Cache.config
-      ~policy:(policy_of_ways req.ways)
-      ~size_words:req.cache_words ~block_words:req.block_words ()
-  in
-  let g =
-    match Ccs.Serial.parse req.graph_text with
-    | Ok g -> g
-    | Error e -> E.fail e
-  in
-  fail_report (Ccs.Check.graph g);
-  let key =
-    Ccs.Plan_key.of_graph g ~cache
-      ~capacities:(Option.value req.capacities ~default:[||])
-      ~planner_version:Ccs.Auto.planner_version
+let handle_plan t ~t0 ~deadline_at ~tr (req : Protocol.plan_request) =
+  let cache, g, key =
+    span t tr "key" (fun () ->
+        fail_report
+          (Ccs.Check.cache_config ?ways:req.ways ~size_words:req.cache_words
+             ~block_words:req.block_words ());
+        let cache =
+          Ccs.Cache.config
+            ~policy:(policy_of_ways req.ways)
+            ~size_words:req.cache_words ~block_words:req.block_words ()
+        in
+        let g =
+          match Ccs.Serial.parse req.graph_text with
+          | Ok g -> g
+          | Error e -> E.fail e
+        in
+        fail_report (Ccs.Check.graph g);
+        let key =
+          Ccs.Plan_key.of_graph g ~cache
+            ~capacities:(Option.value req.capacities ~default:[||])
+            ~planner_version:Ccs.Auto.planner_version
+        in
+        (cache, g, key))
   in
   let cached, artifact =
-    match lookup_artifact t ~key with
+    match span t tr "cache_lookup" (fun () -> lookup_artifact t ~key) with
     | Some artifact -> (true, artifact)
     | None ->
         let artifact =
-          with_deadline t ~deadline_at (fun () -> build_artifact t req g cache)
+          span t tr "plan_build" (fun () ->
+              with_deadline t ~deadline_at (fun () ->
+                  build_artifact t req g cache))
         in
         (* Store before responding: once a client has seen an answer, a
            repeat of the same request is guaranteed to hit. *)
@@ -404,34 +535,87 @@ let handle_plan t ~t0 ~deadline_at (req : Protocol.plan_request) =
         (false, artifact)
   in
   Metrics.inc (if cached then t.m.hits else t.m.misses);
-  let dry_run = if req.dry_run then Some (dry_run_of g cache artifact) else None in
-  Protocol.plan_response ~cached ~key:(Ccs.Plan_key.digest key) ~artifact
-    ~dry_run ~elapsed_us:(Ccs.Clock.elapsed_us ~since:t0)
+  let dry_run =
+    if req.dry_run then
+      Some (span t tr "dry_run" (fun () -> dry_run_of g cache artifact))
+    else None
+  in
+  Protocol.plan_response ?trace_id:req.trace_id ~cached
+    ~key:(Ccs.Plan_key.digest key) ~artifact ~dry_run
+    ~elapsed_us:(Ccs.Clock.elapsed_us ~since:t0)
+    ()
 
-let handle_line_at t ~deadline_at line =
+let handle_line_at t ?(read_start = 0) ~deadline_at line =
   let t0 = Ccs.Clock.now_us () in
   Metrics.inc t.m.requests;
   let epoch = t.req_index in
+  let tr =
+    if t.config.tracing then
+      Some (fresh_trace t ~t_start:(if read_start > 0 then read_start else t0))
+    else None
+  in
   let response =
-    match Protocol.parse_request line with
+    match
+      span t tr "parse" (fun () ->
+          let parsed = Protocol.parse_request line in
+          (* Adopt the client's correlation id the moment it is known, so
+             every subsequent span (and the parse span itself, recorded
+             after this closure returns) carries it. *)
+          (match (tr, parsed) with
+          | Some tr, Ok (Protocol.Plan { trace_id = Some id; _ }) ->
+              tr.trace_id <- id
+          | _ -> ());
+          parsed)
+    with
     | Error e ->
         Metrics.inc t.m.errors;
         Protocol.error_response e
     | Ok Protocol.Ping -> Protocol.pong
     | Ok (Protocol.Plan req) -> (
-        match E.protect (fun () -> handle_plan t ~t0 ~deadline_at req) with
-        | Ok json -> json
+        match
+          E.protect (fun () -> handle_plan t ~t0 ~deadline_at ~tr req)
+        with
+        | Ok json ->
+            (* A client that asked for correlation gets a log line to
+               correlate with — untraced requests stay silent. *)
+            (match req.trace_id with
+            | Some id ->
+                Ccs.Log.info t.config.log "request ok"
+                  [ ("trace_id", Ccs.Json.String id) ]
+            | None -> ());
+            json
         | Error e ->
             Metrics.inc t.m.errors;
             (match e with
-            | E.Deadline_exceeded _ -> Metrics.inc t.m.deadline_exceeded
+            | E.Deadline_exceeded _ ->
+                Metrics.inc t.m.deadline_exceeded;
+                flight_dump t ~trigger:"deadline-exceeded"
             | _ -> ());
-            Protocol.error_response e)
+            (match (req.trace_id, E.code e) with
+            | Some id, code ->
+                Ccs.Log.warn t.config.log "request failed"
+                  [
+                    ("trace_id", Ccs.Json.String id);
+                    ("code", Ccs.Json.String code);
+                  ]
+            | None, _ -> ());
+            Protocol.error_response ?trace_id:req.trace_id e)
   in
   if List.mem Fault.Worker_kill (Fault.events_at t.config.chaos epoch) then
     t.die_after_flush <- true;
   t.req_index <- t.req_index + 1;
   Metrics.observe t.m.request_us (Ccs.Clock.elapsed_us ~since:t0);
+  (match tr with
+  | None -> t.last_trace <- None
+  | Some tr ->
+      let now = Ccs.Clock.now_us () in
+      if read_start > 0 then
+        record_span t tr
+          ~span_id:(Ccs.Span.fresh_id (Ccs.Flight.spans t.flight))
+          ~parent:tr.root ~stage:"read" ~start_us:read_start ~end_us:t0;
+      record_span t tr ~span_id:tr.root ~parent:(-1) ~stage:"request"
+        ~start_us:tr.t_start ~end_us:now;
+      t.last_trace <- Some (tr.trace_id, tr.root));
   (* Snapshot before responding, so a client that has seen the answer
      also sees it reflected in the next scrape. *)
   publish_metrics t;
@@ -445,22 +629,49 @@ let strip_cr line =
   let n = String.length line in
   if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
 
-(* Minimal HTTP/1.0 response for Prometheus scrapes; everything else on
-   the socket is the line protocol. *)
+(* Liveness probe: 200 plus the number of processes currently publishing
+   metrics snapshots (the live worker count as the scrape sees it). *)
+let healthz t =
+  let dir = metrics_dir t in
+  let workers =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> 0
+    | files ->
+        Array.fold_left
+          (fun n f ->
+            if
+              String.length f >= 7
+              && String.sub f 0 7 = "worker-"
+              && Filename.check_suffix f ".json"
+            then n + 1
+            else n)
+          0 files
+  in
+  Printf.sprintf "{\"ok\":true,\"workers\":%d}\n" workers
+
+(* Minimal HTTP/1.0 response for probe-style monitoring; everything else
+   on the socket is the line protocol.  Content-Length always describes
+   the body, and HEAD sends the headers only — so clients that trust the
+   headers (curl, kube probes) never hang or over-read. *)
 let http_page t first_line =
-  let target =
+  let meth, target =
     match String.split_on_char ' ' (strip_cr first_line) with
-    | _ :: target :: _ -> target
-    | _ -> "/"
+    | m :: target :: _ -> (m, target)
+    | m :: _ -> (m, "/")
+    | [] -> ("GET", "/")
   in
   let status, body =
     if target = "/metrics" then ("200 OK", scrape t)
+    else if target = "/healthz" then ("200 OK", healthz t)
     else ("404 Not Found", "not found\n")
   in
-  Printf.sprintf
-    "HTTP/1.0 %s\r\nContent-Type: text/plain; version=0.0.4\r\n\
-     Content-Length: %d\r\nConnection: close\r\n\r\n%s"
-    status (String.length body) body
+  let headers =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\nContent-Type: text/plain; version=0.0.4\r\n\
+       Content-Length: %d\r\nConnection: close\r\n\r\n"
+      status (String.length body)
+  in
+  if meth = "HEAD" then headers else headers ^ body
 
 let is_http line =
   let has p =
@@ -479,6 +690,10 @@ type conn = {
   mutable out : string;
   mutable out_off : int;
   mutable deadline_at : int; (* Clock us; 0 = no budget armed *)
+  mutable read_start : int; (* Clock us of the request's first byte; 0 = none *)
+  mutable wr : (string * int * int) option;
+      (* (trace_id, root span id, write start) of the response being
+         drained, pending its write span *)
   mutable started : bool; (* saw the first line (protocol decided) *)
   mutable closing : bool; (* close once [out] drains *)
 }
@@ -527,6 +742,16 @@ let serve_loop t listen_fd ~stop =
      not answered anything yet as having drained a response (that would
      disarm a mid-read deadline the moment the first bytes arrive). *)
   let after_drain c =
+    (match c.wr with
+    | Some (trace_id, root, w0) ->
+        (* the response has fully left the wire: close the write span *)
+        record_span t
+          { trace_id; root; t_start = w0 }
+          ~span_id:(Ccs.Span.fresh_id (Ccs.Flight.spans t.flight))
+          ~parent:root ~stage:"write" ~start_us:w0
+          ~end_us:(Ccs.Clock.now_us ());
+        c.wr <- None
+    | None -> ());
     c.out <- "";
     c.out_off <- 0;
     c.deadline_at <- 0;
@@ -554,6 +779,8 @@ let serve_loop t listen_fd ~stop =
             out = "";
             out_off = 0;
             deadline_at = 0;
+            read_start = 0;
+            wr = None;
             started = false;
             closing = false;
           }
@@ -563,6 +790,7 @@ let serve_loop t listen_fd ~stop =
           (* Shed: a structured answer and a clean close, so the client
              backs off instead of timing out against a silent queue. *)
           Metrics.inc t.m.shed;
+          flight_dump t ~trigger:"shed";
           let err =
             E.Overloaded
               {
@@ -603,16 +831,20 @@ let serve_loop t listen_fd ~stop =
               let deadline_at =
                 if c.deadline_at > 0 then Some c.deadline_at else None
               in
+              let read_start = c.read_start in
+              c.read_start <- 0;
               let response =
                 (* Last-resort containment: no input line may crash the
                    worker or go unanswered — anything that escapes the
                    structured paths still yields exactly one error line. *)
-                try handle_line_at t ~deadline_at line
+                try handle_line_at t ~read_start ~deadline_at line
                 with e ->
                   disarm_alarm ();
+                  t.last_trace <- None;
                   Metrics.inc t.m.errors;
                   Ccs.Log.error t.config.log "request handler raised"
                     [ ("exn", Ccs.Json.String (Printexc.to_string e)) ];
+                  flight_dump t ~trigger:"containment";
                   Ccs.Json.to_string
                     (Protocol.error_response
                        (E.Failure_msg
@@ -621,6 +853,13 @@ let serve_loop t listen_fd ~stop =
                             reason = Printexc.to_string e;
                           }))
               in
+              (match t.last_trace with
+              | Some (trace_id, root) ->
+                  (* the write span opens when the response is enqueued
+                     and closes in [after_drain] *)
+                  c.wr <- Some (trace_id, root, Ccs.Clock.now_us ());
+                  t.last_trace <- None
+              | None -> ());
               enqueue c (response ^ "\n")
             end;
             go (nl + 1)
@@ -636,6 +875,8 @@ let serve_loop t listen_fd ~stop =
         if c.deadline_at = 0 && t.config.deadline_ms > 0 then
           c.deadline_at <-
             Ccs.Clock.now_us () + (t.config.deadline_ms * 1000);
+        if c.read_start = 0 && t.config.tracing then
+          c.read_start <- Ccs.Clock.now_us ();
         Buffer.add_subbytes c.inbuf bytes 0 n;
         process_lines c;
         flush_pending c;
@@ -662,6 +903,20 @@ let serve_loop t listen_fd ~stop =
       List.iter
         (fun c ->
           Metrics.inc t.m.deadline_exceeded;
+          if t.config.tracing && c.read_start > 0 then begin
+            (* leave the stalled read in the black box: a root span plus
+               its half-open read stage, ending at expiry *)
+            let tr = fresh_trace t ~t_start:c.read_start in
+            let now = Ccs.Clock.now_us () in
+            record_span t tr
+              ~span_id:(Ccs.Span.fresh_id (Ccs.Flight.spans t.flight))
+              ~parent:tr.root ~stage:"read" ~start_us:c.read_start
+              ~end_us:now;
+            record_span t tr ~span_id:tr.root ~parent:(-1) ~stage:"request"
+              ~start_us:c.read_start ~end_us:now;
+            c.read_start <- 0
+          end;
+          flight_dump t ~trigger:"deadline-exceeded";
           if drained c then begin
             (* mid-read stall: answer the half-sent request and close *)
             let err =
@@ -778,11 +1033,16 @@ let install_stop_handlers () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore
 
 let worker config fd =
-  (* Children die on SIGTERM outright (the parent reaps them); only the
-     parent runs the graceful-cleanup path. *)
-  Sys.set_signal Sys.sigterm Sys.Signal_default;
-  Sys.set_signal Sys.sigint Sys.Signal_default;
   let t = make config in
+  (* Children die on SIGTERM (the parent reaps them; only the parent
+     runs the graceful-cleanup path) — but first the black box hits the
+     disk, so a shutdown still leaves the last-N requests on record. *)
+  let die _ =
+    (try flight_dump t ~trigger:"sigterm" with _ -> ());
+    exit 0
+  in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle die);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle die);
   t.report_store <- false;
   publish_metrics t;
   serve_loop t fd ~stop:(fun () -> !stop);
@@ -827,6 +1087,13 @@ let publish_parent config s ~quarantined_gauge =
     (Metrics.to_json_string s.sm.registry ^ "\n")
 
 let supervise config fd =
+  (* The parent keeps its own black box (no spans — it serves no
+     requests — but the recent supervision log survives a breaker
+     trip). *)
+  let flight = Ccs.Flight.create () in
+  let config =
+    { config with log = Ccs.Log.tee config.log (Ccs.Flight.note_log flight) }
+  in
   let sm = make_metrics () in
   let quarantined_gauge =
     Metrics.gauge sm.registry
@@ -880,7 +1147,14 @@ let supervise config fd =
                 ("pid", Ccs.Json.Int pid);
                 ("uptime_ms", Ccs.Json.Int uptime_ms);
                 ("remaining", Ccs.Json.Int s.want);
-              ]
+              ];
+            Metrics.inc sm.flight_dumps;
+            (try
+               ignore
+                 (Ccs.Flight.dump flight ~dir:(flight_dir config)
+                    ~trigger:"breaker-quarantine" ~pid:(Unix.getpid ())
+                    ~at_us:(Ccs.Clock.now_us ()))
+             with Sys_error _ -> ())
           end
           else begin
             Metrics.inc s.sm.worker_restarts;
@@ -946,6 +1220,7 @@ let run config =
     let t = make config in
     publish_metrics t;
     serve_loop t fd ~stop:(fun () -> !stop);
+    (try flight_dump t ~trigger:"sigterm" with _ -> ());
     cleanup config fd
   end
   else begin

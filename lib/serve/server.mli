@@ -33,9 +33,23 @@
     - {b Chaos} ([chaos]): a seeded {!Ccs.Fault} serve-layer plan keyed
       on the per-worker request index — worker kills after the response
       is flushed, suppressed plan-store writes, torn records.
+    - {b Tracing} ([tracing]): every request is timed per stage (read,
+      parse, key, cache lookup, plan build, dry run, write) into a
+      bounded per-worker {!Ccs.Span} ring, surfaced as
+      [ccs_serve_stage_us{stage=...}] histograms on [/metrics] and
+      exported live under [dir/trace].  Responses are bit-identical with
+      tracing on or off; a client-supplied [trace_id] is echoed either
+      way.
+    - {b Flight recorder} (always on): recent log lines plus the span
+      ring are dumped to [dir/flight/worker-<pid>-<trigger>.ccsflight]
+      (Binio-framed, checksummed, atomic) on anomaly triggers —
+      deadline-exceeded, shed, the containment catch-all, a breaker
+      quarantine, and SIGTERM.  Read dumps back with {!Ccs.Flight.load}
+      or [ccsched trace].
 
     All durable state lives under [config.dir]: the plan cache in
-    [dir/plans] and metrics snapshots in [dir/metrics].  Workers share
+    [dir/plans], metrics snapshots in [dir/metrics], flight dumps in
+    [dir/flight] and live traces in [dir/trace].  Workers share
     the cache directory without coordination — records are atomically
     written and keyed by content, so races between workers are benign,
     and eviction re-scans the directory so every worker's records count
@@ -66,6 +80,9 @@ type config = {
   breaker_limit : int;
       (** Consecutive rapid deaths before a worker slot is retired. *)
   chaos : Ccs.Fault.env;  (** Serve-layer fault plan; [[]] = none. *)
+  tracing : bool;
+      (** Record per-stage spans and live trace files; off by default.
+          The flight recorder itself is always on. *)
 }
 
 val default_config : address:address -> dir:string -> config
@@ -117,3 +134,8 @@ val handle_line : t -> string -> string
 
 val scrape : t -> string
 (** The merged Prometheus page. *)
+
+val metric_value : t -> ?labels:(string * string) list -> string -> int option
+(** Read one series from this process's own registry (counter value,
+    gauge value, or histogram observation count) — the readback E26 and
+    the tests use to compare cache-miss counts exactly. *)

@@ -67,7 +67,8 @@ let normalize line =
       Json.to_string
         (Json.Obj
            (List.filter
-              (fun (k, _) -> k <> "cached" && k <> "elapsed_us")
+              (fun (k, _) ->
+                k <> "cached" && k <> "elapsed_us" && k <> "trace_id")
               fields))
   | Ok _ | Error _ -> Alcotest.failf "unparseable response %s" line
 
@@ -905,20 +906,29 @@ let test_overload_shed () =
         (* drop the inherited copy of [a]: the parent's close must be
            the one that frees the worker slot *)
         Unix.close a;
-        let r =
-          try
-            Srv.request_retry ~retries:6 ~backoff_ms:40 ~seed:1
+        (* distinct exit codes so a flake names its failure mode: 1 =
+           retries exhausted on a non-ok response, 2 = a transport
+           exception escaped the retry loop *)
+        let code =
+          match
+            Srv.request_retry ~retries:8 ~backoff_ms:40 ~seed:1
               config.Srv.address ping
-          with _ -> ""
+          with
+          | r -> if is_ok r then 0 else 1
+          | exception _ -> 2
         in
-        Unix._exit (if is_ok r then 0 else 1)
+        Unix._exit code
     | pid -> pid
   in
   Unix.sleepf 0.3;
   Unix.close a;
   (match Unix.waitpid [] client with
   | _, Unix.WEXITED 0 -> ()
-  | _ -> Alcotest.fail "retrying client never got through")
+  | _, Unix.WEXITED n ->
+      Alcotest.failf "retrying client never got through (exit %d: %s)" n
+        (if n = 1 then "non-ok response after retries"
+         else "transport exception")
+  | _ -> Alcotest.fail "retrying client was signalled")
 
 let test_breaker_quarantines_crash_loop () =
   let dir = tmp_dir () in
@@ -1065,6 +1075,342 @@ let test_chaos_soak () =
   in
   await 100
 
+(* --- observability: spans, flight recorder, tracing ------------------------ *)
+
+let test_span_ring () =
+  let ring = Ccs.Span.create ~capacity:4 () in
+  for i = 0 to 5 do
+    Ccs.Span.record ring ~trace_id:"t" ~span_id:i ~parent:(-1)
+      ~stage:(Printf.sprintf "s%d" i) ~start_us:(10 * i)
+      ~end_us:((10 * i) + 5)
+  done;
+  Alcotest.(check int) "length capped at capacity" 4 (Ccs.Span.length ring);
+  Alcotest.(check int) "total counts every record" 6 (Ccs.Span.total ring);
+  Alcotest.(check int) "dropped = overflow" 2 (Ccs.Span.dropped ring);
+  Alcotest.(check (list string))
+    "window is the newest spans, oldest first"
+    [ "s2"; "s3"; "s4"; "s5" ]
+    (List.map (fun s -> s.Ccs.Span.stage) (Ccs.Span.to_list ring));
+  Alcotest.(check int) "duration" 5
+    (Ccs.Span.duration_us (List.hd (Ccs.Span.to_list ring)));
+  Alcotest.(check bool) "fresh ids are distinct" true
+    (Ccs.Span.fresh_id ring <> Ccs.Span.fresh_id ring)
+
+let test_flight_roundtrip () =
+  let fl = Ccs.Flight.create ~span_capacity:8 ~log_capacity:4 () in
+  Ccs.Flight.note_log fl "one";
+  Ccs.Flight.note_log fl "two";
+  for i = 0 to 2 do
+    Ccs.Span.record (Ccs.Flight.spans fl) ~trace_id:"t0" ~span_id:i
+      ~parent:(if i = 0 then -1 else 0)
+      ~stage:"parse" ~start_us:i ~end_us:(i + 7)
+  done;
+  let dir = Filename.concat (tmp_dir ()) "flight" in
+  let path =
+    Ccs.Flight.dump fl ~dir ~trigger:"unit-test" ~pid:42 ~at_us:99
+  in
+  Alcotest.(check string)
+    "one file per (worker, trigger)" "worker-42-unit-test.ccsflight"
+    (Filename.basename path);
+  match Ccs.Flight.load ~path with
+  | Error e -> Alcotest.failf "load failed: %s" (E.to_string e)
+  | Ok d ->
+      Alcotest.(check string) "trigger" "unit-test" d.Ccs.Flight.trigger;
+      Alcotest.(check int) "pid" 42 d.Ccs.Flight.pid;
+      Alcotest.(check int) "at_us" 99 d.Ccs.Flight.at_us;
+      Alcotest.(check int) "seq" 0 d.Ccs.Flight.seq;
+      Alcotest.(check int) "no spans dropped" 0 d.Ccs.Flight.dropped_spans;
+      Alcotest.(check (list string))
+        "logs oldest first" [ "one"; "two" ] d.Ccs.Flight.logs;
+      Alcotest.(check int) "spans" 3 (List.length d.Ccs.Flight.spans);
+      let s = List.nth d.Ccs.Flight.spans 2 in
+      Alcotest.(check string) "span trace id" "t0" s.Ccs.Span.trace_id;
+      Alcotest.(check int) "span id" 2 s.Ccs.Span.span_id;
+      Alcotest.(check int) "span parent" 0 s.Ccs.Span.parent;
+      Alcotest.(check int) "span duration" 7 (Ccs.Span.duration_us s)
+
+let test_flight_rejects_corruption () =
+  let fl = Ccs.Flight.create () in
+  Ccs.Flight.note_log fl "evidence";
+  let dir = Filename.concat (tmp_dir ()) "flight" in
+  let path = Ccs.Flight.dump fl ~dir ~trigger:"t" ~pid:1 ~at_us:5 in
+  let pristine = In_channel.with_open_bin path In_channel.input_all in
+  (* a flipped byte is detected by the frame checksum *)
+  let bytes = Bytes.of_string pristine in
+  Bytes.set bytes
+    (Bytes.length bytes - 3)
+    (Char.chr (Char.code (Bytes.get bytes (Bytes.length bytes - 3)) lxor 0x40));
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc bytes);
+  (match Ccs.Flight.load ~path with
+  | Error (E.Checkpoint_corrupt _) -> ()
+  | Error e -> Alcotest.failf "wrong error %s" (E.to_string e)
+  | Ok _ -> Alcotest.fail "corrupt dump decoded");
+  (* truncation mid-payload is a structured error, not an exception *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub pristine 0 (String.length pristine / 2)));
+  (match Ccs.Flight.load ~path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated dump decoded");
+  (* and so is a foreign file *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "this is not a flight dump at all");
+  match Ccs.Flight.load ~path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "junk decoded"
+
+let test_trace_id_echo () =
+  let t = make_daemon () in
+  let with_trace_id line id =
+    match Json.of_string line with
+    | Ok (Json.Obj fields) ->
+        Json.to_string (Json.Obj (fields @ [ ("trace_id", Json.String id) ]))
+    | _ -> Alcotest.fail "bad fixture"
+  in
+  let line = with_trace_id (plan_line (app_graph "fm-radio")) "req-7" in
+  let echoed r =
+    match Json.of_string r with
+    | Ok v -> Json.member "trace_id" v
+    | Error _ -> None
+  in
+  let r = Srv.handle_line t line in
+  Alcotest.(check bool) "ok" true (is_ok r);
+  Alcotest.(check (option string))
+    "echoed on success" (Some "req-7")
+    (Option.bind (echoed r) Json.to_str);
+  let bad = with_trace_id (plan_line ~m:0 (app_graph "fm-radio")) "req-8" in
+  let r = Srv.handle_line t bad in
+  Alcotest.(check bool) "error" false (is_ok r);
+  Alcotest.(check (option string))
+    "echoed on error" (Some "req-8")
+    (Option.bind (echoed r) Json.to_str);
+  (* no trace_id in, none out *)
+  let r = Srv.handle_line t (plan_line (app_graph "fm-radio")) in
+  Alcotest.(check (option string)) "absent stays absent" None
+    (Option.bind (echoed r) Json.to_str)
+
+let make_traced_daemon ~tracing =
+  Srv.make
+    {
+      (Srv.default_config ~address:(Srv.Unix_socket "/nonexistent")
+         ~dir:(tmp_dir ()))
+      with
+      Srv.tracing;
+    }
+
+let test_tracing_bit_identical () =
+  (* The observability contract: spans on or off, the daemon computes the
+     same answers and the same cache traffic — tracing only records. *)
+  let off = make_traced_daemon ~tracing:false in
+  let on = make_traced_daemon ~tracing:true in
+  let lines =
+    [
+      plan_line (app_graph "fm-radio");
+      plan_line (app_graph "fm-radio");
+      plan_line ~dry_run:true (app_graph "bitonic");
+      plan_line ~m:0 (app_graph "fft");
+    ]
+  in
+  List.iteri
+    (fun i line ->
+      let a = Srv.handle_line off line in
+      let b = Srv.handle_line on line in
+      Alcotest.(check string)
+        (Printf.sprintf "request %d bit-identical" i)
+        (normalize a) (normalize b))
+    lines;
+  let counter t name = Option.value (Srv.metric_value t name) ~default:(-1) in
+  Alcotest.(check int)
+    "cache misses equal"
+    (counter off "ccs_serve_cache_misses_total")
+    (counter on "ccs_serve_cache_misses_total");
+  Alcotest.(check int)
+    "cache hits equal"
+    (counter off "ccs_serve_cache_hits_total")
+    (counter on "ccs_serve_cache_hits_total");
+  (* stage histograms observe only under tracing *)
+  let stage t =
+    Srv.metric_value t ~labels:[ ("stage", "plan_build") ] "ccs_serve_stage_us"
+  in
+  Alcotest.(check (option int)) "untraced records no stage spans" (Some 0)
+    (stage off);
+  (match stage on with
+  | Some n when n >= 1 -> ()
+  | v ->
+      Alcotest.failf "traced daemon recorded %s plan_build spans"
+        (match v with Some n -> string_of_int n | None -> "no"));
+  (* and the merged scrape renders them as labelled histogram series *)
+  let page = Srv.scrape on in
+  let has needle page =
+    let nl = String.length needle and pl = String.length page in
+    let rec go i =
+      i + nl <= pl && (String.sub page i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool)
+    "stage series on the metrics page" true
+    (has "ccs_serve_stage_us_count{stage=\"plan_build\"}" page)
+
+(* --- snapshot merge on histogram series ------------------------------------ *)
+
+let snapshot_doc build =
+  let r = Ccs.Metrics.create () in
+  build r;
+  match Json.of_string (Ccs.Metrics.to_json_string r) with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "snapshot doc does not parse: %s" e
+
+let find_series series name labels =
+  List.find_opt
+    (fun s ->
+      s.Ccs_serve.Snapshot.name = name && s.Ccs_serve.Snapshot.labels = labels)
+    series
+
+let test_snapshot_merge_histograms () =
+  let doc pid observations =
+    snapshot_doc (fun r ->
+        let h =
+          Ccs.Metrics.histogram r ~labels:[ ("stage", "parse") ] "stage_us"
+        in
+        List.iter (Ccs.Metrics.observe h) observations;
+        let other =
+          Ccs.Metrics.histogram r ~labels:[ ("stage", "write") ] "stage_us"
+        in
+        if pid = 1 then Ccs.Metrics.observe other 1)
+  in
+  let merged = Ccs_serve.Snapshot.merge [ doc 1 [ 3; 100 ]; doc 2 [ 5 ] ] in
+  (match find_series merged "stage_us" [ ("stage", "parse") ] with
+  | None -> Alcotest.fail "merged parse series missing"
+  | Some s -> (
+      match s.Ccs_serve.Snapshot.data with
+      | Ccs_serve.Snapshot.Histo { count; sum; buckets } ->
+          Alcotest.(check int) "counts sum across workers" 3 count;
+          Alcotest.(check int) "sums sum across workers" 108 sum;
+          Alcotest.(check int)
+            "per-bucket counts sum" 3
+            (List.fold_left (fun a (_, c) -> a + c) 0 buckets)
+      | _ -> Alcotest.fail "parse series is not a histogram"));
+  (* label-set disjointness: the write series keeps its own count *)
+  (match find_series merged "stage_us" [ ("stage", "write") ] with
+  | None -> Alcotest.fail "merged write series missing"
+  | Some s -> (
+      match s.Ccs_serve.Snapshot.data with
+      | Ccs_serve.Snapshot.Histo { count; _ } ->
+          Alcotest.(check int) "disjoint labels not conflated" 1 count
+      | _ -> Alcotest.fail "write series is not a histogram"));
+  (* the rendered page has cumulative buckets ending in +Inf = count *)
+  let page = Ccs_serve.Snapshot.to_prometheus merged in
+  let lines = String.split_on_char '\n' page in
+  let bucket_counts prefix =
+    List.filter_map
+      (fun l ->
+        let n = String.length prefix in
+        if String.length l > n && String.sub l 0 n = prefix then
+          String.rindex_opt l ' '
+          |> Option.map (fun i ->
+                 int_of_string
+                   (String.sub l (i + 1) (String.length l - i - 1)))
+        else None)
+      lines
+  in
+  let cumulative =
+    bucket_counts "stage_us_bucket{le=\"" |> fun _ ->
+    bucket_counts "stage_us_bucket{stage=\"parse\""
+  in
+  Alcotest.(check bool) "bucket series rendered" true (cumulative <> []);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "cumulative buckets are monotone" true
+    (monotone cumulative);
+  Alcotest.(check int)
+    "+Inf bucket equals the count" 3
+    (List.nth cumulative (List.length cumulative - 1))
+
+let test_snapshot_merge_edge_cases () =
+  (* zero snapshots: an empty page, not an error *)
+  Alcotest.(check string)
+    "empty merge renders an empty page" ""
+    (Ccs_serve.Snapshot.to_prometheus (Ccs_serve.Snapshot.merge []));
+  (* a histogram series merged with itself doubles; counters unaffected *)
+  let d =
+    snapshot_doc (fun r ->
+        let h = Ccs.Metrics.histogram r "h_us" in
+        Ccs.Metrics.observe h 9;
+        Ccs.Metrics.inc (Ccs.Metrics.counter r "c_total"))
+  in
+  let merged = Ccs_serve.Snapshot.merge [ d; d ] in
+  (match find_series merged "h_us" [] with
+  | Some { Ccs_serve.Snapshot.data = Ccs_serve.Snapshot.Histo { count; _ }; _ }
+    ->
+      Alcotest.(check int) "histogram doubled" 2 count
+  | _ -> Alcotest.fail "histogram series missing");
+  match find_series merged "c_total" [] with
+  | Some { Ccs_serve.Snapshot.data = Ccs_serve.Snapshot.Value v; _ } ->
+      Alcotest.(check int) "counter doubled" 2 v
+  | _ -> Alcotest.fail "counter series missing"
+
+let test_deadline_flight_dump () =
+  (* An induced deadline-exceeded must leave a decodable black box on
+     disk: the crash-forensics contract end to end, against a live
+     daemon. *)
+  let dir = tmp_dir () in
+  let sock = Filename.concat dir "d.sock" in
+  let state = Filename.concat dir "state" in
+  let config =
+    {
+      (Srv.default_config ~address:(Srv.Unix_socket sock) ~dir:state) with
+      Srv.deadline_ms = 200;
+      tracing = true;
+      (* a real sink at Info: the flight ring tees off rendered lines, so
+         the dump's log evidence depends on the configured level *)
+      log = Ccs.Log.to_buffer ~level:Ccs.Log.Info (Buffer.create 256);
+    }
+  in
+  with_daemon config sock @@ fun _ ->
+  let fd = Srv.connect config.Srv.address in
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  output_string oc "{\"op";
+  flush oc;
+  let r = input_line ic in
+  Alcotest.(check (option string))
+    "deadline code" (Some "deadline-exceeded") (error_code r);
+  Unix.close fd;
+  let flight_dir = Filename.concat state "flight" in
+  let dump_paths () =
+    match Sys.readdir flight_dir with
+    | exception Sys_error _ -> []
+    | fs ->
+        Array.to_list fs
+        |> List.filter (fun f ->
+               Filename.check_suffix f "-deadline-exceeded.ccsflight")
+        |> List.map (Filename.concat flight_dir)
+  in
+  let rec await n =
+    match dump_paths () with
+    | [] when n = 0 -> Alcotest.fail "no deadline flight dump appeared"
+    | [] ->
+        Unix.sleepf 0.05;
+        await (n - 1)
+    | paths -> paths
+  in
+  let paths = await 100 in
+  List.iter
+    (fun path ->
+      match Ccs.Flight.load ~path with
+      | Error e ->
+          Alcotest.failf "undecodable flight dump %s: %s" path
+            (E.to_string e)
+      | Ok d ->
+          Alcotest.(check string)
+            "dump names its trigger" "deadline-exceeded" d.Ccs.Flight.trigger;
+          if d.Ccs.Flight.logs = [] then
+            Alcotest.fail "flight dump carries no log evidence")
+    paths
+
 let () =
   Alcotest.run "serve"
     [
@@ -1135,6 +1481,24 @@ let () =
             test_breaker_quarantines_crash_loop;
           Alcotest.test_case "live flood of junk lines" `Slow
             test_live_fuzz_flood;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "span ring overflow and order" `Quick
+            test_span_ring;
+          Alcotest.test_case "flight dump roundtrip" `Quick
+            test_flight_roundtrip;
+          Alcotest.test_case "flight rejects corruption" `Quick
+            test_flight_rejects_corruption;
+          Alcotest.test_case "trace id echo" `Quick test_trace_id_echo;
+          Alcotest.test_case "tracing is observation only" `Quick
+            test_tracing_bit_identical;
+          Alcotest.test_case "snapshot merge on histograms" `Quick
+            test_snapshot_merge_histograms;
+          Alcotest.test_case "snapshot merge edge cases" `Quick
+            test_snapshot_merge_edge_cases;
+          Alcotest.test_case "deadline leaves a flight dump" `Slow
+            test_deadline_flight_dump;
         ] );
       ("soak", [ Alcotest.test_case "forked daemon" `Slow test_soak ]);
       ("chaos", [ Alcotest.test_case "seeded chaos soak" `Slow test_chaos_soak ]);
